@@ -1,0 +1,43 @@
+# Developer conveniences; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet race bench fuzz experiments maps clean
+
+all: vet test build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Run each fuzz target briefly (10s apiece).
+fuzz:
+	$(GO) test -fuzz=FuzzParseWKTPoint -fuzztime=10s ./internal/geom
+	$(GO) test -fuzz=FuzzParseWKTPolygon -fuzztime=10s ./internal/geom
+	$(GO) test -fuzz=FuzzReadArcASCII -fuzztime=10s ./internal/raster
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/cellnet
+
+# Regenerate experiments_run.txt at reference scale (minutes).
+experiments:
+	$(GO) run ./cmd/fivealarms -seed 7 -cell 5000 -transceivers 500000 -fires 150 all | tee experiments_run.txt
+
+# Render the headline map figures as PNGs.
+maps:
+	$(GO) run ./cmd/whpmap -layer whp -o fig6-whp.png
+	$(GO) run ./cmd/whpmap -layer density -o fig2-density.png
+	$(GO) run ./cmd/whpmap -layer history -o fig3-perimeters.png
+	$(GO) run ./cmd/whpmap -layer metro -lon -118 -lat 34 -km 150 -o fig13-la.png
+
+clean:
+	rm -f fig*.png

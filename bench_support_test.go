@@ -1,0 +1,14 @@
+package fivealarms
+
+import (
+	"fivealarms/internal/geom"
+	"fivealarms/internal/grid"
+)
+
+// newGridIndex builds a point index whose cell size is scaled by factor
+// relative to the auto-tuned default — support for the grid-cell-size
+// ablation benchmark.
+func newGridIndex(pts []geom.Point, factor float64) *grid.Index {
+	auto := grid.New(pts, 0)
+	return grid.New(pts, auto.CellSize()*factor)
+}

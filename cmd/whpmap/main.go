@@ -1,0 +1,81 @@
+// Command whpmap renders map layers of the synthetic study — the WHP
+// raster (Figure 6), the transceiver density field (Figure 2), the
+// 2000-2018 perimeter union (Figure 3), the 2019 season, the WUI layer,
+// and Figure 13-style metro detail windows with at-risk transceivers
+// overlaid — as PNG images or terminal ASCII.
+//
+// Usage:
+//
+//	whpmap -layer whp -o whp.png
+//	whpmap -layer whp -ascii
+//	whpmap -layer metro -lon -118 -lat 34 -km 150 -window-cell 1000 -o la.png
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"fivealarms"
+	"fivealarms/internal/cli"
+	"fivealarms/internal/whp"
+)
+
+func main() {
+	var (
+		seed  = flag.Uint64("seed", 7, "master random seed")
+		cell  = flag.Float64("cell", 10000, "world raster cell size in meters")
+		tx    = flag.Int("transceivers", 150000, "synthetic snapshot size")
+		layer = flag.String("layer", "whp", "layer: "+strings.Join(cli.MapLayers, ", "))
+		out   = flag.String("o", "", "output PNG path (empty with -ascii for terminal output)")
+		ascii = flag.Bool("ascii", false, "render as ASCII to stdout instead of PNG")
+		width = flag.Int("width", 120, "ASCII render width in characters")
+
+		// Metro-window options (layer=metro).
+		lon   = flag.Float64("lon", -118.0, "window center longitude")
+		lat   = flag.Float64("lat", 34.0, "window center latitude")
+		km    = flag.Float64("km", 150, "window half-width in km")
+		wcell = flag.Float64("window-cell", 1000, "window raster cell size in meters")
+	)
+	flag.Parse()
+
+	study := fivealarms.NewStudy(fivealarms.Config{
+		Seed: *seed, CellSizeM: *cell, Transceivers: *tx,
+	})
+
+	classes, pal, err := cli.BuildMapLayer(study, *layer, cli.MapOptions{
+		Lon: *lon, Lat: *lat, KM: *km, WindowCell: *wcell,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whpmap:", err)
+		os.Exit(1)
+	}
+
+	if *ascii || *out == "" {
+		glyphs := map[uint8]rune{
+			uint8(whp.Water):       ' ',
+			uint8(whp.NonBurnable): ':',
+			uint8(whp.VeryLow):     '.',
+			uint8(whp.Low):         ',',
+			uint8(whp.Moderate):    'm',
+			uint8(whp.High):        'H',
+			uint8(whp.VeryHigh):    '#',
+			cli.TxMarker:           '@',
+		}
+		fmt.Print(classes.ASCII(glyphs, *width))
+		return
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whpmap:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if err := classes.WritePNG(f, pal); err != nil {
+		fmt.Fprintln(os.Stderr, "whpmap:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s (%dx%d)\n", *out, classes.NX, classes.NY)
+}

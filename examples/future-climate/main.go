@@ -1,0 +1,65 @@
+// Future climate: reproduce the paper's §3.9 analysis — project the
+// Littell et al. ecoregion changes in wildfire activity onto the cellular
+// infrastructure of the Salt Lake City - Denver corridor (Figures 14-15),
+// and rank states by HOT escape probability (§3.11 extension).
+//
+// Run with:
+//
+//	go run ./examples/future-climate
+package main
+
+import (
+	"fmt"
+
+	"fivealarms"
+	"fivealarms/internal/report"
+	"fivealarms/internal/whp"
+)
+
+func main() {
+	study := fivealarms.NewStudy(fivealarms.Config{
+		Seed:         13,
+		CellSizeM:    15000,
+		Transceivers: 80000,
+	})
+
+	// Figure 14: the corridor projection.
+	future := study.Future()
+	fmt.Println(report.Fig14(future))
+	fmt.Printf("corridor transceivers: %d (%d outside mapped ecoregion zones)\n\n",
+		future.CorridorTransceivers, future.OutsideZones)
+
+	// Figure 15: the corridor's current WHP profile.
+	counts := study.Analyzer.CorridorWHPCounts(study.Corridor())
+	fmt.Println("current corridor WHP profile:")
+	for _, c := range []whp.Class{whp.NonBurnable, whp.VeryLow, whp.Low, whp.Moderate, whp.High, whp.VeryHigh} {
+		fmt.Printf("  %-12s %6d\n", c, counts[c])
+	}
+
+	// The headline contrast the paper draws: some regions +240%, one
+	// declining.
+	var grow, shrink string
+	for _, r := range future.Rows {
+		if r.DeltaPct == 240 && grow == "" && r.Transceivers > 0 {
+			grow = fmt.Sprintf("%s: %d transceivers, mean hazard %.3f -> %.3f",
+				r.Ecoregion, r.Transceivers, r.MeanHazardNow, r.MeanHazardFuture)
+		}
+		if r.DeltaPct < 0 {
+			shrink = fmt.Sprintf("%s: %d transceivers, mean hazard %.3f -> %.3f",
+				r.Ecoregion, r.Transceivers, r.MeanHazardNow, r.MeanHazardFuture)
+		}
+	}
+	fmt.Println("\nfastest-growing ecoregion: ", grow)
+	fmt.Println("declining ecoregion:       ", shrink)
+
+	// §3.11 extension: regionalized escape probabilities from the HOT
+	// suppression-allocation model.
+	fmt.Println("\nHOT escape probabilities (top 10 states):")
+	for i, r := range study.Escape(0) {
+		if i >= 10 {
+			break
+		}
+		fmt.Printf("  %-2s escape %.1f%%  (at-risk transceivers: %d)\n",
+			r.Abbrev, 100*r.Escape, r.AtRiskTransceivers)
+	}
+}

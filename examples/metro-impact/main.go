@@ -1,0 +1,61 @@
+// Metro impact: reproduce the paper's §3.6-§3.7 population-impact
+// analysis — cross the WHP exposure with county population density,
+// rank metro areas by at-risk infrastructure, and drill into the
+// Figure 13 detail windows.
+//
+// Run with:
+//
+//	go run ./examples/metro-impact
+package main
+
+import (
+	"fmt"
+
+	"fivealarms"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/report"
+	"fivealarms/internal/whp"
+)
+
+func main() {
+	study := fivealarms.NewStudy(fivealarms.Config{
+		Seed:         5,
+		CellSizeM:    15000,
+		Transceivers: 100000,
+	})
+
+	// Figure 10: the WHP x county-density matrix.
+	impact := study.Impact()
+	fmt.Println(report.Fig10(impact))
+	fmt.Printf("at-risk transceivers in counties over 1.5M people: %d (paper: 57,504)\n\n",
+		impact.VeryDenseTotal())
+
+	// Figure 12: the metro ranking.
+	fmt.Println(report.Fig12(study.Metros()))
+
+	// Figure 13: detail windows around the paper's three map panels.
+	windows := []struct {
+		name   string
+		anchor geom.Point
+		radius float64
+	}{
+		{"San Francisco / Sacramento", geom.Point{X: -121.8, Y: 38.2}, 150000},
+		{"Los Angeles / San Diego", geom.Point{X: -117.6, Y: 33.5}, 150000},
+		{"Orlando / central Florida", geom.Point{X: -81.4, Y: 28.5}, 120000},
+	}
+	fmt.Println("Figure 13 detail windows:")
+	for _, w := range windows {
+		counts := study.Analyzer.MetroWindowCount(w.anchor, w.radius)
+		fmt.Printf("  %-28s moderate %5d  high %5d  very-high %4d\n",
+			w.name, counts[whp.Moderate], counts[whp.High], counts[whp.VeryHigh])
+	}
+	fmt.Println("\nthe WUI gradient: risk rises from the urban core into the wildland —")
+	sac := geom.Point{X: -121.494, Y: 38.582}
+	for _, km := range []float64{0, 30, 60, 90} {
+		// March east from downtown Sacramento into the Sierra foothills.
+		p := geom.Point{X: sac.X + km/88, Y: sac.Y + km/500}
+		xy := study.World.ToXY(p)
+		fmt.Printf("  %3.0f km east of Sacramento: hazard %.3f (%v)\n",
+			km, study.WHP.HazardAt(xy), study.WHP.ClassAt(xy))
+	}
+}

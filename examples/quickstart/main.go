@@ -1,0 +1,49 @@
+// Quickstart: build a small synthetic study and print the headline
+// result — how much cellular infrastructure sits in wildfire-hazard
+// areas, and which states carry the most of it.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	"fivealarms"
+	"fivealarms/internal/whp"
+)
+
+func main() {
+	// A laptop-scale study: ~60k transceivers on a 15 km national raster.
+	// The same seed always produces the same world and the same numbers.
+	study := fivealarms.NewStudy(fivealarms.Config{
+		Seed:         42,
+		CellSizeM:    15000,
+		Transceivers: 60000,
+	})
+
+	overlay := study.WHPOverlay()
+	fmt.Printf("synthetic OpenCelliD snapshot: %d transceivers\n", study.Data.Len())
+	fmt.Printf("in moderate hazard:  %d\n", overlay.ByClass[whp.Moderate])
+	fmt.Printf("in high hazard:      %d\n", overlay.ByClass[whp.High])
+	fmt.Printf("in very-high hazard: %d\n", overlay.ByClass[whp.VeryHigh])
+	fmt.Printf("total at risk:       %d (%.1f%% of the fleet)\n\n",
+		overlay.AtRisk(), 100*float64(overlay.AtRisk())/float64(overlay.Total))
+
+	fmt.Println("states with the most at-risk transceivers:")
+	for i, sc := range overlay.TopStatesAtRisk() {
+		if i >= 7 {
+			break
+		}
+		fmt.Printf("  %d. %-2s %6d\n", i+1, sc.Abbrev, sc.Count)
+	}
+
+	fmt.Println("\nper-capita very-high exposure (per 1000 residents):")
+	for i, sc := range overlay.PerCapita(whp.VeryHigh) {
+		if i >= 5 {
+			break
+		}
+		fmt.Printf("  %d. %-2s %.3f\n", i+1, sc.Abbrev, sc.PerThousand)
+	}
+}

@@ -1,0 +1,207 @@
+// Package fivealarms reproduces "Five Alarms: Assessing the Vulnerability
+// of US Cellular Communication Infrastructure to Wildfires" (Anderson,
+// Barford & Barford, IMC 2020) as a self-contained Go library.
+//
+// The package builds a deterministic synthetic analog of the paper's three
+// data layers — an OpenCelliD-style transceiver database, a GeoMAC-style
+// historical fire catalog produced by a fire-spread simulator, and a USFS
+// Wildfire-Hazard-Potential-style raster — over a shared "digital CONUS"
+// (real city locations, state geography and provider identities; synthetic
+// geometry). It then runs the paper's overlay analyses: the historical
+// perimeter join (Table 1), the provider and radio-technology breakdowns
+// (Tables 2-3), the WHP exposure and per-capita rankings (Figures 6-9),
+// the population-impact and metro analyses (Figures 10-13), the 2019
+// hold-out validation and half-mile extension (§3.4, §3.8), the
+// fall-2019 PSPS case study (Figure 5), and the ecoregion future-risk
+// projection (Figures 14-15).
+//
+// # Quick start
+//
+//	study := fivealarms.NewStudy(fivealarms.Config{Seed: 42})
+//	overlay := study.WHPOverlay()
+//	fmt.Println(overlay.AtRisk(), "transceivers in moderate+ hazard")
+//
+// Everything is deterministic in Config: identical configurations produce
+// identical worlds, datasets, fires and results.
+package fivealarms
+
+import (
+	"fivealarms/internal/cellnet"
+	"fivealarms/internal/census"
+	"fivealarms/internal/conus"
+	"fivealarms/internal/ecoregion"
+	"fivealarms/internal/powergrid"
+	"fivealarms/internal/risk"
+	"fivealarms/internal/whp"
+	"fivealarms/internal/wildfire"
+	"fivealarms/internal/wui"
+)
+
+// Config sizes and seeds a study. The zero value is a usable
+// laptop-scale configuration; Full-scale reproduction settings are
+// documented per field.
+type Config struct {
+	// Seed drives every stochastic choice. Defaults to 1.
+	Seed uint64
+	// CellSizeM is the world raster resolution in meters. Defaults to
+	// 10_000 (10 km). The USFS WHP ships at 270 m; 2_700 is a practical
+	// full-scale setting.
+	CellSizeM float64
+	// Transceivers is the synthetic OpenCelliD snapshot size. Defaults to
+	// 150_000. The real snapshot has 5,364,949.
+	Transceivers int
+	// MappedFiresPerSeason bounds fire-simulation cost. Defaults to 40.
+	MappedFiresPerSeason int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CellSizeM <= 0 {
+		c.CellSizeM = 10000
+	}
+	if c.Transceivers <= 0 {
+		c.Transceivers = 150000
+	}
+	if c.MappedFiresPerSeason <= 0 {
+		c.MappedFiresPerSeason = 40
+	}
+	return c
+}
+
+// PaperScale returns the configuration approximating the paper's actual
+// data volumes: a 5.36M-transceiver snapshot on a 2.7 km national raster.
+// Expect several GB of memory and minutes of generation time.
+func PaperScale(seed uint64) Config {
+	return Config{
+		Seed:                 seed,
+		CellSizeM:            2700,
+		Transceivers:         5364949,
+		MappedFiresPerSeason: 400,
+	}
+}
+
+// Study bundles the generated world, data layers and the risk engine.
+type Study struct {
+	Cfg      Config
+	World    *conus.World
+	WHP      *whp.Map
+	Data     *cellnet.Dataset
+	Counties *census.Counties
+	Analyzer *risk.Analyzer
+	Sim      *wildfire.Simulator
+}
+
+// NewStudy builds all layers for the configuration.
+func NewStudy(cfg Config) *Study {
+	cfg = cfg.withDefaults()
+	world := conus.Build(conus.Config{Seed: cfg.Seed, CellSizeM: cfg.CellSizeM})
+	hazard := whp.Build(world, world.Grid, whp.Config{})
+	data := cellnet.Generate(world, cellnet.GenConfig{Seed: cfg.Seed, Total: cfg.Transceivers})
+	counties := census.Synthesize(world, cfg.Seed)
+	return &Study{
+		Cfg:      cfg,
+		World:    world,
+		WHP:      hazard,
+		Data:     data,
+		Counties: counties,
+		Analyzer: risk.New(world, hazard, data, counties),
+		Sim:      wildfire.NewSimulator(world, hazard),
+	}
+}
+
+// History simulates the calibrated 2000-2018 fire seasons.
+func (s *Study) History() []*wildfire.Season {
+	return wildfire.SimulateHistory(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
+}
+
+// Season2019 simulates the hold-out validation season with the named
+// anchor fires (Kincade, Getty, Saddle Ridge, Tick).
+func (s *Study) Season2019() *wildfire.Season {
+	return wildfire.Simulate2019(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
+}
+
+// Table1 runs the historical overlay over the 2000-2018 seasons.
+func (s *Study) Table1() []risk.YearOverlay {
+	return s.Analyzer.HistoricalOverlay(s.History())
+}
+
+// Table2 computes the provider risk breakdown.
+func (s *Study) Table2() []risk.ProviderRow { return s.Analyzer.ProviderRisk() }
+
+// Table3 computes the radio-technology risk breakdown.
+func (s *Study) Table3() []risk.RadioRow { return s.Analyzer.RadioTypeRisk() }
+
+// WHPOverlay computes the Figure 7-9 class/state/per-capita exposure.
+func (s *Study) WHPOverlay() *risk.WHPResult { return s.Analyzer.WHPOverlay() }
+
+// CaseStudy runs the fall-2019 PSPS simulation (Figure 5).
+func (s *Study) CaseStudy() *risk.CaseStudyResult {
+	return s.Analyzer.CaseStudyFall2019(s.Season2019(), powergrid.NetConfig{Seed: s.Cfg.Seed}, s.Cfg.Seed)
+}
+
+// Validate runs the §3.4 hold-out validation.
+func (s *Study) Validate() *risk.ValidationResult {
+	return s.Analyzer.Validate(s.Season2019())
+}
+
+// Extend runs the §3.8 very-high extension experiment with the given
+// buffer distance in meters (the paper uses 0.5 mi = 804.67 m; coarse
+// rasters need at least one cell size to grow).
+func (s *Study) Extend(distM float64) *risk.ExtensionResult {
+	return s.Analyzer.ExtendAndValidate(s.Season2019(), distM)
+}
+
+// ExtendFine runs the §3.8 experiment at sub-kilometer resolution over
+// the California window with the paper's true half-mile buffer
+// (cellSize 0 -> 800 m, distM 0 -> 804.67 m).
+func (s *Study) ExtendFine(cellSize, distM float64) *risk.FineExtension {
+	return s.Analyzer.ExtendAndValidateFine(s.Season2019(), cellSize, distM)
+}
+
+// Impact computes the Figure 10 population matrix.
+func (s *Study) Impact() *risk.ImpactMatrix { return s.Analyzer.PopulationImpact() }
+
+// Metros computes the Figure 12 metro comparison.
+func (s *Study) Metros() []risk.MetroRow { return s.Analyzer.MetroImpact() }
+
+// Future computes the Figure 14 corridor projection.
+func (s *Study) Future() *risk.FutureResult {
+	return s.Analyzer.FutureRisk(ecoregion.BuildCorridor(s.World))
+}
+
+// Corridor exposes the SLC-Denver corridor for rendering.
+func (s *Study) Corridor() *ecoregion.Corridor { return ecoregion.BuildCorridor(s.World) }
+
+// Coverage computes the population-coverage exposure of the at-risk
+// transceiver set (the abstract's "over 85 million" analog). radiusM 0
+// selects the default serving radius.
+func (s *Study) Coverage(radiusM float64) *risk.CoverageResult {
+	return s.Analyzer.Coverage(radiusM)
+}
+
+// Escape computes the per-state HOT escape probabilities (the §3.11
+// extension). thresholdAcres 0 selects the 300-acre default.
+func (s *Study) Escape(thresholdAcres float64) []risk.StateEscape {
+	return s.Analyzer.EscapeProbabilities(thresholdAcres)
+}
+
+// WUI measures the concentration of at-risk infrastructure in the
+// Wildland-Urban Interface (§3.7's key finding).
+func (s *Study) WUI() *risk.WUIResult {
+	return s.Analyzer.WUIAnalysis(wui.Config{})
+}
+
+// Harden computes a §3.10 mitigation-prioritization plan: the budget
+// at-risk sites whose hardening protects the most people.
+func (s *Study) Harden(budget int) *risk.HardeningResult {
+	return s.Analyzer.HardeningPlan(budget, 0)
+}
+
+// Emergency crosses the PSPS simulation with the coverage model: the
+// population left without any in-service cell site per event day, and
+// the wireless-911 exposure that implies (§3.10's motivation).
+func (s *Study) Emergency() *risk.EmergencyImpact {
+	return s.Analyzer.EmergencyAnalysis(s.Season2019(), powergrid.NetConfig{Seed: s.Cfg.Seed}, s.Cfg.Seed, 0)
+}

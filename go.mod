@@ -1,0 +1,3 @@
+module fivealarms
+
+go 1.22

@@ -1,0 +1,156 @@
+package fivealarms
+
+// Cross-module integration tests: invariants that only hold when the
+// whole pipeline — world, hazard, dataset, counties, fires, power grid,
+// analyses — agrees with itself.
+
+import (
+	"math"
+	"testing"
+
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/whp"
+	"fivealarms/internal/wildfire"
+	"fivealarms/internal/wui"
+)
+
+func TestIntegrationClassPartition(t *testing.T) {
+	// Every transceiver has exactly one WHP class and the class histogram
+	// partitions the fleet.
+	overlay := sharedStudy.WHPOverlay()
+	var sum int
+	for c := whp.Water; c <= whp.VeryHigh; c++ {
+		sum += overlay.ByClass[c]
+	}
+	if sum != sharedStudy.Data.Len() {
+		t.Errorf("class histogram sums to %d of %d", sum, sharedStudy.Data.Len())
+	}
+}
+
+func TestIntegrationStateTotalsMatchDataset(t *testing.T) {
+	// The per-state at-risk columns never exceed the state's transceiver
+	// count.
+	overlay := sharedStudy.WHPOverlay()
+	byState := sharedStudy.Data.CountByState()
+	for si, row := range overlay.ByState {
+		atRisk := row[0] + row[1] + row[2]
+		if atRisk > byState[si] {
+			t.Errorf("state %s: at-risk %d exceeds total %d",
+				geodata.States[si].Abbrev, atRisk, byState[si])
+		}
+	}
+}
+
+func TestIntegrationProviderTableConsistency(t *testing.T) {
+	// Table 2's class columns sum to Figure 7's class totals (both views
+	// partition the same at-risk set; unknown providers would leak).
+	overlay := sharedStudy.WHPOverlay()
+	rows := sharedStudy.Table2()
+	var m, h, vh int
+	for _, r := range rows {
+		m += r.Moderate
+		h += r.High
+		vh += r.VHigh
+	}
+	if m != overlay.ByClass[whp.Moderate] || h != overlay.ByClass[whp.High] || vh != overlay.ByClass[whp.VeryHigh] {
+		t.Errorf("Table 2 sums (%d,%d,%d) != Figure 7 (%d,%d,%d)",
+			m, h, vh, overlay.ByClass[whp.Moderate], overlay.ByClass[whp.High], overlay.ByClass[whp.VeryHigh])
+	}
+}
+
+func TestIntegrationRadioTableConsistency(t *testing.T) {
+	overlay := sharedStudy.WHPOverlay()
+	var total int
+	for _, r := range sharedStudy.Table3() {
+		total += r.Total
+	}
+	if total != overlay.AtRisk() {
+		t.Errorf("Table 3 total %d != at-risk %d", total, overlay.AtRisk())
+	}
+}
+
+func TestIntegrationFireAcresConsistency(t *testing.T) {
+	// Each mapped fire's Acres equals its perimeter's polygon area.
+	season := sharedStudy.Season2019()
+	for i := range season.Mapped {
+		f := &season.Mapped[i]
+		fromPerimeter := f.Perimeter.Area() / 4046.8564224
+		if math.Abs(fromPerimeter-f.Acres)/math.Max(f.Acres, 1) > 0.01 {
+			t.Errorf("fire %s: acres %.1f vs perimeter %.1f", f.Name, f.Acres, fromPerimeter)
+		}
+	}
+}
+
+func TestIntegrationValidationSubsetOfOverlay(t *testing.T) {
+	// The validation's predicted count can never exceed the national
+	// at-risk count.
+	v := sharedStudy.Validate()
+	overlay := sharedStudy.WHPOverlay()
+	if v.Predicted > overlay.AtRisk() {
+		t.Errorf("predicted %d exceeds national at-risk %d", v.Predicted, overlay.AtRisk())
+	}
+}
+
+func TestIntegrationCaseStudySitesBounded(t *testing.T) {
+	// The case-study network's transceivers are a subset of the dataset.
+	cs := sharedStudy.CaseStudy()
+	if cs.Sites > sharedStudy.Data.Sites() {
+		t.Errorf("CA sites %d exceed national %d", cs.Sites, sharedStudy.Data.Sites())
+	}
+	// Outage counts never exceed network size on any day.
+	for d := range cs.Series.Damage {
+		if cs.Series.Total(d) > cs.Sites {
+			t.Errorf("day %d: %d out of %d sites", d, cs.Series.Total(d), cs.Sites)
+		}
+	}
+}
+
+func TestIntegrationCoverageCeilings(t *testing.T) {
+	cv := sharedStudy.Coverage(0)
+	if cv.AtRiskServedPopulation > cv.ServedPopulation+1 {
+		t.Error("at-risk-served exceeds served")
+	}
+	if cv.ServedPopulation > cv.TotalPopulation*1.001 {
+		t.Error("served exceeds total population")
+	}
+	hp := sharedStudy.Harden(5)
+	if hp.ProtectedPopulation > hp.CandidatePopulation+1 {
+		t.Error("hardening protected more than the candidate ceiling")
+	}
+}
+
+func TestIntegrationWUISubset(t *testing.T) {
+	res := sharedStudy.WUI()
+	if res.AtRiskInWUI > res.AllInWUI {
+		t.Error("at-risk WUI transceivers exceed all WUI transceivers")
+	}
+	_ = wui.NonWUI
+}
+
+func TestIntegrationHistoryDeterministic(t *testing.T) {
+	// Re-running history on the same study yields identical overlays.
+	a := sharedStudy.Table1()
+	b := sharedStudy.Table1()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("year %d differs between runs", a[i].Year)
+		}
+	}
+}
+
+func TestIntegrationSeasonPerimetersInsideConus(t *testing.T) {
+	// Fires only burn land: every perimeter centroid lies inside CONUS.
+	seasons := []*wildfire.Season{sharedStudy.Season2019()}
+	for _, s := range seasons {
+		for i := range s.Mapped {
+			c := s.Mapped[i].Perimeter.Centroid()
+			if sharedStudy.World.StateAt(c) < 0 {
+				// The centroid of a coastal fire may fall just outside the
+				// coarse outline; require the ignition inside instead.
+				if sharedStudy.World.StateAt(s.Mapped[i].Ignition) < 0 {
+					t.Errorf("fire %s ignited outside CONUS", s.Mapped[i].Name)
+				}
+			}
+		}
+	}
+}

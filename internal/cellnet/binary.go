@@ -1,0 +1,149 @@
+package cellnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geom"
+)
+
+// Binary dataset format: a compact fixed-width record stream for fast
+// save/load of large snapshots (the full-scale 5.36M-row dataset parses
+// ~20x faster than CSV). Layout (little-endian):
+//
+//	magic   [4]byte  "FA5A"
+//	version uint16   (1)
+//	count   uint64
+//	records count x {
+//	  lon, lat float64
+//	  mcc, mnc, area uint16
+//	  cell uint32
+//	  siteID int32
+//	  radio, created-2000, updated-2000 uint8
+//	  samples uint16
+//	}
+//
+// Projected positions and state assignments are recomputed on load from
+// the world, so the file stays world-independent.
+
+var binaryMagic = [4]byte{'F', 'A', '5', 'A'}
+
+const binaryVersion = 1
+
+// ErrBadFormat is wrapped by binary-codec errors.
+var ErrBadFormat = errors.New("cellnet: bad binary format")
+
+const recordSize = 8 + 8 + 2 + 2 + 2 + 4 + 4 + 1 + 1 + 1 + 2 // 35 bytes
+
+// WriteBinary streams the dataset in the compact binary format.
+func (d *Dataset) WriteBinary(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return fmt.Errorf("cellnet: writing magic: %w", err)
+	}
+	var hdr [10]byte
+	binary.LittleEndian.PutUint16(hdr[0:2], binaryVersion)
+	binary.LittleEndian.PutUint64(hdr[2:10], uint64(len(d.T)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cellnet: writing header: %w", err)
+	}
+	var rec [recordSize]byte
+	for i := range d.T {
+		t := &d.T[i]
+		binary.LittleEndian.PutUint64(rec[0:8], math.Float64bits(t.Lon))
+		binary.LittleEndian.PutUint64(rec[8:16], math.Float64bits(t.Lat))
+		binary.LittleEndian.PutUint16(rec[16:18], t.MCC)
+		binary.LittleEndian.PutUint16(rec[18:20], t.MNC)
+		binary.LittleEndian.PutUint16(rec[20:22], t.Area)
+		binary.LittleEndian.PutUint32(rec[22:26], t.Cell)
+		binary.LittleEndian.PutUint32(rec[26:30], uint32(t.SiteID))
+		rec[30] = uint8(t.Radio)
+		rec[31] = clampYear(t.Created)
+		rec[32] = clampYear(t.Updated)
+		binary.LittleEndian.PutUint16(rec[33:35], t.Samples)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return fmt.Errorf("cellnet: writing record %d: %w", i, err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cellnet: flushing: %w", err)
+	}
+	return nil
+}
+
+func clampYear(y uint16) uint8 {
+	if y < 2000 {
+		return 0
+	}
+	if y > 2255 {
+		return 255
+	}
+	return uint8(y - 2000)
+}
+
+// ReadBinary parses the compact format, recomputing projections and state
+// assignments against the world.
+func ReadBinary(r io.Reader, w *conus.World) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading magic: %v", ErrBadFormat, err)
+	}
+	if magic != binaryMagic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, magic[:])
+	}
+	var hdr [10]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadFormat, err)
+	}
+	if v := binary.LittleEndian.Uint16(hdr[0:2]); v != binaryVersion {
+		return nil, fmt.Errorf("%w: version %d", ErrBadFormat, v)
+	}
+	count := binary.LittleEndian.Uint64(hdr[2:10])
+	const maxRecords = 1 << 26 // 67M: generous for any realistic snapshot
+	if count > maxRecords {
+		return nil, fmt.Errorf("%w: %d records exceeds limit", ErrBadFormat, count)
+	}
+	ts := make([]Transceiver, 0, count)
+	var rec [recordSize]byte
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("%w: record %d: %v", ErrBadFormat, i, err)
+		}
+		var t Transceiver
+		t.Lon = math.Float64frombits(binary.LittleEndian.Uint64(rec[0:8]))
+		t.Lat = math.Float64frombits(binary.LittleEndian.Uint64(rec[8:16]))
+		t.MCC = binary.LittleEndian.Uint16(rec[16:18])
+		t.MNC = binary.LittleEndian.Uint16(rec[18:20])
+		t.Area = binary.LittleEndian.Uint16(rec[20:22])
+		t.Cell = binary.LittleEndian.Uint32(rec[22:26])
+		t.SiteID = int32(binary.LittleEndian.Uint32(rec[26:30]))
+		t.Radio = Radio(rec[30])
+		t.Created = 2000 + uint16(rec[31])
+		t.Updated = 2000 + uint16(rec[32])
+		t.Samples = binary.LittleEndian.Uint16(rec[33:35])
+		if t.Radio >= numRadios {
+			return nil, fmt.Errorf("%w: record %d: radio %d", ErrBadFormat, i, t.Radio)
+		}
+		if math.IsNaN(t.Lon) || math.IsNaN(t.Lat) ||
+			t.Lon < -180 || t.Lon > 180 || t.Lat < -90 || t.Lat > 90 {
+			return nil, fmt.Errorf("%w: record %d: position (%v, %v)", ErrBadFormat, i, t.Lon, t.Lat)
+		}
+		t.XY = w.ToXY(pointLL(t.Lon, t.Lat))
+		t.StateIdx = int16(w.StateAt(t.XY))
+		ts = append(ts, t)
+	}
+	// Trailing bytes indicate corruption.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after %d records", ErrBadFormat, count)
+	}
+	return NewDataset(w, ts), nil
+}
+
+// pointLL builds a geographic point from lon/lat.
+func pointLL(lon, lat float64) geom.Point { return geom.Point{X: lon, Y: lat} }

@@ -1,0 +1,129 @@
+package cellnet
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	small := Generate(testWorld, GenConfig{Seed: 3, Total: 2000})
+	var buf bytes.Buffer
+	if err := small.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wantSize := 14 + small.Len()*recordSize
+	if buf.Len() != wantSize {
+		t.Errorf("binary size = %d, want %d", buf.Len(), wantSize)
+	}
+	back, err := ReadBinary(bytes.NewReader(buf.Bytes()), testWorld)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Len() != small.Len() {
+		t.Fatalf("round trip %d != %d", back.Len(), small.Len())
+	}
+	for i := range small.T {
+		a, b := small.T[i], back.T[i]
+		if a.Radio != b.Radio || a.MCC != b.MCC || a.MNC != b.MNC ||
+			a.Area != b.Area || a.Cell != b.Cell || a.SiteID != b.SiteID ||
+			a.Created != b.Created || a.Updated != b.Updated || a.Samples != b.Samples {
+			t.Fatalf("record %d fields mismatch", i)
+		}
+		if a.Lon != b.Lon || a.Lat != b.Lat {
+			t.Fatalf("record %d position mismatch", i)
+		}
+		// Recomputed projection must match exactly (same world, full
+		// float64 lon/lat preserved).
+		if math.Abs(a.XY.X-b.XY.X) > 1e-6 || math.Abs(a.XY.Y-b.XY.Y) > 1e-6 {
+			t.Fatalf("record %d projected mismatch", i)
+		}
+		if a.StateIdx != b.StateIdx {
+			t.Fatalf("record %d state mismatch", i)
+		}
+	}
+}
+
+func TestBinaryErrors(t *testing.T) {
+	small := Generate(testWorld, GenConfig{Seed: 3, Total: 100})
+	var buf bytes.Buffer
+	if err := small.WriteBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":     {},
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"truncated": good[:len(good)-5],
+		"trailing":  append(append([]byte{}, good...), 0xFF),
+		"bad radio": corrupt(good, 14+30, 99),
+		"bad count": corruptCount(good, 1<<30),
+		"nan lon":   corruptNaN(good),
+	}
+	for name, data := range cases {
+		_, err := ReadBinary(bytes.NewReader(data), testWorld)
+		if err == nil {
+			t.Errorf("%s: expected error", name)
+			continue
+		}
+		if !errors.Is(err, ErrBadFormat) {
+			t.Errorf("%s: error not wrapped: %v", name, err)
+		}
+	}
+}
+
+func corrupt(b []byte, off int, v byte) []byte {
+	out := append([]byte{}, b...)
+	out[off] = v
+	return out
+}
+
+func corruptCount(b []byte, n uint64) []byte {
+	out := append([]byte{}, b...)
+	for i := 0; i < 8; i++ {
+		out[6+i] = byte(n >> (8 * i))
+	}
+	return out
+}
+
+func corruptNaN(b []byte) []byte {
+	out := append([]byte{}, b...)
+	// Overwrite the first record's lon with NaN bits.
+	nan := math.Float64bits(math.NaN())
+	for i := 0; i < 8; i++ {
+		out[14+i] = byte(nan >> (8 * i))
+	}
+	return out
+}
+
+func BenchmarkBinaryRead(b *testing.B) {
+	small := Generate(testWorld, GenConfig{Seed: 3, Total: 5000})
+	var buf bytes.Buffer
+	if err := small.WriteBinary(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data), testWorld); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCSVRead(b *testing.B) {
+	small := Generate(testWorld, GenConfig{Seed: 3, Total: 5000})
+	var buf bytes.Buffer
+	if err := small.WriteCSV(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadCSV(bytes.NewReader(data), testWorld); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,48 @@
+package cellnet
+
+import (
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+)
+
+// Filter returns a new dataset containing the transceivers for which keep
+// returns true. The spatial index is rebuilt over the subset.
+func (d *Dataset) Filter(keep func(t *Transceiver) bool) *Dataset {
+	var out []Transceiver
+	for i := range d.T {
+		if keep(&d.T[i]) {
+			out = append(out, d.T[i])
+		}
+	}
+	return NewDataset(d.World, out)
+}
+
+// ByRadio returns the subset using the given technology.
+func (d *Dataset) ByRadio(r Radio) *Dataset {
+	return d.Filter(func(t *Transceiver) bool { return t.Radio == r })
+}
+
+// ByState returns the subset located in the state with the given postal
+// abbreviation; an unknown abbreviation yields an empty dataset.
+func (d *Dataset) ByState(ab string) *Dataset {
+	idx := geodata.StateIndex(ab)
+	return d.Filter(func(t *Transceiver) bool { return int(t.StateIdx) == idx && idx >= 0 })
+}
+
+// ByProviderGroup returns the subset operated by the given Table 2
+// provider group (one of the four national carriers or "Others").
+func (d *Dataset) ByProviderGroup(r *Resolver, group string) *Dataset {
+	return d.Filter(func(t *Transceiver) bool { return r.ProviderGroup(t) == group })
+}
+
+// InBox returns the subset whose projected positions fall inside box.
+func (d *Dataset) InBox(box geom.BBox) *Dataset {
+	return d.Filter(func(t *Transceiver) bool { return box.ContainsPoint(t.XY) })
+}
+
+// CreatedBefore returns the subset of records created in or before year —
+// a coarse answer to the §3.11 limitation that OpenCelliD accumulates
+// records from 2005 on without temporal snapshots.
+func (d *Dataset) CreatedBefore(year uint16) *Dataset {
+	return d.Filter(func(t *Transceiver) bool { return t.Created <= year })
+}

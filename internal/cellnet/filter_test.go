@@ -1,0 +1,93 @@
+package cellnet
+
+import (
+	"testing"
+
+	"fivealarms/internal/geodata"
+)
+
+func TestFilterByRadio(t *testing.T) {
+	lte := testData.ByRadio(LTE)
+	if lte.Len() == 0 {
+		t.Fatal("no LTE transceivers")
+	}
+	for i := range lte.T {
+		if lte.T[i].Radio != LTE {
+			t.Fatal("non-LTE record in subset")
+		}
+	}
+	byRadio := testData.CountByRadio()
+	if lte.Len() != byRadio[LTE] {
+		t.Errorf("subset %d != count %d", lte.Len(), byRadio[LTE])
+	}
+}
+
+func TestFilterByState(t *testing.T) {
+	ca := testData.ByState("CA")
+	if ca.Len() == 0 {
+		t.Fatal("no CA transceivers")
+	}
+	idx := geodata.StateIndex("CA")
+	for i := range ca.T {
+		if int(ca.T[i].StateIdx) != idx {
+			t.Fatal("non-CA record")
+		}
+	}
+	if testData.ByState("ZZ").Len() != 0 {
+		t.Error("unknown state should be empty")
+	}
+}
+
+func TestFilterByProviderGroup(t *testing.T) {
+	r := NewResolver()
+	att := testData.ByProviderGroup(r, geodata.ProviderATT)
+	others := testData.ByProviderGroup(r, geodata.ProviderOthersAg)
+	if att.Len() == 0 || others.Len() == 0 {
+		t.Fatal("provider subsets empty")
+	}
+	for i := range att.T {
+		if r.ProviderGroup(&att.T[i]) != geodata.ProviderATT {
+			t.Fatal("wrong provider in subset")
+		}
+	}
+	// Subsets partition the fleet.
+	total := 0
+	for _, g := range append(append([]string{}, geodata.MajorProviders...), geodata.ProviderOthersAg) {
+		total += testData.ByProviderGroup(r, g).Len()
+	}
+	if total != testData.Len() {
+		t.Errorf("provider subsets sum to %d of %d", total, testData.Len())
+	}
+}
+
+func TestFilterInBox(t *testing.T) {
+	b := testData.Index.Bounds()
+	mid := b.Center()
+	quadrant := testData.InBox(
+		// SW quadrant of the extent.
+		geomBBox(b.MinX, b.MinY, mid.X, mid.Y),
+	)
+	if quadrant.Len() == 0 || quadrant.Len() >= testData.Len() {
+		t.Errorf("quadrant = %d of %d", quadrant.Len(), testData.Len())
+	}
+	// The subset's index covers only the box.
+	if !geomBBox(b.MinX, b.MinY, mid.X, mid.Y).ContainsBBox(quadrant.Index.Bounds()) {
+		t.Error("subset index exceeds the filter box")
+	}
+}
+
+func TestFilterCreatedBefore(t *testing.T) {
+	early := testData.CreatedBefore(2010)
+	if early.Len() == 0 || early.Len() >= testData.Len() {
+		t.Fatalf("created-before subset = %d of %d", early.Len(), testData.Len())
+	}
+	for i := range early.T {
+		if early.T[i].Created > 2010 {
+			t.Fatal("late record in subset")
+		}
+	}
+	// Monotone in the cutoff.
+	if testData.CreatedBefore(2007).Len() > early.Len() {
+		t.Error("earlier cutoff should be smaller")
+	}
+}

@@ -1,0 +1,65 @@
+package cellnet
+
+import "sort"
+
+// SiteInfo summarizes one cell site (§2.2.3's site/tower/transceiver
+// distinction): its transceiver count and provider mix.
+type SiteInfo struct {
+	SiteID       int32
+	Transceivers int
+	Providers    int // distinct provider groups at the site
+}
+
+// TenancySummary describes the site-level structure of the dataset.
+type TenancySummary struct {
+	Sites            int
+	MeanTransceivers float64
+	MaxTransceivers  int
+	// Histogram[k] counts sites hosting exactly k transceivers
+	// (k capped at len(Histogram)-1).
+	Histogram []int
+}
+
+// Tenancy computes the per-site transceiver distribution — the structure
+// the paper's Figure 1 describes and the reason its analysis settles on
+// transceivers rather than towers (tower identity is uncertain in
+// OpenCelliD; co-location must be inferred).
+func (d *Dataset) Tenancy(r *Resolver) ([]SiteInfo, TenancySummary) {
+	type agg struct {
+		n         int
+		providers map[string]bool
+	}
+	byID := map[int32]*agg{}
+	for i := range d.T {
+		t := &d.T[i]
+		a := byID[t.SiteID]
+		if a == nil {
+			a = &agg{providers: map[string]bool{}}
+			byID[t.SiteID] = a
+		}
+		a.n++
+		a.providers[r.ProviderGroup(t)] = true
+	}
+	infos := make([]SiteInfo, 0, len(byID))
+	for id, a := range byID {
+		infos = append(infos, SiteInfo{SiteID: id, Transceivers: a.n, Providers: len(a.providers)})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].SiteID < infos[j].SiteID })
+
+	sum := TenancySummary{Sites: len(infos), Histogram: make([]int, 17)}
+	for _, s := range infos {
+		sum.MeanTransceivers += float64(s.Transceivers)
+		if s.Transceivers > sum.MaxTransceivers {
+			sum.MaxTransceivers = s.Transceivers
+		}
+		k := s.Transceivers
+		if k >= len(sum.Histogram) {
+			k = len(sum.Histogram) - 1
+		}
+		sum.Histogram[k]++
+	}
+	if sum.Sites > 0 {
+		sum.MeanTransceivers /= float64(sum.Sites)
+	}
+	return infos, sum
+}

@@ -1,0 +1,49 @@
+package cellnet
+
+import "testing"
+
+func TestTenancy(t *testing.T) {
+	r := NewResolver()
+	infos, sum := testData.Tenancy(r)
+	if sum.Sites != testData.Sites() {
+		t.Errorf("sites %d != %d", sum.Sites, testData.Sites())
+	}
+	if len(infos) != sum.Sites {
+		t.Errorf("infos = %d", len(infos))
+	}
+	var total int
+	for _, s := range infos {
+		if s.Transceivers <= 0 || s.Providers <= 0 {
+			t.Fatalf("bad site info %+v", s)
+		}
+		total += s.Transceivers
+	}
+	if total != testData.Len() {
+		t.Errorf("tenancy sums to %d of %d", total, testData.Len())
+	}
+	if sum.MeanTransceivers < 2 || sum.MeanTransceivers > 8 {
+		t.Errorf("mean tenancy = %v", sum.MeanTransceivers)
+	}
+	if sum.MaxTransceivers < int(sum.MeanTransceivers) {
+		t.Error("max below mean")
+	}
+	// Histogram covers all sites.
+	var hSum int
+	for _, n := range sum.Histogram {
+		hSum += n
+	}
+	if hSum != sum.Sites {
+		t.Errorf("histogram sums to %d of %d", hSum, sum.Sites)
+	}
+	// Sites host a single tenant in this generator (co-located sites
+	// model multi-tenancy), so the provider count per site is 1.
+	limit := 100
+	if len(infos) < limit {
+		limit = len(infos)
+	}
+	for _, s := range infos[:limit] {
+		if s.Providers != 1 {
+			t.Fatalf("site %d has %d provider groups", s.SiteID, s.Providers)
+		}
+	}
+}

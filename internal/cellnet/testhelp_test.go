@@ -1,0 +1,8 @@
+package cellnet
+
+import "fivealarms/internal/geom"
+
+// geomBBox builds a bbox from raw coordinates, shortening filter tests.
+func geomBBox(x0, y0, x1, y1 float64) geom.BBox {
+	return geom.NewBBox(geom.Pt(x0, y0), geom.Pt(x1, y1))
+}

@@ -1,0 +1,170 @@
+package census
+
+import (
+	"testing"
+
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+)
+
+var (
+	testWorld    = conus.Build(conus.Config{Seed: 7, CellSizeM: 20000})
+	testCounties = Synthesize(testWorld, 7)
+)
+
+func TestClassify(t *testing.T) {
+	tests := []struct {
+		pop  int
+		want DensityClass
+	}{
+		{100, PopRural},
+		{200000, PopRural},
+		{200001, PopModerate},
+		{500000, PopModerate},
+		{500001, PopDense},
+		{1500000, PopDense},
+		{1500001, PopVeryDense},
+		{10000000, PopVeryDense},
+	}
+	for _, tc := range tests {
+		if got := Classify(tc.pop); got != tc.want {
+			t.Errorf("Classify(%d) = %v, want %v", tc.pop, got, tc.want)
+		}
+	}
+}
+
+func TestDensityClassString(t *testing.T) {
+	if PopVeryDense.String() != "very-dense" || PopRural.String() != "rural" {
+		t.Error("String values wrong")
+	}
+	if DensityClass(99).String() != "invalid" {
+		t.Error("invalid class string")
+	}
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	a := Synthesize(testWorld, 7)
+	b := Synthesize(testWorld, 7)
+	if len(a.All) != len(b.All) {
+		t.Fatal("county counts differ")
+	}
+	for i := range a.All {
+		if a.All[i] != b.All[i] {
+			t.Fatalf("county %d differs between identical syntheses", i)
+		}
+	}
+}
+
+func TestEveryStateHasCounties(t *testing.T) {
+	for si, st := range geodata.States {
+		got := testCounties.OfState(si)
+		if len(got) == 0 {
+			t.Errorf("state %s has no counties", st.Abbrev)
+		}
+	}
+	if testCounties.OfState(-1) != nil || testCounties.OfState(999) != nil {
+		t.Error("out-of-range state should return nil")
+	}
+}
+
+func TestAnchorsPinned(t *testing.T) {
+	// Every big county must appear with its real population.
+	found := map[string]bool{}
+	for _, c := range testCounties.All {
+		if c.Anchor {
+			found[c.Name+"/"+geodata.States[c.StateIdx].Abbrev] = true
+		}
+	}
+	for _, bc := range geodata.BigCounties {
+		if !found[bc.Name+"/"+bc.State] {
+			t.Errorf("anchor county %s (%s) missing", bc.Name, bc.State)
+		}
+	}
+}
+
+func TestVeryDenseMatchesPaperScale(t *testing.T) {
+	vd := testCounties.VeryDense()
+	// The paper identifies 23 counties above 1.5M; our anchors give 20+.
+	if len(vd) < 20 || len(vd) > 30 {
+		t.Errorf("very-dense counties = %d, want ~23", len(vd))
+	}
+	for _, ci := range vd {
+		if testCounties.All[ci].Pop <= 1500000 {
+			t.Error("very-dense county below the threshold")
+		}
+	}
+}
+
+func TestPopulationConservedPerState(t *testing.T) {
+	for si, st := range geodata.States {
+		var sum int
+		for _, ci := range testCounties.OfState(si) {
+			sum += testCounties.All[ci].Pop
+		}
+		// Anchors may overrun tiny states in synthetic worlds, and Zipf
+		// rounding truncates; require within 10% or exact anchor overage.
+		lo := int(float64(st.Pop) * 0.85)
+		hi := int(float64(st.Pop)*1.15) + 1
+		if sum < lo || sum > hi {
+			t.Errorf("state %s population = %d, want ~%d", st.Abbrev, sum, st.Pop)
+		}
+	}
+}
+
+func TestCountyAtLA(t *testing.T) {
+	p := testWorld.ToXY(geom.Point{X: -118.2437, Y: 34.0522})
+	ci := testCounties.CountyAt(p)
+	if ci < 0 {
+		t.Fatal("LA should be in a county")
+	}
+	c := testCounties.All[ci]
+	if c.Name != "Los Angeles" {
+		t.Errorf("county at LA = %s", c.Name)
+	}
+	if c.Density() != PopVeryDense {
+		t.Errorf("LA county density = %v", c.Density())
+	}
+}
+
+func TestCountyAtOcean(t *testing.T) {
+	p := testWorld.ToXY(geom.Point{X: -130, Y: 40})
+	if ci := testCounties.CountyAt(p); ci != -1 {
+		t.Errorf("ocean county = %d, want -1", ci)
+	}
+}
+
+func TestCountyAtRespectsStateBorders(t *testing.T) {
+	// A point in Nevada must never resolve to a California county even if
+	// a CA seed is closer.
+	p := testWorld.ToXY(geom.Point{X: -114.8, Y: 36.0}) // near Vegas
+	ci := testCounties.CountyAt(p)
+	if ci < 0 {
+		t.Fatal("point should be inside CONUS")
+	}
+	if ab := geodata.States[testCounties.All[ci].StateIdx].Abbrev; ab != "NV" && ab != "AZ" {
+		t.Errorf("county state = %s, want NV or AZ", ab)
+	}
+}
+
+func TestTotalPopulation(t *testing.T) {
+	got := testCounties.TotalPopulation()
+	want := geodata.TotalPopulation()
+	if got < int(float64(want)*0.9) || got > int(float64(want)*1.1) {
+		t.Errorf("total population = %d, want ~%d", got, want)
+	}
+}
+
+func TestCountyOrdinalNames(t *testing.T) {
+	if countyOrdinal(0) != "A" || countyOrdinal(25) != "Z" || countyOrdinal(26) != "AA" {
+		t.Errorf("ordinals: %s %s %s", countyOrdinal(0), countyOrdinal(25), countyOrdinal(26))
+	}
+}
+
+func BenchmarkCountyAt(b *testing.B) {
+	p := testWorld.ToXY(geom.Point{X: -100, Y: 40})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = testCounties.CountyAt(p)
+	}
+}

@@ -1,0 +1,266 @@
+// Package cli implements the experiment-runner logic behind
+// cmd/fivealarms: mapping experiment names to analyses and rendering the
+// results. Kept out of package main so it is testable.
+package cli
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"fivealarms"
+	"fivealarms/internal/report"
+	"fivealarms/internal/risk"
+)
+
+// Experiments lists the runnable experiment names (excluding "all"), in
+// presentation order.
+var Experiments = []string{
+	"table1", "table2", "table3", "fig5", "fig7", "fig8", "fig9",
+	"fig10", "fig12", "fig14", "validate", "extend", "mitigation",
+	"coverage", "escape", "wui", "harden", "extendfine", "emergency", "fig4daily",
+}
+
+// Descriptions maps experiment names to one-line help strings.
+var Descriptions = map[string]string{
+	"table1":     "annual fires, acres and transceivers in perimeters (Table 1)",
+	"table2":     "provider risk breakdown (Table 2)",
+	"table3":     "radio-technology risk breakdown (Table 3)",
+	"fig5":       "fall-2019 PSPS case study daily outage series (Figure 5)",
+	"fig7":       "transceivers per WHP class (Figure 7)",
+	"fig8":       "top states by at-risk transceivers (Figure 8)",
+	"fig9":       "per-capita state ranking (Figure 9)",
+	"fig10":      "WHP x county-density impact matrix (Figure 10)",
+	"fig12":      "metro-area comparison (Figure 12)",
+	"fig14":      "SLC-Denver corridor future risk (Figure 14)",
+	"validate":   "2019 hold-out WHP validation (section 3.4)",
+	"extend":     "half-mile very-high extension (section 3.8)",
+	"extendfine": "fine-resolution half-mile extension over the CA window (section 3.8)",
+	"casestudy":  "alias for fig5",
+	"mitigation": "backup-power ablation (section 3.10)",
+	"coverage":   "population served by at-risk transceivers (section 3.11)",
+	"escape":     "HOT escape probabilities by state (section 3.11)",
+	"wui":        "at-risk concentration in the wildland-urban interface (section 3.7)",
+	"harden":     "site-hardening priority plan (section 3.10)",
+	"emergency":  "population without coverage per PSPS day (section 3.10)",
+	"fig4daily":  "daily transceivers inside active perimeters (finer Figure 4)",
+	"all":        "everything above",
+}
+
+// Run executes one experiment (or "all") over the study and returns the
+// result tables.
+func Run(study *fivealarms.Study, exp string) ([]*report.Table, error) {
+	one := func(t *report.Table) []*report.Table { return []*report.Table{t} }
+	switch strings.ToLower(exp) {
+	case "table1":
+		return one(report.Table1(study.Table1())), nil
+	case "table2":
+		return one(report.Table2(study.Table2())), nil
+	case "table3":
+		return one(report.Table3(study.Table3())), nil
+	case "fig5", "casestudy":
+		cs := study.CaseStudy()
+		return []*report.Table{report.CaseStudy(cs), report.Fig5(cs.Series)}, nil
+	case "fig7":
+		return one(report.Fig7(study.WHPOverlay())), nil
+	case "fig8":
+		return one(report.Fig8(study.WHPOverlay(), 10)), nil
+	case "fig9":
+		return one(report.Fig9(study.WHPOverlay(), 10)), nil
+	case "fig10":
+		return one(report.Fig10(study.Impact())), nil
+	case "fig12":
+		return one(report.Fig12(study.Metros())), nil
+	case "fig14":
+		return one(report.Fig14(study.Future())), nil
+	case "validate":
+		return one(report.Validation(study.Validate())), nil
+	case "extend":
+		// Buffer by max(0.5 mi, one cell) so coarse rasters can grow.
+		dist := 804.67
+		if c := study.World.Grid.CellSize; dist < c {
+			dist = c
+		}
+		return one(report.Extension(study.Extend(dist))), nil
+	case "extendfine":
+		return one(extendFineTable(study)), nil
+	case "coverage":
+		return one(coverageTable(study)), nil
+	case "escape":
+		return one(escapeTable(study)), nil
+	case "wui":
+		return one(wuiTable(study)), nil
+	case "harden":
+		return one(hardenTable(study)), nil
+	case "emergency":
+		return one(emergencyTable(study)), nil
+	case "fig4daily":
+		return one(dailyTable(study)), nil
+	case "mitigation":
+		return one(mitigationTable(study)), nil
+	case "all":
+		var out []*report.Table
+		for _, e := range Experiments {
+			ts, err := Run(study, e)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, ts...)
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("cli: unknown experiment %q", exp)
+}
+
+func extendFineTable(study *fivealarms.Study) *report.Table {
+	// Pick the window cell size relative to the study scale: the paper's
+	// 270 m WHP supports the 804 m buffer directly; a laptop study uses
+	// 800 m cells.
+	res := study.ExtendFine(800, 0)
+	t := &report.Table{
+		Title:  "Fine-resolution half-mile extension over the CA window (section 3.8)",
+		Header: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("window cell size (m)", report.F1(res.CellSize), "270")
+	t.AddRow("buffer distance (m)", report.F1(res.DistM), "804.67")
+	t.AddRow("window transceivers", report.Itoa(res.WindowTransceivers), "-")
+	t.AddRow("in 2019 perimeters", report.Itoa(res.InPerimeter), "656 (national)")
+	t.AddRow("very-high before -> after", report.Itoa(res.VHBefore)+" -> "+report.Itoa(res.VHAfter), "26,307 -> 176,275")
+	t.AddRow("accuracy before", report.Pct(res.AccuracyBeforePct()), "46%")
+	t.AddRow("accuracy after", report.Pct(res.AccuracyAfterPct()), "62%")
+	return t
+}
+
+func coverageTable(study *fivealarms.Study) *report.Table {
+	cv := study.Coverage(0)
+	t := &report.Table{
+		Title:  "Coverage impact: population served by at-risk transceivers (abstract / section 3.11)",
+		Header: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("total population", report.Itoa(int(cv.TotalPopulation)), "~327M")
+	t.AddRow("served by any transceiver", report.Itoa(int(cv.ServedPopulation)), "-")
+	t.AddRow("served by at-risk transceivers", report.Itoa(int(cv.AtRiskServedPopulation)), ">85,000,000")
+	t.AddRow("stranded if all at-risk fail", report.Itoa(int(cv.StrandedPopulation)), "-")
+	t.AddRow("serving radius (m)", report.F1(cv.RadiusM), "-")
+	return t
+}
+
+func escapeTable(study *fivealarms.Study) *report.Table {
+	rows := study.Escape(0)
+	t := &report.Table{
+		Title:  "HOT escape probabilities by state (section 3.11 extension)",
+		Header: []string{"State", "Escape P(>300 acres)", "Expected loss (acres)", "At-risk transceivers"},
+	}
+	for i, r := range rows {
+		if i >= 15 {
+			break
+		}
+		t.AddRow(r.Abbrev, report.F2(r.Escape*100)+"%",
+			report.F1(r.ExpectedLossAcres), report.Itoa(r.AtRiskTransceivers))
+	}
+	return t
+}
+
+func wuiTable(study *fivealarms.Study) *report.Table {
+	res := study.WUI()
+	t := &report.Table{
+		Title:  "Wildland-Urban Interface concentration (paper section 3.7)",
+		Header: []string{"Metric", "Measured"},
+	}
+	t.AddRow("at-risk transceivers in WUI", report.Itoa(res.AtRiskInWUI))
+	t.AddRow("at-risk WUI share", report.Pct(100*res.AtRiskWUIShare()))
+	t.AddRow("fleet WUI share (baseline)", report.Pct(100*res.BaselineWUIShare()))
+	t.AddRow("concentration (at-risk vs fleet)", report.F2(res.Concentration())+"x")
+	t.AddRow("population living in WUI", report.Itoa(int(res.WUIPopulation)))
+	t.AddRow("LA-window at-risk WUI transceivers", report.Itoa(res.MetroWUI["Los Angeles"]))
+	return t
+}
+
+func dailyTable(study *fivealarms.Study) *report.Table {
+	series := study.Analyzer.SeasonExposure(study.Season2019())
+	t := &report.Table{
+		Title:  "Daily exposure within the 2019 season (a finer-grained Figure 4)",
+		Header: []string{"Day of year", "Active fires", "Transceivers in active perimeters"},
+	}
+	// Print every fifth day plus the peak to keep the table readable.
+	peak := risk.PeakExposure(series)
+	for i, d := range series {
+		if i%5 != 0 && d.DayOfYear != peak.DayOfYear {
+			continue
+		}
+		t.AddRow(report.Itoa(d.DayOfYear), report.Itoa(d.ActiveFires), report.Itoa(d.Transceivers))
+	}
+	t.AddRow("peak day "+report.Itoa(peak.DayOfYear), report.Itoa(peak.ActiveFires), report.Itoa(peak.Transceivers))
+	return t
+}
+
+func emergencyTable(study *fivealarms.Study) *report.Table {
+	res := study.Emergency()
+	t := &report.Table{
+		Title:  "Emergency-calling exposure during the PSPS event (section 3.10)",
+		Header: []string{"Day", "Population without coverage"},
+	}
+	for d, v := range res.StrandedByDay {
+		t.AddRow(res.DayLabels[d], report.Itoa(int(v)))
+	}
+	t.AddRow("peak", report.Itoa(int(res.PeakStranded)))
+	t.AddRow("person-days", report.Itoa(int(res.PersonDays)))
+	t.AddRow("wireless-911 person-days (80%)", report.Itoa(int(res.At911Risk)))
+	return t
+}
+
+func hardenTable(study *fivealarms.Study) *report.Table {
+	res := study.Harden(15)
+	t := &report.Table{
+		Title:  "Hardening priority plan: 15 sites (paper section 3.10)",
+		Header: []string{"Rank", "Site", "Transceivers", "Marginal population protected"},
+	}
+	for i, s := range res.Sites {
+		t.AddRow(report.Itoa(i+1), report.Itoa(int(s.SiteID)),
+			report.Itoa(s.Transceivers), report.Itoa(int(s.Gain)))
+	}
+	t.AddRow("total", "-", "-", report.Itoa(int(res.ProtectedPopulation)))
+	t.AddRow("ceiling (all at-risk sites)", "-", "-", report.Itoa(int(res.CandidatePopulation)))
+	return t
+}
+
+func mitigationTable(study *fivealarms.Study) *report.Table {
+	pts := study.Analyzer.MitigationSweep(study.Season2019(),
+		[]float64{4, 8, 24, 48, 72}, study.Cfg.Seed)
+	t := &report.Table{
+		Title:  "Mitigation: backup-power sweep (paper section 3.10)",
+		Header: []string{"Mean battery hours", "Peak sites out", "Peak power-loss outages"},
+	}
+	for _, p := range pts {
+		t.AddRow(report.F1(p.MeanBatteryHours), report.Itoa(p.PeakOut), report.Itoa(p.PeakPowerOut))
+	}
+	return t
+}
+
+// Emit writes a table in the requested format ("text", "csv" or "json").
+func Emit(w io.Writer, t *report.Table, format string) error {
+	switch format {
+	case "text":
+		if _, err := fmt.Fprintln(w, t.String()); err != nil {
+			return fmt.Errorf("cli: writing table: %w", err)
+		}
+		return nil
+	case "csv":
+		return t.WriteCSV(w)
+	case "json":
+		return t.WriteJSON(w)
+	}
+	return fmt.Errorf("cli: unknown format %q", format)
+}
+
+// Usage renders the experiment list for help output.
+func Usage() string {
+	var b strings.Builder
+	names := append(append([]string{}, Experiments...), "casestudy", "all")
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Fprintf(&b, "  %-10s %s\n", n, Descriptions[n])
+	}
+	return b.String()
+}

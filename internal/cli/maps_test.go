@@ -1,0 +1,61 @@
+package cli
+
+import (
+	"bytes"
+	"testing"
+
+	"fivealarms/internal/whp"
+)
+
+func TestBuildMapLayerAll(t *testing.T) {
+	for _, layer := range MapLayers {
+		classes, pal, err := BuildMapLayer(cliStudy, layer, MapOptions{Lon: -118, Lat: 34, KM: 100, WindowCell: 8000})
+		if err != nil {
+			t.Fatalf("%s: %v", layer, err)
+		}
+		if classes.Cells() == 0 {
+			t.Fatalf("%s: empty grid", layer)
+		}
+		if len(pal) == 0 {
+			t.Fatalf("%s: empty palette", layer)
+		}
+		// Every layer renders to a valid PNG.
+		var buf bytes.Buffer
+		if err := classes.WritePNG(&buf, pal); err != nil {
+			t.Fatalf("%s: PNG: %v", layer, err)
+		}
+		if buf.Len() < 8 || string(buf.Bytes()[1:4]) != "PNG" {
+			t.Fatalf("%s: not a PNG", layer)
+		}
+	}
+}
+
+func TestBuildMapLayerUnknown(t *testing.T) {
+	if _, _, err := BuildMapLayer(cliStudy, "nosuch", MapOptions{}); err == nil {
+		t.Error("unknown layer should error")
+	}
+}
+
+func TestMetroLayerMarksTransceivers(t *testing.T) {
+	classes, _, err := BuildMapLayer(cliStudy, "metro", MapOptions{Lon: -118, Lat: 34, KM: 150, WindowCell: 8000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := classes.Histogram()
+	if h[TxMarker] == 0 {
+		t.Error("no at-risk transceivers marked in the LA window")
+	}
+	if h[uint8(whp.NonBurnable)] == 0 {
+		t.Error("LA window should contain a nonburnable core")
+	}
+}
+
+func TestMarkedPalette(t *testing.T) {
+	pal := MarkedPalette()
+	if _, ok := pal[TxMarker]; !ok {
+		t.Error("marker color missing")
+	}
+	if _, ok := pal[uint8(whp.VeryHigh)]; !ok {
+		t.Error("WHP colors missing")
+	}
+}

@@ -1,0 +1,446 @@
+// Package conus assembles the synthetic "digital conterminous US" that all
+// generators and analyses share: a projected raster frame (CONUS Albers), a
+// state-zone raster (weighted-Voronoi regions around real state centroids
+// clipped to a coarse CONUS outline), an urban-intensity field anchored at
+// real city locations, and a highway network connecting the gazetteer
+// cities.
+//
+// The world is deterministic in its configuration: the same Config always
+// produces the identical World. See DESIGN.md for why this substitution for
+// TIGER/Census geometry preserves the analyses' behaviour.
+package conus
+
+import (
+	"math"
+
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/noise"
+	"fivealarms/internal/proj"
+	"fivealarms/internal/raster"
+)
+
+// Config parameterizes world construction.
+type Config struct {
+	// Seed drives the noise fields. Defaults to 1 when zero (so the zero
+	// Config is usable).
+	Seed uint64
+	// CellSizeM is the edge length of the world raster cells in meters.
+	// Defaults to 5000 m. The USFS WHP ships at 270 m; smaller cells cost
+	// proportionally more memory and time.
+	CellSizeM float64
+	// RoadNeighbors is how many nearest cities each city connects to in
+	// the synthetic highway graph. Defaults to 3.
+	RoadNeighbors int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.CellSizeM <= 0 {
+		c.CellSizeM = 5000
+	}
+	if c.RoadNeighbors <= 0 {
+		c.RoadNeighbors = 3
+	}
+	return c
+}
+
+// City is a gazetteer city with its projected position.
+type City struct {
+	geodata.City
+	XY       geom.Point // projected (Albers) position
+	SigmaM   float64    // urban gaussian radius in meters
+	StateIdx int        // index into geodata.States
+}
+
+// World is the shared geospatial substrate.
+type World struct {
+	Cfg  Config
+	Proj *proj.Albers
+	Grid raster.Geometry
+
+	// Inside marks cells within the CONUS outline.
+	Inside *raster.BitGrid
+	// StateZone holds stateIdx+1 per cell; 0 = outside CONUS.
+	StateZone *raster.ClassGrid
+	// Urban is the summed city gaussian intensity (unitless, ~0..2).
+	Urban *raster.FloatGrid
+	// Roads marks highway-corridor cells.
+	Roads *raster.BitGrid
+	// RoadDist is the distance in meters from each cell to the nearest
+	// highway cell.
+	RoadDist *raster.FloatGrid
+
+	Cities []City
+
+	outline   geom.Polygon // projected outline
+	noiseFld  *noise.Field
+	statesXY  []geom.Point  // projected state centroids
+	stateWt   []float64     // sqrt(area) weights for the weighted Voronoi
+	cityByIdx map[int][]int // state index -> city indices
+
+	// Road centerlines and a per-cell bucket of nearby segment indices,
+	// so RoadDistAt can return exact sub-cell distances near corridors.
+	roadSegs []roadSegment
+	cellSegs map[int32][]int32
+}
+
+type roadSegment struct{ a, b geom.Point }
+
+// Build constructs the world for cfg. Construction cost is dominated by
+// the raster size (Cells ~ 3.6M at 2.7 km, ~1M at 5 km).
+func Build(cfg Config) *World {
+	cfg = cfg.withDefaults()
+	w := &World{
+		Cfg:      cfg,
+		Proj:     proj.ConusAlbers(),
+		noiseFld: noise.New(cfg.Seed),
+	}
+
+	// Project the outline.
+	ring := make(geom.Ring, len(geodata.ConusOutline))
+	for i, v := range geodata.ConusOutline {
+		ring[i] = w.Proj.Forward(geom.Point{X: v.Lon, Y: v.Lat})
+	}
+	if !ring.IsCCW() {
+		ring = ring.Reverse()
+	}
+	w.outline = geom.NewPolygon(ring)
+
+	w.Grid = raster.NewGeometry(w.outline.BBox(), cfg.CellSizeM)
+	w.Inside = raster.FillPolygon(w.Grid, w.outline)
+
+	// Projected state centroids and Voronoi weights.
+	w.statesXY = make([]geom.Point, len(geodata.States))
+	w.stateWt = make([]float64, len(geodata.States))
+	for i, s := range geodata.States {
+		w.statesXY[i] = w.Proj.Forward(geom.Point{X: s.Lon, Y: s.Lat})
+		w.stateWt[i] = math.Sqrt(s.AreaKM2)
+	}
+	w.buildStateZones()
+	w.buildCities()
+	w.buildUrbanField()
+	w.buildRoads()
+	return w
+}
+
+// buildStateZones assigns each inside cell to the state minimizing
+// dist/weight (multiplicatively weighted Voronoi), which yields zone areas
+// roughly proportional to real state areas.
+func (w *World) buildStateZones() {
+	w.StateZone = raster.NewClassGrid(w.Grid)
+	for cy := 0; cy < w.Grid.NY; cy++ {
+		for cx := 0; cx < w.Grid.NX; cx++ {
+			if !w.Inside.Get(cx, cy) {
+				continue
+			}
+			p := w.Grid.Center(cx, cy)
+			best := -1
+			bestD := math.Inf(1)
+			for i, c := range w.statesXY {
+				dx := p.X - c.X
+				dy := p.Y - c.Y
+				d := math.Sqrt(dx*dx+dy*dy) / w.stateWt[i]
+				if d < bestD {
+					bestD = d
+					best = i
+				}
+			}
+			w.StateZone.Set(cx, cy, uint8(best+1))
+		}
+	}
+}
+
+func (w *World) buildCities() {
+	w.Cities = make([]City, 0, len(geodata.Cities))
+	w.cityByIdx = map[int][]int{}
+	for _, c := range geodata.Cities {
+		xy := w.Proj.Forward(geom.Point{X: c.Lon, Y: c.Lat})
+		si := geodata.StateIndex(c.State)
+		// Urban radius grows with the square root of metro population:
+		// ~8 km sigma per sqrt(million people).
+		sigma := 8000 * math.Sqrt(float64(c.MetroPop)/1e6)
+		w.cityByIdx[si] = append(w.cityByIdx[si], len(w.Cities))
+		w.Cities = append(w.Cities, City{City: c, XY: xy, SigmaM: sigma, StateIdx: si})
+	}
+}
+
+func (w *World) buildUrbanField() {
+	w.Urban = raster.NewFloatGrid(w.Grid)
+	for _, c := range w.Cities {
+		// Add the gaussian within 4 sigma.
+		r := 4 * c.SigmaM
+		cx0, cy0, _ := w.Grid.CellOf(geom.Point{X: c.XY.X - r, Y: c.XY.Y - r})
+		cx1, cy1, _ := w.Grid.CellOf(geom.Point{X: c.XY.X + r, Y: c.XY.Y + r})
+		cx0 = clamp(cx0, 0, w.Grid.NX-1)
+		cx1 = clamp(cx1, 0, w.Grid.NX-1)
+		cy0 = clamp(cy0, 0, w.Grid.NY-1)
+		cy1 = clamp(cy1, 0, w.Grid.NY-1)
+		// Super-gaussian kernel: a flat built-up core with a sharp edge,
+		// the actual footprint shape of US metros (development stops
+		// abruptly at terrain and zoning boundaries). A plain gaussian's
+		// long tail would suppress wildland hazard for tens of km beyond
+		// the real urban edge.
+		invR := 1 / (1.4 * c.SigmaM)
+		for cy := cy0; cy <= cy1; cy++ {
+			for cx := cx0; cx <= cx1; cx++ {
+				p := w.Grid.Center(cx, cy)
+				dx := (p.X - c.XY.X) * invR
+				dy := (p.Y - c.XY.Y) * invR
+				r2 := dx*dx + dy*dy
+				g := math.Exp(-r2 * r2)
+				if g > 1e-4 {
+					w.Urban.Set(cx, cy, w.Urban.At(cx, cy)+g)
+				}
+			}
+		}
+	}
+}
+
+// buildRoads connects each city to its RoadNeighbors nearest cities and
+// rasterizes the segments.
+func (w *World) buildRoads() {
+	w.Roads = raster.NewBitGrid(w.Grid)
+	w.cellSegs = map[int32][]int32{}
+	type edge struct{ a, b int }
+	seen := map[edge]bool{}
+	k := w.Cfg.RoadNeighbors
+	for i := range w.Cities {
+		// Find k nearest.
+		type nd struct {
+			j int
+			d float64
+		}
+		nearest := make([]nd, 0, len(w.Cities))
+		for j := range w.Cities {
+			if j == i {
+				continue
+			}
+			nearest = append(nearest, nd{j, w.Cities[i].XY.DistanceTo(w.Cities[j].XY)})
+		}
+		// Partial selection sort for k smallest.
+		for s := 0; s < k && s < len(nearest); s++ {
+			m := s
+			for t := s + 1; t < len(nearest); t++ {
+				if nearest[t].d < nearest[m].d {
+					m = t
+				}
+			}
+			nearest[s], nearest[m] = nearest[m], nearest[s]
+			j := nearest[s].j
+			e := edge{min(i, j), max(i, j)}
+			if !seen[e] {
+				seen[e] = true
+				w.rasterizeSegment(w.Cities[i].XY, w.Cities[j].XY)
+			}
+		}
+	}
+	w.RoadDist = raster.DistanceTransform(w.Roads)
+}
+
+// rasterizeSegment marks the cells along segment ab (grid Bresenham via
+// uniform stepping at half-cell resolution), records the centerline, and
+// buckets the segment under every cell it touches plus their neighbors
+// for exact-distance queries.
+func (w *World) rasterizeSegment(a, b geom.Point) {
+	segIdx := int32(len(w.roadSegs))
+	w.roadSegs = append(w.roadSegs, roadSegment{a: a, b: b})
+	d := b.Sub(a)
+	steps := int(d.Norm()/(w.Grid.CellSize/2)) + 1
+	last := int32(-1)
+	for s := 0; s <= steps; s++ {
+		f := float64(s) / float64(steps)
+		p := a.Add(d.Scale(f))
+		if cx, cy, ok := w.Grid.CellOf(p); ok {
+			w.Roads.Set(cx, cy, true)
+			idx := int32(cy*w.Grid.NX + cx)
+			if idx != last {
+				w.bucketSegment(cx, cy, segIdx)
+				last = idx
+			}
+		}
+	}
+}
+
+// bucketSegment registers seg under the 3x3 neighborhood of (cx, cy).
+func (w *World) bucketSegment(cx, cy int, seg int32) {
+	for dy := -1; dy <= 1; dy++ {
+		for dx := -1; dx <= 1; dx++ {
+			nx, ny := cx+dx, cy+dy
+			if nx < 0 || ny < 0 || nx >= w.Grid.NX || ny >= w.Grid.NY {
+				continue
+			}
+			key := int32(ny*w.Grid.NX + nx)
+			list := w.cellSegs[key]
+			if n := len(list); n > 0 && list[n-1] == seg {
+				continue
+			}
+			w.cellSegs[key] = append(list, seg)
+		}
+	}
+}
+
+// StateAt returns the geodata.States index of the state containing the
+// projected point, or -1 outside the CONUS.
+func (w *World) StateAt(p geom.Point) int {
+	v, ok := w.StateZone.Sample(p)
+	if !ok || v == 0 {
+		return -1
+	}
+	return int(v) - 1
+}
+
+// Contains reports whether the projected point lies inside the CONUS
+// outline raster.
+func (w *World) Contains(p geom.Point) bool {
+	cx, cy, ok := w.Grid.CellOf(p)
+	return ok && w.Inside.Get(cx, cy)
+}
+
+// UrbanAt returns the urban intensity at a projected point (0 off-grid).
+func (w *World) UrbanAt(p geom.Point) float64 {
+	v, _ := w.Urban.Sample(p)
+	return v
+}
+
+// RoadDistAt returns the distance in meters to the nearest highway
+// centerline (+Inf off-grid). Near corridors the distance is exact
+// (computed against the road segments), so fine-resolution WHP windows
+// see true narrow corridors; far from roads the cheap raster
+// distance-transform value is returned — accurate to within a cell, which
+// is all "far" callers need.
+func (w *World) RoadDistAt(p geom.Point) float64 {
+	v, ok := w.RoadDist.Sample(p)
+	if !ok {
+		return math.Inf(1)
+	}
+	if v > 2.5*w.Grid.CellSize {
+		return v
+	}
+	cx, cy, ok := w.Grid.CellOf(p)
+	if !ok {
+		return v
+	}
+	best := math.Inf(1)
+	// The 3x3 buckets around each road cell guarantee any point within
+	// ~1.5 cells of a centerline sees its segment here.
+	key := int32(cy*w.Grid.NX + cx)
+	for _, si := range w.cellSegs[key] {
+		s := w.roadSegs[si]
+		if d := geom.DistancePointSegment(p, s.a, s.b); d < best {
+			best = d
+		}
+	}
+	if math.IsInf(best, 1) {
+		// No bucketed segment (point 1.5-2.5 cells out): scan the wider
+		// 5x5 neighborhood before falling back to the raster value.
+		for dy := -2; dy <= 2; dy++ {
+			for dx := -2; dx <= 2; dx++ {
+				key := int32((cy+dy)*w.Grid.NX + (cx + dx))
+				if cy+dy < 0 || cx+dx < 0 || cy+dy >= w.Grid.NY || cx+dx >= w.Grid.NX {
+					continue
+				}
+				for _, si := range w.cellSegs[key] {
+					s := w.roadSegs[si]
+					if d := geom.DistancePointSegment(p, s.a, s.b); d < best {
+						best = d
+					}
+				}
+			}
+		}
+	}
+	if math.IsInf(best, 1) {
+		return v
+	}
+	return best
+}
+
+// NearestRoadPoint returns the closest point on a road centerline within
+// roughly two cells of p, and whether one exists. Used to snap
+// road-corridor infrastructure onto the roadway itself.
+func (w *World) NearestRoadPoint(p geom.Point) (geom.Point, bool) {
+	cx, cy, ok := w.Grid.CellOf(p)
+	if !ok {
+		return geom.Point{}, false
+	}
+	best := math.Inf(1)
+	var bestPt geom.Point
+	for dy := -2; dy <= 2; dy++ {
+		for dx := -2; dx <= 2; dx++ {
+			nx, ny := cx+dx, cy+dy
+			if nx < 0 || ny < 0 || nx >= w.Grid.NX || ny >= w.Grid.NY {
+				continue
+			}
+			for _, si := range w.cellSegs[int32(ny*w.Grid.NX+nx)] {
+				s := w.roadSegs[si]
+				q := closestOnSegment(p, s.a, s.b)
+				if d := p.DistanceTo(q); d < best {
+					best = d
+					bestPt = q
+				}
+			}
+		}
+	}
+	return bestPt, !math.IsInf(best, 1)
+}
+
+// closestOnSegment projects p onto segment ab, clamped to the endpoints.
+func closestOnSegment(p, a, b geom.Point) geom.Point {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return a
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return a.Add(ab.Scale(t))
+}
+
+// Noise exposes the world's seeded noise field (shared by the WHP model so
+// hazard and fuel agree).
+func (w *World) Noise() *noise.Field { return w.noiseFld }
+
+// CitiesOfState returns the indices into Cities for the given state index.
+func (w *World) CitiesOfState(stateIdx int) []int { return w.cityByIdx[stateIdx] }
+
+// ToXY projects a geographic (lon/lat) point into world coordinates.
+func (w *World) ToXY(ll geom.Point) geom.Point { return w.Proj.Forward(ll) }
+
+// ToLonLat unprojects world coordinates to geographic.
+func (w *World) ToLonLat(xy geom.Point) geom.Point { return w.Proj.Inverse(xy) }
+
+// StateCentroidXY returns the projected centroid of the i'th state.
+func (w *World) StateCentroidXY(i int) geom.Point { return w.statesXY[i] }
+
+// Outline returns the projected CONUS outline polygon.
+func (w *World) Outline() geom.Polygon { return w.outline }
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

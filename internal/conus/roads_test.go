@@ -1,0 +1,83 @@
+package conus
+
+import (
+	"math"
+	"testing"
+
+	"fivealarms/internal/geom"
+)
+
+func TestNearestRoadPointOnCorridor(t *testing.T) {
+	w := testWorld
+	// Any road cell center must snap to a centerline point within about a
+	// cell of itself.
+	g := w.Grid
+	checked := 0
+	for cy := 0; cy < g.NY && checked < 200; cy++ {
+		for cx := 0; cx < g.NX && checked < 200; cx++ {
+			if !w.Roads.Get(cx, cy) {
+				continue
+			}
+			p := g.Center(cx, cy)
+			rp, ok := w.NearestRoadPoint(p)
+			if !ok {
+				t.Fatalf("road cell (%d,%d) has no nearby centerline", cx, cy)
+			}
+			if d := p.DistanceTo(rp); d > g.CellSize {
+				t.Fatalf("snap distance %v exceeds a cell", d)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no road cells checked")
+	}
+}
+
+func TestNearestRoadPointFarAway(t *testing.T) {
+	w := testWorld
+	// Deep in the Nevada basin there is no centerline within two cells.
+	p := w.ToXY(geom.Point{X: -116.8, Y: 41.3})
+	if _, ok := w.NearestRoadPoint(p); ok {
+		t.Error("remote basin point should not snap")
+	}
+	// Off-grid points never snap.
+	if _, ok := w.NearestRoadPoint(geom.Pt(1e12, 1e12)); ok {
+		t.Error("off-grid point snapped")
+	}
+}
+
+func TestRoadDistExactNearCorridor(t *testing.T) {
+	w := testWorld
+	// Take a city (always on the network) and walk perpendicular-ish
+	// offsets: RoadDistAt must be approximately the offset, not the
+	// coarse cell-center distance.
+	city := w.Cities[0].XY
+	rp, ok := w.NearestRoadPoint(city)
+	if !ok {
+		t.Fatal("city not on network")
+	}
+	for _, off := range []float64{500, 2000, 8000} {
+		p := geom.Point{X: rp.X, Y: rp.Y + off}
+		d := w.RoadDistAt(p)
+		// The true distance is at most the offset (another segment may
+		// pass closer) and the sub-cell precision must beat the raster
+		// quantization.
+		if d > off+1 {
+			t.Errorf("offset %v: road distance %v exceeds offset", off, d)
+		}
+	}
+	// Exactly on the centerline: ~0.
+	if d := w.RoadDistAt(rp); d > 1 {
+		t.Errorf("on-centerline distance = %v", d)
+	}
+}
+
+func TestRoadDistFarUsesRaster(t *testing.T) {
+	w := testWorld
+	p := w.ToXY(geom.Point{X: -116.8, Y: 41.3})
+	d := w.RoadDistAt(p)
+	if math.IsInf(d, 1) || d < 2*w.Grid.CellSize {
+		t.Errorf("remote distance = %v, want large finite", d)
+	}
+}

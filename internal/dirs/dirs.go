@@ -1,0 +1,213 @@
+// Package dirs models the FCC Disaster Information Reporting System: the
+// voluntary per-day, per-county status reports cellular providers file
+// during activations (§3.2). It converts a powergrid simulation outcome
+// into DIRS-style report rows, aggregates them into the daily series of
+// the paper's Figure 5, and round-trips the reports through CSV.
+package dirs
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"fivealarms/internal/census"
+	"fivealarms/internal/powergrid"
+)
+
+// Report is one provider-day-county DIRS filing (collapsed to one
+// synthetic reporting provider: the paper aggregates across providers).
+type Report struct {
+	Day         int    // scenario day index
+	DayLabel    string // calendar label
+	CountyIdx   int    // index into the census county layer, -1 unknown
+	SitesServed int
+	OutDamage   int
+	OutPower    int
+	OutBackhaul int
+}
+
+// Out returns the total sites out in this report.
+func (r Report) Out() int { return r.OutDamage + r.OutPower + r.OutBackhaul }
+
+// Series is the Figure 5 data product: per-day totals by cause.
+type Series struct {
+	Labels   []string
+	Damage   []int
+	Power    []int
+	Backhaul []int
+}
+
+// Total returns the sites out on day d.
+func (s *Series) Total(d int) int { return s.Damage[d] + s.Power[d] + s.Backhaul[d] }
+
+// Peak returns the day index and value of the maximum total outage.
+func (s *Series) Peak() (int, int) {
+	best, bestN := 0, -1
+	for d := range s.Damage {
+		if t := s.Total(d); t > bestN {
+			best, bestN = d, t
+		}
+	}
+	return best, bestN
+}
+
+// PowerShare returns the fraction of day-d outages caused by power loss.
+func (s *Series) PowerShare(d int) float64 {
+	t := s.Total(d)
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Power[d]) / float64(t)
+}
+
+// BuildReports converts a simulation outcome into per-county daily
+// reports. Counties resolve through the census layer; labels come from
+// labels (reused cyclically if shorter than the day count).
+func BuildReports(n *powergrid.Network, o *powergrid.Outcome, counties *census.Counties, labels []string) []Report {
+	nDays := len(o.Causes)
+	// site -> county resolved once.
+	countyOf := make([]int, len(n.Sites))
+	for i := range n.Sites {
+		countyOf[i] = counties.CountyAt(n.Sites[i].XY)
+	}
+	var out []Report
+	for d := 0; d < nDays; d++ {
+		byCounty := map[int]*Report{}
+		for i := range n.Sites {
+			ci := countyOf[i]
+			r := byCounty[ci]
+			if r == nil {
+				r = &Report{Day: d, DayLabel: label(labels, d), CountyIdx: ci}
+				byCounty[ci] = r
+			}
+			r.SitesServed++
+			switch o.Causes[d][i] {
+			case powergrid.Damage:
+				r.OutDamage++
+			case powergrid.PowerLoss:
+				r.OutPower++
+			case powergrid.BackhaulLoss:
+				r.OutBackhaul++
+			}
+		}
+		// Deterministic order: ascending county index.
+		keys := make([]int, 0, len(byCounty))
+		for k := range byCounty {
+			keys = append(keys, k)
+		}
+		sortInts(keys)
+		for _, k := range keys {
+			out = append(out, *byCounty[k])
+		}
+	}
+	return out
+}
+
+// Aggregate collapses reports into the Figure 5 daily series.
+func Aggregate(reports []Report, nDays int, labels []string) *Series {
+	s := &Series{
+		Labels:   make([]string, nDays),
+		Damage:   make([]int, nDays),
+		Power:    make([]int, nDays),
+		Backhaul: make([]int, nDays),
+	}
+	for d := 0; d < nDays; d++ {
+		s.Labels[d] = label(labels, d)
+	}
+	for _, r := range reports {
+		if r.Day < 0 || r.Day >= nDays {
+			continue
+		}
+		s.Damage[r.Day] += r.OutDamage
+		s.Power[r.Day] += r.OutPower
+		s.Backhaul[r.Day] += r.OutBackhaul
+	}
+	return s
+}
+
+// CountiesReporting returns the number of distinct counties present in
+// the reports (the paper's activation covered 37 CA counties).
+func CountiesReporting(reports []Report) int {
+	seen := map[int]bool{}
+	for _, r := range reports {
+		seen[r.CountyIdx] = true
+	}
+	return len(seen)
+}
+
+var csvHeader = []string{"day", "day_label", "county", "sites_served", "out_damage", "out_power", "out_backhaul"}
+
+// WriteCSV serializes reports.
+func WriteCSV(w io.Writer, reports []Report) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("dirs: writing header: %w", err)
+	}
+	for i, r := range reports {
+		rec := []string{
+			strconv.Itoa(r.Day), r.DayLabel, strconv.Itoa(r.CountyIdx),
+			strconv.Itoa(r.SitesServed), strconv.Itoa(r.OutDamage),
+			strconv.Itoa(r.OutPower), strconv.Itoa(r.OutBackhaul),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("dirs: writing record %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("dirs: flushing: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV parses reports written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Report, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	if _, err := cr.Read(); err != nil {
+		return nil, fmt.Errorf("dirs: reading header: %w", err)
+	}
+	var out []Report
+	line := 1
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		line++
+		if err != nil {
+			return nil, fmt.Errorf("dirs: line %d: %w", line, err)
+		}
+		var rep Report
+		fields := []*int{&rep.Day, nil, &rep.CountyIdx, &rep.SitesServed, &rep.OutDamage, &rep.OutPower, &rep.OutBackhaul}
+		for i, dst := range fields {
+			if dst == nil {
+				continue
+			}
+			v, err := strconv.Atoi(rec[i])
+			if err != nil {
+				return nil, fmt.Errorf("dirs: line %d field %s: %w", line, csvHeader[i], err)
+			}
+			*dst = v
+		}
+		rep.DayLabel = rec[1]
+		out = append(out, rep)
+	}
+	return out, nil
+}
+
+func label(labels []string, d int) string {
+	if len(labels) == 0 {
+		return fmt.Sprintf("day-%d", d)
+	}
+	return labels[d%len(labels)]
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

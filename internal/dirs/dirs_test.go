@@ -1,0 +1,146 @@
+package dirs
+
+import (
+	"bytes"
+	"testing"
+
+	"fivealarms/internal/cellnet"
+	"fivealarms/internal/census"
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/powergrid"
+	"fivealarms/internal/whp"
+	"fivealarms/internal/wildfire"
+)
+
+var (
+	testWorld    = conus.Build(conus.Config{Seed: 7, CellSizeM: 20000})
+	testWHP      = whp.Build(testWorld, testWorld.Grid, whp.Config{})
+	testData     = cellnet.Generate(testWorld, cellnet.GenConfig{Seed: 7, Total: 40000})
+	testCounties = census.Synthesize(testWorld, 7)
+)
+
+func buildCase(t testing.TB) (*powergrid.Network, *powergrid.Outcome, int) {
+	sw := testWorld.ToXY(geom.Point{X: -124.5, Y: 32.3})
+	ne := testWorld.ToXY(geom.Point{X: -114.0, Y: 42.1})
+	region := geom.NewBBox(sw, ne)
+	net := powergrid.BuildNetwork(testData, testWHP, region, powergrid.NetConfig{Seed: 7})
+	season := wildfire.Simulate2019(wildfire.NewSimulator(testWorld, testWHP), 7, 15)
+	var fires []*wildfire.Fire
+	for i := range season.Mapped {
+		if region.Intersects(season.Mapped[i].BBox()) {
+			fires = append(fires, &season.Mapped[i])
+		}
+	}
+	sc := powergrid.NewFall2019Scenario(fires)
+	return net, net.Simulate(sc, 7), len(sc.Days)
+}
+
+func TestBuildReportsAndAggregate(t *testing.T) {
+	net, outcome, nDays := buildCase(t)
+	reports := BuildReports(net, outcome, testCounties, powergrid.Fall2019DayLabels)
+	if len(reports) == 0 {
+		t.Fatal("no reports")
+	}
+	series := Aggregate(reports, nDays, powergrid.Fall2019DayLabels)
+
+	// Aggregated series must equal the outcome's daily cause totals.
+	for d := 0; d < nDays; d++ {
+		if series.Power[d] != outcome.OutByCause[d][powergrid.PowerLoss] {
+			t.Errorf("day %d power %d != outcome %d", d, series.Power[d],
+				outcome.OutByCause[d][powergrid.PowerLoss])
+		}
+		if series.Damage[d] != outcome.OutByCause[d][powergrid.Damage] {
+			t.Errorf("day %d damage mismatch", d)
+		}
+		if series.Backhaul[d] != outcome.OutByCause[d][powergrid.BackhaulLoss] {
+			t.Errorf("day %d backhaul mismatch", d)
+		}
+	}
+	if series.Labels[3] != "Oct 28" {
+		t.Errorf("label[3] = %q", series.Labels[3])
+	}
+
+	peakDay, peakN := series.Peak()
+	if peakDay != 3 || peakN == 0 {
+		t.Errorf("peak = day %d (%d sites)", peakDay, peakN)
+	}
+	if share := series.PowerShare(peakDay); share < 0.6 {
+		t.Errorf("power share at peak = %v", share)
+	}
+}
+
+func TestSitesServedConstant(t *testing.T) {
+	net, outcome, _ := buildCase(t)
+	reports := BuildReports(net, outcome, testCounties, powergrid.Fall2019DayLabels)
+	// Summing sites served across counties on any day gives the network
+	// size.
+	byDay := map[int]int{}
+	for _, r := range reports {
+		byDay[r.Day] += r.SitesServed
+	}
+	for d, n := range byDay {
+		if n != len(net.Sites) {
+			t.Errorf("day %d sites served %d != %d", d, n, len(net.Sites))
+		}
+	}
+}
+
+func TestCountiesReporting(t *testing.T) {
+	net, outcome, _ := buildCase(t)
+	reports := BuildReports(net, outcome, testCounties, powergrid.Fall2019DayLabels)
+	n := CountiesReporting(reports)
+	// The paper's activation covered 37 counties; the synthetic CA window
+	// should span tens of counties.
+	if n < 10 {
+		t.Errorf("counties reporting = %d, want tens", n)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	net, outcome, _ := buildCase(t)
+	reports := BuildReports(net, outcome, testCounties, powergrid.Fall2019DayLabels)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, reports); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(reports) {
+		t.Fatalf("round trip %d != %d", len(back), len(reports))
+	}
+	for i := range reports {
+		if reports[i] != back[i] {
+			t.Fatalf("report %d mismatch: %+v vs %+v", i, reports[i], back[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(bytes.NewReader(nil)); err == nil {
+		t.Error("empty input should error")
+	}
+	bad := "day,day_label,county,sites_served,out_damage,out_power,out_backhaul\nX,Oct 25,1,2,3,4,5\n"
+	if _, err := ReadCSV(bytes.NewReader([]byte(bad))); err == nil {
+		t.Error("non-numeric day should error")
+	}
+}
+
+func TestReportOut(t *testing.T) {
+	r := Report{OutDamage: 1, OutPower: 2, OutBackhaul: 3}
+	if r.Out() != 6 {
+		t.Errorf("Out = %d", r.Out())
+	}
+}
+
+func TestSeriesEmptyDay(t *testing.T) {
+	s := Aggregate(nil, 3, nil)
+	if s.Total(0) != 0 || s.PowerShare(0) != 0 {
+		t.Error("empty series should be zero")
+	}
+	if s.Labels[1] != "day-1" {
+		t.Errorf("fallback label = %q", s.Labels[1])
+	}
+}

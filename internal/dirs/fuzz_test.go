@@ -1,0 +1,40 @@
+package dirs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("day,day_label,county,sites_served,out_damage,out_power,out_backhaul\n0,Oct 25,3,100,1,2,3\n")
+	f.Add("day,day_label,county,sites_served,out_damage,out_power,out_backhaul\n")
+	f.Add("not,a,dirs,file\n")
+	f.Add("day,day_label,county,sites_served,out_damage,out_power,out_backhaul\nX,Oct 25,3,100,1,2,3\n")
+	f.Fuzz(func(t *testing.T, s string) {
+		if len(s) > 1<<16 {
+			return
+		}
+		reports, err := ReadCSV(strings.NewReader(s))
+		if err != nil {
+			return
+		}
+		// Successful parses re-serialize and re-parse identically.
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, reports); err != nil {
+			t.Fatalf("re-serialize: %v", err)
+		}
+		back, err := ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-parse: %v", err)
+		}
+		if len(back) != len(reports) {
+			t.Fatalf("round trip %d != %d", len(back), len(reports))
+		}
+		for i := range reports {
+			if reports[i] != back[i] {
+				t.Fatalf("record %d changed", i)
+			}
+		}
+	})
+}

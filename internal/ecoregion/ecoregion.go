@@ -1,0 +1,107 @@
+// Package ecoregion models the §3.9 future-risk layer: the Bailey
+// ecoregions of the Salt Lake City - Denver corridor with the Littell et
+// al. (2018) projected changes in annual area burned, and the projection
+// of those changes onto current hazard and infrastructure.
+package ecoregion
+
+import (
+	"math"
+
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+)
+
+// Ecoregion is one corridor ecoregion as a projected zone.
+type Ecoregion struct {
+	Name     string
+	DeltaPct float64    // projected % change in area burned by the 2040s
+	Center   geom.Point // projected zone center
+	RadiusM  float64    // zone influence radius
+}
+
+// Corridor is the SLC-Denver analysis region.
+type Corridor struct {
+	Regions []Ecoregion
+	// SLC and Denver anchor the corridor axis (projected).
+	SLC, Denver geom.Point
+	world       *conus.World
+}
+
+// BuildCorridor places the embedded ecoregion table along the SLC-Denver
+// axis in projected coordinates.
+func BuildCorridor(w *conus.World) *Corridor {
+	slc := w.ToXY(geom.Point{X: -111.8910, Y: 40.7608})
+	den := w.ToXY(geom.Point{X: -104.9903, Y: 39.7392})
+	axis := den.Sub(slc)
+	// Perpendicular unit vector for cross-axis placement variety.
+	perp := geom.Point{X: -axis.Y, Y: axis.X}.Scale(1 / axis.Norm())
+
+	c := &Corridor{SLC: slc, Denver: den, world: w}
+	for i, e := range geodata.PaperEcoregions {
+		center := slc.Add(axis.Scale(e.AxisFrac))
+		// Alternate regions slightly off-axis so zones tile the corridor
+		// rather than stacking on the line.
+		off := float64((i%3)-1) * 0.35 * e.HalfWidthKM * 1000
+		center = center.Add(perp.Scale(off))
+		c.Regions = append(c.Regions, Ecoregion{
+			Name:     e.Name,
+			DeltaPct: e.DeltaPct,
+			Center:   center,
+			RadiusM:  e.HalfWidthKM * 1000,
+		})
+	}
+	return c
+}
+
+// Bounds returns the corridor's analysis bounding box (the axis extended
+// by the largest zone radius).
+func (c *Corridor) Bounds() geom.BBox {
+	b := geom.NewBBox(c.SLC, c.Denver)
+	var maxR float64
+	for _, r := range c.Regions {
+		maxR = math.Max(maxR, r.RadiusM)
+	}
+	return b.Buffer(maxR)
+}
+
+// RegionAt returns the index of the ecoregion whose zone contains the
+// projected point (nearest center within radius), or -1 when the point is
+// outside every zone.
+func (c *Corridor) RegionAt(p geom.Point) int {
+	best := -1
+	bestD := math.Inf(1)
+	for i, r := range c.Regions {
+		d := p.DistanceTo(r.Center)
+		if d <= r.RadiusM && d < bestD {
+			best = i
+			bestD = d
+		}
+	}
+	return best
+}
+
+// FutureScale converts a percent delta into a multiplicative factor on
+// area burned: +240% -> 3.4x; -119% is floored at zero activity (the
+// paper's phrasing "a 119% decrease" denotes elimination of most burning).
+func FutureScale(deltaPct float64) float64 {
+	f := 1 + deltaPct/100
+	if f < 0 {
+		return 0
+	}
+	return f
+}
+
+// FutureHazard scales a current hazard value by the containing
+// ecoregion's projected change, compressing back into [0, 1).
+func (c *Corridor) FutureHazard(p geom.Point, current float64) float64 {
+	ri := c.RegionAt(p)
+	if ri < 0 {
+		return current
+	}
+	h := current * FutureScale(c.Regions[ri].DeltaPct)
+	if h >= 1 {
+		h = 0.999
+	}
+	return h
+}

@@ -1,0 +1,112 @@
+package ecoregion
+
+import (
+	"math"
+	"testing"
+
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+)
+
+var (
+	testWorld    = conus.Build(conus.Config{Seed: 7, CellSizeM: 20000})
+	testCorridor = BuildCorridor(testWorld)
+)
+
+func TestBuildCorridor(t *testing.T) {
+	if len(testCorridor.Regions) != len(geodata.PaperEcoregions) {
+		t.Fatalf("regions = %d, want %d", len(testCorridor.Regions), len(geodata.PaperEcoregions))
+	}
+	for _, r := range testCorridor.Regions {
+		if r.RadiusM <= 0 {
+			t.Errorf("region %s has no radius", r.Name)
+		}
+	}
+	// The corridor axis is ~600 km long.
+	if d := testCorridor.SLC.DistanceTo(testCorridor.Denver); d < 400000 || d > 800000 {
+		t.Errorf("SLC-Denver distance = %v m", d)
+	}
+}
+
+func TestBoundsCoverAnchors(t *testing.T) {
+	b := testCorridor.Bounds()
+	if !b.ContainsPoint(testCorridor.SLC) || !b.ContainsPoint(testCorridor.Denver) {
+		t.Error("bounds must contain both anchors")
+	}
+}
+
+func TestRegionAt(t *testing.T) {
+	// Every region's own center resolves to a region (itself or an
+	// overlapping neighbor that is closer).
+	for i, r := range testCorridor.Regions {
+		got := testCorridor.RegionAt(r.Center)
+		if got < 0 {
+			t.Errorf("region %d (%s) center resolves to nothing", i, r.Name)
+		}
+	}
+	// A point far from the corridor resolves to nothing.
+	far := testWorld.ToXY(geom.Point{X: -80, Y: 30})
+	if got := testCorridor.RegionAt(far); got != -1 {
+		t.Errorf("far point resolves to %d", got)
+	}
+}
+
+func TestFutureScale(t *testing.T) {
+	tests := []struct {
+		delta float64
+		want  float64
+	}{
+		{240, 3.4},
+		{132, 2.32},
+		{43, 1.43},
+		{0, 1},
+		{-119, 0}, // floored
+		{-50, 0.5},
+	}
+	for _, tc := range tests {
+		if got := FutureScale(tc.delta); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("FutureScale(%v) = %v, want %v", tc.delta, got, tc.want)
+		}
+	}
+}
+
+func TestFutureHazard(t *testing.T) {
+	// A point inside a +240% region scales up and clamps below 1.
+	var growth *Ecoregion
+	for i := range testCorridor.Regions {
+		if testCorridor.Regions[i].DeltaPct == 240 {
+			growth = &testCorridor.Regions[i]
+			break
+		}
+	}
+	if growth == nil {
+		t.Fatal("no +240% region")
+	}
+	got := testCorridor.FutureHazard(growth.Center, 0.2)
+	if math.Abs(got-0.68) > 1e-9 {
+		t.Errorf("FutureHazard = %v, want 0.68", got)
+	}
+	if testCorridor.FutureHazard(growth.Center, 0.5) >= 1 {
+		t.Error("future hazard must clamp below 1")
+	}
+	// Outside every region the hazard passes through.
+	far := testWorld.ToXY(geom.Point{X: -80, Y: 30})
+	if got := testCorridor.FutureHazard(far, 0.33); got != 0.33 {
+		t.Errorf("pass-through = %v", got)
+	}
+	// A negative-delta region reduces hazard.
+	var decline *Ecoregion
+	for i := range testCorridor.Regions {
+		if testCorridor.Regions[i].DeltaPct < 0 {
+			decline = &testCorridor.Regions[i]
+			break
+		}
+	}
+	if decline == nil {
+		t.Fatal("no declining region")
+	}
+	if got := testCorridor.FutureHazard(decline.Center, 0.4); got >= 0.4 {
+		t.Errorf("declining region should reduce hazard, got %v", got)
+	}
+}

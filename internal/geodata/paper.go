@@ -1,0 +1,198 @@
+package geodata
+
+// This file embeds the statistics the paper reports. They serve two
+// purposes: (1) the generators calibrate their marginals against them
+// (e.g. annual fire counts and burned acres), and (2) the experiment
+// harness prints paper-vs-measured comparisons for EXPERIMENTS.md.
+
+// Table1Row is one year of the paper's Table 1 (historical wildfire
+// statistics for the US).
+type Table1Row struct {
+	Year              int
+	Fires             int     // number of fires
+	AcresBurnedM      float64 // millions of acres
+	TransceiversIn    int     // transceivers within wildfire perimeters
+	TransceiversPerMA int     // transceivers per million acres burned
+}
+
+// PaperTable1 is Table 1 of the paper, 2000-2018.
+var PaperTable1 = []Table1Row{
+	{2018, 58083, 8.767, 3099, 353},
+	{2017, 71499, 10.026, 2726, 272},
+	{2016, 67743, 5.509, 987, 179},
+	{2015, 68151, 10.125, 565, 56},
+	{2014, 63312, 3.595, 453, 126},
+	{2013, 47579, 4.319, 517, 120},
+	{2012, 67774, 9.326, 553, 59},
+	{2011, 74126, 8.711, 1422, 163},
+	{2010, 71971, 3.422, 181, 53},
+	{2009, 78792, 5.921, 664, 112},
+	{2008, 78979, 5.292, 2068, 391},
+	{2007, 85705, 9.328, 4978, 534},
+	{2006, 96385, 9.873, 1025, 104},
+	{2005, 66753, 8.689, 956, 110},
+	{2004, 65461, 8.097, 528, 65},
+	{2003, 63629, 3.960, 4421, 1116},
+	{2002, 73457, 7.184, 894, 124},
+	{2001, 84079, 3.570, 466, 130},
+	{2000, 92250, 7.393, 811, 110},
+}
+
+// PaperTable1ByYear returns the Table 1 row for year and whether it exists.
+func PaperTable1ByYear(year int) (Table1Row, bool) {
+	for _, r := range PaperTable1 {
+		if r.Year == year {
+			return r, true
+		}
+	}
+	return Table1Row{}, false
+}
+
+// WHP class transceiver totals from §3.3 / Figure 7.
+const (
+	PaperWHPModerate  = 261569
+	PaperWHPHigh      = 142968
+	PaperWHPVeryHigh  = 26307
+	PaperWHPTotal     = 430844 // M+H+VH
+	PaperTransceivers = 5364949
+)
+
+// ProviderRiskRow is one row of the paper's Table 2: transceivers per WHP
+// class and the share of the provider's own fleet that represents.
+type ProviderRiskRow struct {
+	Provider              string
+	Moderate, High, VHigh int
+	PctM, PctH, PctVH     float64
+}
+
+// PaperTable2 is Table 2 of the paper.
+var PaperTable2 = []ProviderRiskRow{
+	{ProviderATT, 101930, 53805, 10991, 5.44, 2.87, 0.59},
+	{ProviderTMobile, 69360, 40365, 7573, 4.26, 2.48, 0.47},
+	{ProviderSprint, 32417, 16523, 2746, 3.90, 1.99, 0.33},
+	{ProviderVerizon, 42493, 24228, 3757, 5.50, 3.14, 0.49},
+	{ProviderOthersAg, 15369, 8047, 1240, 3.90, 2.04, 0.31},
+}
+
+// RadioRiskRow is one row of the paper's Table 3 (cell transceiver types
+// at risk).
+type RadioRiskRow struct {
+	Radio                 string
+	VHigh, High, Moderate int
+	Total                 int
+}
+
+// PaperTable3 is Table 3 of the paper.
+var PaperTable3 = []RadioRiskRow{
+	{"CDMA", 2178, 13801, 25062, 41041},
+	{"GSM", 1943, 10096, 17955, 29994},
+	{"LTE", 12022, 75072, 141324, 228418},
+	{"UMTS", 10164, 43999, 77228, 131391},
+}
+
+// §3.3/§3.8 state rankings.
+var (
+	// PaperTopStatesModerate lists the states with >5000 transceivers in
+	// moderate WHP areas, most to least.
+	PaperTopStatesModerate = []string{"CA", "FL", "TX", "SC", "GA", "NC", "AZ"}
+	// PaperTopStatesPerCapitaVH lists the states with the most
+	// very-high-WHP transceivers per thousand people, most to least.
+	PaperTopStatesPerCapitaVH = []string{"UT", "FL", "CA", "NV", "NM"}
+)
+
+// 2019 validation (§3.4).
+const (
+	PaperValidation2019InPerimeter = 656 // transceivers inside 2019 perimeters
+	PaperValidation2019Predicted   = 302 // of those, inside WHP >= moderate
+	PaperValidation2019RoadFires   = 288 // misses inside Saddle Ridge/Tick fires
+	PaperValidationAccuracyPct     = 46  // 302/656
+	PaperValidationExclRoadPct     = 84  // excluding the two road-corridor fires
+)
+
+// §3.8 extension of very-high WHP areas by 0.5 miles.
+const (
+	PaperExtendedVHCount     = 176275 // very-high count after 0.5 mi buffer
+	PaperExtendedTotal       = 509693 // M+H+VH(extended)
+	PaperExtendedAccuracyPct = 62     // 411/656
+	PaperExtendedPredicted   = 411
+)
+
+// §3.2 case-study anchors (FCC DIRS, 25 Oct - 1 Nov 2019).
+const (
+	PaperDIRSPeakSitesOut     = 874 // peak concurrent cell sites out of service
+	PaperDIRSPeakPowerOut     = 702 // of the peak, sites out due to power loss
+	PaperDIRSFinalSitesOut    = 110 // sites still out on 1 Nov
+	PaperDIRSFinalDamaged     = 21  // of the final-day outages, damaged sites
+	PaperDIRSReportDays       = 8   // reporting window length in days
+	PaperDIRSCounties         = 37  // counties under DIRS activation
+	PaperDIRSPowerShareAtPeak = 0.80
+)
+
+// Figure 10-12 impact anchors (§3.6).
+const (
+	PaperPopVHTransceivers = 57504  // M+H+VH transceivers in counties > 1.5M people
+	PaperRiskPopTotal      = 250000 // ~transceivers in top-3 WHP in counties > 200k
+)
+
+// MetroVHVeryDense are the §3.6 counts of transceivers in very-high WHP
+// areas within counties of more than 1.5M people, by metro.
+var MetroVHVeryDense = map[string]int{
+	"Las Vegas":     10,
+	"New York":      81,
+	"Phoenix":       106,
+	"San Francisco": 935,
+	"San Diego":     1082,
+	"Miami":         1536,
+	"Los Angeles":   3547,
+}
+
+// Ecoregion projections (§3.9, after Littell et al. 2018): percent change
+// in annual area burned by the 2040s for the Salt Lake City - Denver
+// corridor ecoregions.
+type EcoregionDelta struct {
+	Name     string
+	DeltaPct float64 // +240 means a 240% increase
+	// Corridor placement: fraction along the SLC->Denver axis [0,1] and
+	// half-width in km used by the synthetic corridor builder.
+	AxisFrac    float64
+	HalfWidthKM float64
+}
+
+// PaperEcoregions lists the corridor ecoregions with their projected
+// change in area burned. The paper highlights +240%, +132%, +43% and
+// -119% bands.
+var PaperEcoregions = []EcoregionDelta{
+	{"Bonneville Basin", 43, -0.15, 90},
+	{"Wasatch Range", 240, 0.05, 70},
+	{"Uinta Mountains", 132, 0.20, 80},
+	{"Green River Basin", 240, 0.35, 90},
+	{"Wyoming Basin", 132, 0.48, 90},
+	{"Yampa Plateau", 132, 0.60, 80},
+	{"Elkhead Range", 240, 0.68, 60},
+	{"North Park", -119, 0.76, 50},
+	{"Medicine Bow", 132, 0.82, 60},
+	{"Front Range", 240, 0.92, 70},
+	{"Denver Piedmont", 43, 1.02, 60},
+	{"Laramie Range", 132, 0.88, 50},
+	{"Tavaputs Plateau", 43, 0.28, 60},
+}
+
+// Fires2019 describes the 2019 validation-season anchor fires. Kincade and
+// Getty ground the case study; Saddle Ridge and Tick are the two
+// road-corridor fires responsible for most WHP misses.
+type AnchorFire struct {
+	Name     string
+	Lon, Lat float64
+	Acres    float64
+	// RoadCorridor marks fires burning through nonburnable-classified
+	// road/urban-edge terrain (the §3.4 validation outliers).
+	RoadCorridor bool
+}
+
+// PaperFires2019 are the named 2019 fires the paper discusses.
+var PaperFires2019 = []AnchorFire{
+	{"Kincade", -122.78, 38.79, 77758, false},
+	{"Getty", -118.49, 34.09, 745, false},
+	{"Saddle Ridge", -118.48, 34.32, 8799, true},
+	{"Tick", -118.38, 34.44, 4615, true},
+}

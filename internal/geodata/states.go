@@ -1,0 +1,149 @@
+// Package geodata embeds the public reference data the synthetic world is
+// calibrated against: the conterminous states (locations, areas,
+// populations, wildfire-hazard weights), a gazetteer of major cities, the
+// US MCC/MNC-to-provider table, and the statistics the paper reports
+// (used both to calibrate generators and to compare against in
+// EXPERIMENTS.md).
+//
+// All figures are approximate public values circa 2018-2019, matching the
+// study period. Geometry in this package is geographic (lon/lat degrees).
+package geodata
+
+// Region is a coarse climatic region used by the hazard generator.
+type Region int
+
+// Regions of the conterminous US.
+const (
+	RegionWest Region = iota
+	RegionSouthwest
+	RegionMountain
+	RegionPlains
+	RegionMidwest
+	RegionSoutheast
+	RegionNortheast
+)
+
+// State describes one conterminous state (plus DC).
+type State struct {
+	Abbrev   string  // postal abbreviation
+	Name     string  // full name
+	Lon, Lat float64 // approximate geographic centroid
+	AreaKM2  float64 // land area
+	Pop      int     // 2018 population estimate
+	Counties int     // approximate number of counties
+	// Hazard is the calibration weight (0..1) for the synthetic WHP:
+	// the fraction of the state's wildland that trends into the
+	// moderate..very-high classes. High in the west and southeast, low in
+	// the farm belt and urban northeast — the spatial structure Figure 6
+	// of the paper shows.
+	Hazard float64
+	Region Region
+}
+
+// States lists the 48 conterminous states plus the District of Columbia,
+// ordered by postal abbreviation.
+var States = []State{
+	{"AL", "Alabama", -86.8, 32.8, 131170, 4888000, 67, 0.50, RegionSoutheast},
+	{"AR", "Arkansas", -92.4, 34.9, 134770, 3010000, 75, 0.45, RegionSoutheast},
+	{"AZ", "Arizona", -111.7, 34.3, 294200, 7172000, 15, 0.80, RegionSouthwest},
+	{"CA", "California", -119.5, 37.2, 403500, 39560000, 58, 0.95, RegionWest},
+	{"CO", "Colorado", -105.5, 39.0, 268430, 5696000, 64, 0.75, RegionMountain},
+	{"CT", "Connecticut", -72.7, 41.6, 12540, 3573000, 8, 0.12, RegionNortheast},
+	{"DC", "District of Columbia", -77.0, 38.9, 158, 702000, 1, 0.02, RegionNortheast},
+	{"DE", "Delaware", -75.5, 39.0, 5050, 967000, 3, 0.28, RegionNortheast},
+	{"FL", "Florida", -81.7, 28.6, 138890, 21300000, 67, 0.80, RegionSoutheast},
+	{"GA", "Georgia", -83.4, 32.6, 148960, 10520000, 159, 0.65, RegionSoutheast},
+	{"IA", "Iowa", -93.5, 42.0, 144670, 3156000, 99, 0.08, RegionMidwest},
+	{"ID", "Idaho", -114.6, 44.4, 214040, 1754000, 44, 0.85, RegionMountain},
+	{"IL", "Illinois", -89.2, 40.0, 143790, 12740000, 102, 0.08, RegionMidwest},
+	{"IN", "Indiana", -86.3, 39.9, 92790, 6692000, 92, 0.10, RegionMidwest},
+	{"KS", "Kansas", -98.4, 38.5, 211750, 2912000, 105, 0.30, RegionPlains},
+	{"KY", "Kentucky", -85.3, 37.5, 102270, 4468000, 120, 0.30, RegionSoutheast},
+	{"LA", "Louisiana", -91.9, 31.0, 111900, 4660000, 64, 0.45, RegionSoutheast},
+	{"MA", "Massachusetts", -71.8, 42.3, 20200, 6902000, 14, 0.12, RegionNortheast},
+	{"MD", "Maryland", -76.8, 39.0, 25140, 6043000, 24, 0.22, RegionNortheast},
+	{"ME", "Maine", -69.2, 45.4, 79880, 1338000, 16, 0.25, RegionNortheast},
+	{"MI", "Michigan", -85.4, 44.3, 146440, 9996000, 83, 0.18, RegionMidwest},
+	{"MN", "Minnesota", -94.3, 46.3, 206230, 5611000, 87, 0.18, RegionMidwest},
+	{"MO", "Missouri", -92.5, 38.4, 178040, 6126000, 115, 0.25, RegionMidwest},
+	{"MS", "Mississippi", -89.7, 32.7, 121530, 2987000, 82, 0.50, RegionSoutheast},
+	{"MT", "Montana", -109.6, 47.0, 376960, 1062000, 56, 0.80, RegionMountain},
+	{"NC", "North Carolina", -79.4, 35.5, 125920, 10380000, 100, 0.60, RegionSoutheast},
+	{"ND", "North Dakota", -100.5, 47.4, 178710, 760000, 53, 0.20, RegionPlains},
+	{"NE", "Nebraska", -99.8, 41.5, 198970, 1929000, 93, 0.25, RegionPlains},
+	{"NH", "New Hampshire", -71.6, 43.7, 23190, 1356000, 10, 0.18, RegionNortheast},
+	{"NJ", "New Jersey", -74.7, 40.1, 19050, 8909000, 21, 0.32, RegionNortheast},
+	{"NM", "New Mexico", -106.1, 34.4, 314160, 2095000, 33, 0.85, RegionSouthwest},
+	{"NV", "Nevada", -116.6, 39.3, 284330, 3034000, 17, 0.85, RegionWest},
+	{"NY", "New York", -75.5, 42.9, 122060, 19540000, 62, 0.12, RegionNortheast},
+	{"OH", "Ohio", -82.8, 40.3, 105830, 11690000, 88, 0.08, RegionMidwest},
+	{"OK", "Oklahoma", -97.5, 35.6, 177660, 3943000, 77, 0.50, RegionPlains},
+	{"OR", "Oregon", -120.6, 43.9, 248610, 4191000, 36, 0.80, RegionWest},
+	{"PA", "Pennsylvania", -77.8, 40.9, 115880, 12810000, 67, 0.30, RegionNortheast},
+	{"RI", "Rhode Island", -71.5, 41.7, 2680, 1057000, 5, 0.10, RegionNortheast},
+	{"SC", "South Carolina", -80.9, 33.9, 77860, 5084000, 46, 0.70, RegionSoutheast},
+	{"SD", "South Dakota", -100.2, 44.4, 196350, 882000, 66, 0.30, RegionPlains},
+	{"TN", "Tennessee", -86.3, 35.8, 106800, 6770000, 95, 0.40, RegionSoutheast},
+	{"TX", "Texas", -99.4, 31.5, 676590, 28700000, 254, 0.55, RegionPlains},
+	{"UT", "Utah", -111.7, 39.3, 212820, 3161000, 29, 0.85, RegionMountain},
+	{"VA", "Virginia", -78.8, 37.5, 102280, 8518000, 133, 0.35, RegionSoutheast},
+	{"VT", "Vermont", -72.7, 44.0, 23870, 626000, 14, 0.15, RegionNortheast},
+	{"WA", "Washington", -120.4, 47.4, 172120, 7536000, 39, 0.70, RegionWest},
+	{"WI", "Wisconsin", -90.0, 44.6, 140270, 5814000, 72, 0.15, RegionMidwest},
+	{"WV", "West Virginia", -80.6, 38.6, 62260, 1806000, 55, 0.30, RegionSoutheast},
+	{"WY", "Wyoming", -107.6, 43.0, 251470, 578000, 23, 0.75, RegionMountain},
+}
+
+// StateByAbbrev returns the state with the given postal abbreviation and
+// whether it exists.
+func StateByAbbrev(ab string) (State, bool) {
+	for _, s := range States {
+		if s.Abbrev == ab {
+			return s, true
+		}
+	}
+	return State{}, false
+}
+
+// StateIndex returns the index into States for the given abbreviation, or
+// -1 when unknown.
+func StateIndex(ab string) int {
+	for i, s := range States {
+		if s.Abbrev == ab {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalPopulation returns the summed population of all listed states.
+func TotalPopulation() int {
+	t := 0
+	for _, s := range States {
+		t += s.Pop
+	}
+	return t
+}
+
+// ConusOutline is a coarse hand-digitized polygon of the conterminous US
+// boundary (lon/lat degrees, counter-clockwise). It is intentionally
+// low-resolution: the analyses aggregate by state and county zones, which
+// are synthesized inside this outline.
+var ConusOutline = []struct{ Lon, Lat float64 }{
+	{-124.7, 48.4}, {-123.2, 46.2}, {-124.1, 43.0}, {-124.4, 40.3},
+	{-123.8, 39.0}, {-122.5, 37.8}, {-121.9, 36.6}, {-120.6, 34.6},
+	{-118.4, 33.7}, {-117.1, 32.5}, {-114.8, 32.5}, {-111.1, 31.3},
+	{-108.2, 31.3}, {-106.5, 31.8}, {-104.9, 30.6}, {-104.0, 29.3},
+	{-102.4, 29.8}, {-101.4, 29.8}, {-99.5, 27.5}, {-97.1, 25.9},
+	{-97.4, 27.9}, {-93.8, 29.7}, {-91.3, 29.2}, {-89.6, 29.2},
+	{-89.0, 30.2}, {-87.8, 30.2}, {-85.3, 29.7}, {-84.0, 30.1},
+	{-82.8, 27.8}, {-81.8, 26.1}, {-80.0, 25.2}, {-80.1, 26.8},
+	{-81.0, 29.2}, {-81.3, 31.4}, {-79.0, 33.2}, {-75.5, 35.2},
+	{-76.0, 36.9}, {-75.1, 38.3}, {-74.0, 40.5}, {-71.9, 41.3},
+	{-70.0, 41.7}, {-70.8, 42.7}, {-68.9, 44.3}, {-67.0, 44.9},
+	{-67.8, 47.1}, {-69.2, 47.5}, {-71.5, 45.0}, {-75.0, 45.0},
+	{-76.8, 43.6}, {-79.2, 43.5}, {-78.9, 42.9}, {-82.7, 41.7},
+	{-83.5, 45.8}, {-84.8, 46.8}, {-88.4, 48.3}, {-90.8, 48.1},
+	{-95.2, 49.0}, {-104.0, 49.0}, {-111.0, 49.0}, {-117.0, 49.0},
+	{-122.8, 49.0},
+}

@@ -1,0 +1,109 @@
+package geom
+
+// ClipRingToBBox clips a ring against an axis-aligned box with the
+// Sutherland-Hodgman algorithm. The result may be empty (ring entirely
+// outside) and, for concave rings spanning a corner, can include edges
+// running along the box boundary — standard Sutherland-Hodgman
+// semantics, adequate for windowed map rendering and zonal analysis.
+func ClipRingToBBox(r Ring, b BBox) Ring {
+	if !r.Valid() || b.IsEmpty() {
+		return nil
+	}
+	// Clip against the four half-planes in turn.
+	cur := []Point(r)
+	for side := 0; side < 4; side++ {
+		if len(cur) == 0 {
+			return nil
+		}
+		var next []Point
+		n := len(cur)
+		for i := 0; i < n; i++ {
+			a := cur[i]
+			c := cur[(i+1)%n]
+			aIn := insideSide(a, b, side)
+			cIn := insideSide(c, b, side)
+			switch {
+			case aIn && cIn:
+				next = append(next, c)
+			case aIn && !cIn:
+				next = append(next, intersectSide(a, c, b, side))
+			case !aIn && cIn:
+				next = append(next, intersectSide(a, c, b, side), c)
+			}
+		}
+		cur = next
+	}
+	out := NewRing(cur...)
+	if !out.Valid() || out.Area() == 0 {
+		return nil
+	}
+	return out
+}
+
+// ClipPolygonToBBox clips a polygon (exterior and holes) to a box. Holes
+// that vanish are dropped; a vanished exterior drops the polygon.
+func ClipPolygonToBBox(p Polygon, b BBox) (Polygon, bool) {
+	ext := ClipRingToBBox(p.Exterior, b)
+	if ext == nil {
+		return Polygon{}, false
+	}
+	out := Polygon{Exterior: ext}
+	for _, h := range p.Holes {
+		if ch := ClipRingToBBox(h, b); ch != nil {
+			out.Holes = append(out.Holes, ch)
+		}
+	}
+	return out, true
+}
+
+// ClipMultiPolygonToBBox clips each member polygon, dropping vanished
+// members.
+func ClipMultiPolygonToBBox(m MultiPolygon, b BBox) MultiPolygon {
+	var out MultiPolygon
+	for _, p := range m {
+		if cp, ok := ClipPolygonToBBox(p, b); ok {
+			out = append(out, cp)
+		}
+	}
+	return out
+}
+
+// insideSide reports whether p satisfies the side'th half-plane of b
+// (0=left, 1=right, 2=bottom, 3=top).
+func insideSide(p Point, b BBox, side int) bool {
+	switch side {
+	case 0:
+		return p.X >= b.MinX
+	case 1:
+		return p.X <= b.MaxX
+	case 2:
+		return p.Y >= b.MinY
+	default:
+		return p.Y <= b.MaxY
+	}
+}
+
+// intersectSide returns the intersection of segment ac with the side'th
+// boundary line of b.
+func intersectSide(a, c Point, b BBox, side int) Point {
+	switch side {
+	case 0:
+		return intersectVertical(a, c, b.MinX)
+	case 1:
+		return intersectVertical(a, c, b.MaxX)
+	case 2:
+		return intersectHorizontal(a, c, b.MinY)
+	default:
+		return intersectHorizontal(a, c, b.MaxY)
+	}
+}
+
+func intersectVertical(a, c Point, x float64) Point {
+	t := (x - a.X) / (c.X - a.X)
+	return Point{X: x, Y: a.Y + t*(c.Y-a.Y)}
+}
+
+func intersectHorizontal(a, c Point, y float64) Point {
+	t := (y - a.Y) / (c.Y - a.Y)
+	return Point{X: a.X + t*(c.X-a.X), Y: y}
+}

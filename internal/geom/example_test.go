@@ -1,0 +1,53 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"fivealarms/internal/geom"
+)
+
+func ExampleRing_ContainsPoint() {
+	perimeter := geom.NewRing(
+		geom.Pt(0, 0), geom.Pt(10, 0), geom.Pt(10, 10), geom.Pt(0, 10),
+	)
+	fmt.Println(perimeter.ContainsPoint(geom.Pt(5, 5)))
+	fmt.Println(perimeter.ContainsPoint(geom.Pt(15, 5)))
+	// Output:
+	// true
+	// false
+}
+
+func ExampleHaversine() {
+	la := geom.Pt(-118.2437, 34.0522)
+	sf := geom.Pt(-122.4194, 37.7749)
+	fmt.Printf("%.0f km\n", geom.Haversine(la, sf)/1000)
+	// Output:
+	// 559 km
+}
+
+func ExampleWKTPolygon() {
+	poly := geom.NewPolygon(geom.NewRing(
+		geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4),
+	))
+	fmt.Println(geom.WKTPolygon(poly))
+	// Output:
+	// POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))
+}
+
+func ExampleClipRingToBBox() {
+	// A square straddling the window's right edge: half survives.
+	ring := geom.NewRing(geom.Pt(8, 2), geom.Pt(12, 2), geom.Pt(12, 6), geom.Pt(8, 6))
+	window := geom.NewBBox(geom.Pt(0, 0), geom.Pt(10, 10))
+	clipped := geom.ClipRingToBBox(ring, window)
+	fmt.Printf("area %.0f of %.0f\n", clipped.Area(), ring.Area())
+	// Output:
+	// area 8 of 16
+}
+
+func ExamplePolyline_PointAt() {
+	route := geom.Polyline{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4)}
+	mid := route.PointAt(route.Length() / 2)
+	fmt.Println(mid)
+	// Output:
+	// (4.000000, 0.000000)
+}

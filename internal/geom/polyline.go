@@ -1,0 +1,114 @@
+package geom
+
+// Polyline is an open sequence of vertices — road segments, backhaul
+// routes, corridor axes.
+type Polyline []Point
+
+// Length returns the total planar length.
+func (l Polyline) Length() float64 {
+	var s float64
+	for i := 1; i < len(l); i++ {
+		s += l[i-1].DistanceTo(l[i])
+	}
+	return s
+}
+
+// BBox returns the bounding box of the vertices.
+func (l Polyline) BBox() BBox { return PointsBBox(l) }
+
+// PointAt returns the point at arc-length distance d from the start,
+// clamped to the endpoints. An empty polyline returns the zero point.
+func (l Polyline) PointAt(d float64) Point {
+	if len(l) == 0 {
+		return Point{}
+	}
+	if d <= 0 {
+		return l[0]
+	}
+	for i := 1; i < len(l); i++ {
+		seg := l[i-1].DistanceTo(l[i])
+		if d <= seg {
+			if seg == 0 {
+				return l[i]
+			}
+			return l[i-1].Add(l[i].Sub(l[i-1]).Scale(d / seg))
+		}
+		d -= seg
+	}
+	return l[len(l)-1]
+}
+
+// Resample returns n points spaced evenly along the polyline (n >= 2
+// includes both endpoints).
+func (l Polyline) Resample(n int) []Point {
+	if n < 2 || len(l) == 0 {
+		if len(l) > 0 {
+			return []Point{l[0]}
+		}
+		return nil
+	}
+	total := l.Length()
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		out[i] = l.PointAt(total * float64(i) / float64(n-1))
+	}
+	return out
+}
+
+// DistanceTo returns the minimum planar distance from p to the polyline.
+func (l Polyline) DistanceTo(p Point) float64 {
+	if len(l) == 0 {
+		return 0
+	}
+	if len(l) == 1 {
+		return p.DistanceTo(l[0])
+	}
+	best := p.DistanceTo(l[0])
+	for i := 1; i < len(l); i++ {
+		if d := DistancePointSegment(p, l[i-1], l[i]); d < best {
+			best = d
+		}
+	}
+	return best
+}
+
+// SimplifyLine applies Douglas-Peucker to an open polyline at the given
+// tolerance, always retaining the endpoints.
+func SimplifyLine(l Polyline, tol float64) Polyline {
+	if len(l) <= 2 || tol <= 0 {
+		out := make(Polyline, len(l))
+		copy(out, l)
+		return out
+	}
+	keep := make([]bool, len(l))
+	keep[0], keep[len(l)-1] = true, true
+	douglasPeucker(l, 0, len(l)-1, tol, keep)
+	out := make(Polyline, 0, len(l))
+	for i, p := range l {
+		if keep[i] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// CrossesRing reports whether any polyline segment intersects the ring
+// boundary or the polyline starts inside the ring — the test used for
+// "does this route touch the fire".
+func (l Polyline) CrossesRing(r Ring) bool {
+	if len(l) == 0 || !r.Valid() {
+		return false
+	}
+	if r.ContainsPoint(l[0]) {
+		return true
+	}
+	n := len(r)
+	for i := 1; i < len(l); i++ {
+		for j := 0; j < n; j++ {
+			if SegmentsIntersect(l[i-1], l[i], r[j], r[(j+1)%n]) {
+				return true
+			}
+		}
+	}
+	return false
+}

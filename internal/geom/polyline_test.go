@@ -1,0 +1,114 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestPolylineLength(t *testing.T) {
+	l := Polyline{{0, 0}, {3, 0}, {3, 4}}
+	if l.Length() != 7 {
+		t.Errorf("Length = %v", l.Length())
+	}
+	if (Polyline{}).Length() != 0 || (Polyline{{1, 1}}).Length() != 0 {
+		t.Error("degenerate lengths")
+	}
+}
+
+func TestPolylinePointAt(t *testing.T) {
+	l := Polyline{{0, 0}, {4, 0}, {4, 4}}
+	tests := []struct {
+		d    float64
+		want Point
+	}{
+		{-1, Pt(0, 0)},
+		{0, Pt(0, 0)},
+		{2, Pt(2, 0)},
+		{4, Pt(4, 0)},
+		{6, Pt(4, 2)},
+		{8, Pt(4, 4)},
+		{100, Pt(4, 4)},
+	}
+	for _, tc := range tests {
+		if got := l.PointAt(tc.d); got.DistanceTo(tc.want) > 1e-12 {
+			t.Errorf("PointAt(%v) = %v, want %v", tc.d, got, tc.want)
+		}
+	}
+	if got := (Polyline{}).PointAt(5); got != (Point{}) {
+		t.Error("empty polyline PointAt")
+	}
+}
+
+func TestPolylineResample(t *testing.T) {
+	l := Polyline{{0, 0}, {10, 0}}
+	pts := l.Resample(5)
+	if len(pts) != 5 {
+		t.Fatalf("resampled = %d", len(pts))
+	}
+	if pts[0] != l[0] || pts[4] != l[1] {
+		t.Error("endpoints not retained")
+	}
+	if math.Abs(pts[2].X-5) > 1e-12 {
+		t.Errorf("midpoint = %v", pts[2])
+	}
+	if got := l.Resample(1); len(got) != 1 {
+		t.Error("n<2 returns start")
+	}
+	if (Polyline{}).Resample(3) != nil {
+		t.Error("empty resample")
+	}
+}
+
+func TestPolylineDistanceTo(t *testing.T) {
+	l := Polyline{{0, 0}, {10, 0}}
+	if d := l.DistanceTo(Pt(5, 3)); d != 3 {
+		t.Errorf("DistanceTo = %v", d)
+	}
+	if d := l.DistanceTo(Pt(-3, 4)); d != 5 {
+		t.Errorf("beyond endpoint = %v", d)
+	}
+	single := Polyline{{1, 1}}
+	if d := single.DistanceTo(Pt(4, 5)); d != 5 {
+		t.Errorf("single point = %v", d)
+	}
+}
+
+func TestSimplifyLine(t *testing.T) {
+	// Dense straight line simplifies to its endpoints.
+	var l Polyline
+	for i := 0; i <= 100; i++ {
+		l = append(l, Pt(float64(i), 0.001*float64(i%2)))
+	}
+	s := SimplifyLine(l, 0.01)
+	if len(s) > 3 {
+		t.Errorf("simplified to %d points", len(s))
+	}
+	if s[0] != l[0] || s[len(s)-1] != l[len(l)-1] {
+		t.Error("endpoints lost")
+	}
+	// A corner survives.
+	corner := Polyline{{0, 0}, {5, 0}, {5, 5}}
+	if got := SimplifyLine(corner, 0.1); len(got) != 3 {
+		t.Errorf("corner simplified away: %v", got)
+	}
+}
+
+func TestCrossesRing(t *testing.T) {
+	sq := NewRing(Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10))
+	tests := []struct {
+		name string
+		l    Polyline
+		want bool
+	}{
+		{"crossing through", Polyline{{-5, 5}, {15, 5}}, true},
+		{"starting inside", Polyline{{5, 5}, {20, 20}}, true},
+		{"entirely outside", Polyline{{-5, -5}, {-5, 20}}, false},
+		{"touching corner", Polyline{{-5, -5}, {0, 0}}, true},
+		{"empty", Polyline{}, false},
+	}
+	for _, tc := range tests {
+		if got := tc.l.CrossesRing(sq); got != tc.want {
+			t.Errorf("%s: CrossesRing = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package geom
+
+import "math"
+
+// Ring is a closed sequence of vertices describing a simple polygon boundary.
+// The closing edge from the last vertex back to the first is implicit: rings
+// should NOT repeat the first vertex at the end (NewRing strips a repeated
+// closing vertex). Orientation is not required; signed quantities expose it.
+type Ring []Point
+
+// NewRing builds a Ring from pts, dropping a duplicated closing vertex if the
+// caller supplied one (common in GeoJSON-style inputs).
+func NewRing(pts ...Point) Ring {
+	if n := len(pts); n > 1 && pts[0] == pts[n-1] {
+		pts = pts[:n-1]
+	}
+	r := make(Ring, len(pts))
+	copy(r, pts)
+	return r
+}
+
+// Valid reports whether the ring has at least three vertices and hence
+// encloses area.
+func (r Ring) Valid() bool { return len(r) >= 3 }
+
+// BBox returns the bounding box of the ring.
+func (r Ring) BBox() BBox {
+	b := EmptyBBox()
+	for _, p := range r {
+		b = b.ExtendPoint(p)
+	}
+	return b
+}
+
+// SignedArea returns the signed planar area by the shoelace formula:
+// positive for counter-clockwise rings, negative for clockwise.
+func (r Ring) SignedArea() float64 {
+	if !r.Valid() {
+		return 0
+	}
+	var s float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		s += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	return s / 2
+}
+
+// Area returns the absolute planar area of the ring.
+func (r Ring) Area() float64 { return math.Abs(r.SignedArea()) }
+
+// IsCCW reports whether the ring winds counter-clockwise.
+func (r Ring) IsCCW() bool { return r.SignedArea() > 0 }
+
+// Reverse returns a copy of the ring with opposite orientation.
+func (r Ring) Reverse() Ring {
+	out := make(Ring, len(r))
+	for i, p := range r {
+		out[len(r)-1-i] = p
+	}
+	return out
+}
+
+// Centroid returns the area centroid of the ring. For degenerate rings the
+// vertex mean is returned.
+func (r Ring) Centroid() Point {
+	a := r.SignedArea()
+	if a == 0 {
+		var c Point
+		if len(r) == 0 {
+			return c
+		}
+		for _, p := range r {
+			c.X += p.X
+			c.Y += p.Y
+		}
+		return c.Scale(1 / float64(len(r)))
+	}
+	var cx, cy float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		f := r[i].X*r[j].Y - r[j].X*r[i].Y
+		cx += (r[i].X + r[j].X) * f
+		cy += (r[i].Y + r[j].Y) * f
+	}
+	k := 1 / (6 * a)
+	return Point{cx * k, cy * k}
+}
+
+// Perimeter returns the total planar length of the ring boundary including
+// the implicit closing edge.
+func (r Ring) Perimeter() float64 {
+	if len(r) < 2 {
+		return 0
+	}
+	var s float64
+	n := len(r)
+	for i := 0; i < n; i++ {
+		s += r[i].DistanceTo(r[(i+1)%n])
+	}
+	return s
+}
+
+// ContainsPoint reports whether p lies strictly inside the ring, using the
+// even-odd ray casting rule. Points exactly on the boundary may be reported
+// either way; callers needing boundary semantics should test OnBoundary
+// first.
+func (r Ring) ContainsPoint(p Point) bool {
+	if !r.Valid() {
+		return false
+	}
+	inside := false
+	n := len(r)
+	for i, j := 0, n-1; i < n; j, i = i, i+1 {
+		pi, pj := r[i], r[j]
+		// Does the horizontal ray from p to +inf cross edge (pj, pi)?
+		if (pi.Y > p.Y) != (pj.Y > p.Y) {
+			xCross := (pj.X-pi.X)*(p.Y-pi.Y)/(pj.Y-pi.Y) + pi.X
+			if p.X < xCross {
+				inside = !inside
+			}
+		}
+	}
+	return inside
+}
+
+// OnBoundary reports whether p lies on the ring boundary within tolerance
+// tol (perpendicular distance to some edge).
+func (r Ring) OnBoundary(p Point, tol float64) bool {
+	n := len(r)
+	if n < 2 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if DistancePointSegment(p, r[i], r[(i+1)%n]) <= tol {
+			return true
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy of the ring.
+func (r Ring) Clone() Ring {
+	out := make(Ring, len(r))
+	copy(out, r)
+	return out
+}
+
+// DistancePointSegment returns the planar distance from p to the segment ab.
+func DistancePointSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.Dot(ab)
+	if l2 == 0 {
+		return p.DistanceTo(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	switch {
+	case t <= 0:
+		return p.DistanceTo(a)
+	case t >= 1:
+		return p.DistanceTo(b)
+	}
+	proj := a.Add(ab.Scale(t))
+	return p.DistanceTo(proj)
+}
+
+// RegularRing returns an n-gon of the given radius centered at c, wound
+// counter-clockwise. It is a convenience used to approximate circular
+// buffers and by the synthetic generators. n must be >= 3.
+func RegularRing(c Point, radius float64, n int) Ring {
+	if n < 3 {
+		n = 3
+	}
+	r := make(Ring, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		r[i] = Point{c.X + radius*math.Cos(a), c.Y + radius*math.Sin(a)}
+	}
+	return r
+}

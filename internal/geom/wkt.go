@@ -1,0 +1,228 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ErrWKT is wrapped by all WKT parse errors.
+var ErrWKT = errors.New("geom: invalid WKT")
+
+// WKT serializes geometries in Well-Known Text, the interchange format
+// GIS databases and the original study's ArcGIS tooling speak.
+
+// WKTPoint formats a point.
+func WKTPoint(p Point) string {
+	return fmt.Sprintf("POINT (%s %s)", fnum(p.X), fnum(p.Y))
+}
+
+// WKTPolygon formats a polygon (exterior ring first, then holes). Rings
+// repeat their first vertex per the WKT convention.
+func WKTPolygon(p Polygon) string {
+	var b strings.Builder
+	b.WriteString("POLYGON ")
+	writePolygonBody(&b, p)
+	return b.String()
+}
+
+// WKTMultiPolygon formats a multipolygon.
+func WKTMultiPolygon(m MultiPolygon) string {
+	if len(m) == 0 {
+		return "MULTIPOLYGON EMPTY"
+	}
+	var b strings.Builder
+	b.WriteString("MULTIPOLYGON (")
+	for i, p := range m {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writePolygonBody(&b, p)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func writePolygonBody(b *strings.Builder, p Polygon) {
+	b.WriteString("(")
+	writeRing(b, p.Exterior)
+	for _, h := range p.Holes {
+		b.WriteString(", ")
+		writeRing(b, h)
+	}
+	b.WriteString(")")
+}
+
+func writeRing(b *strings.Builder, r Ring) {
+	b.WriteString("(")
+	for i, pt := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(fnum(pt.X))
+		b.WriteString(" ")
+		b.WriteString(fnum(pt.Y))
+	}
+	if len(r) > 0 {
+		b.WriteString(", ")
+		b.WriteString(fnum(r[0].X))
+		b.WriteString(" ")
+		b.WriteString(fnum(r[0].Y))
+	}
+	b.WriteString(")")
+}
+
+func fnum(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// ParseWKTPoint parses "POINT (x y)".
+func ParseWKTPoint(s string) (Point, error) {
+	body, err := wktBody(s, "POINT")
+	if err != nil {
+		return Point{}, err
+	}
+	fields := strings.Fields(body)
+	if len(fields) != 2 {
+		return Point{}, fmt.Errorf("%w: POINT needs two coordinates, got %q", ErrWKT, body)
+	}
+	x, err1 := strconv.ParseFloat(fields[0], 64)
+	y, err2 := strconv.ParseFloat(fields[1], 64)
+	if err1 != nil || err2 != nil {
+		return Point{}, fmt.Errorf("%w: bad POINT coordinates %q", ErrWKT, body)
+	}
+	return Point{X: x, Y: y}, nil
+}
+
+// ParseWKTPolygon parses "POLYGON ((...), (...))".
+func ParseWKTPolygon(s string) (Polygon, error) {
+	body, err := wktBody(s, "POLYGON")
+	if err != nil {
+		return Polygon{}, err
+	}
+	return parsePolygonBody(body)
+}
+
+// ParseWKTMultiPolygon parses "MULTIPOLYGON (((...)), ((...)))" and
+// "MULTIPOLYGON EMPTY".
+func ParseWKTMultiPolygon(s string) (MultiPolygon, error) {
+	trimmed := strings.TrimSpace(s)
+	upper := strings.ToUpper(trimmed)
+	if upper == "MULTIPOLYGON EMPTY" {
+		return nil, nil
+	}
+	body, err := wktBody(s, "MULTIPOLYGON")
+	if err != nil {
+		return nil, err
+	}
+	parts, err := splitTopLevel(body)
+	if err != nil {
+		return nil, err
+	}
+	out := make(MultiPolygon, 0, len(parts))
+	for _, part := range parts {
+		inner := strings.TrimSpace(part)
+		if !strings.HasPrefix(inner, "(") || !strings.HasSuffix(inner, ")") {
+			return nil, fmt.Errorf("%w: polygon body %q", ErrWKT, part)
+		}
+		poly, err := parsePolygonBody(inner[1 : len(inner)-1])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, poly)
+	}
+	return out, nil
+}
+
+// wktBody strips "TAG ( ... )" returning the inner text.
+func wktBody(s, tag string) (string, error) {
+	t := strings.TrimSpace(s)
+	upper := strings.ToUpper(t)
+	if !strings.HasPrefix(upper, tag) {
+		return "", fmt.Errorf("%w: expected %s, got %q", ErrWKT, tag, truncate(s))
+	}
+	rest := strings.TrimSpace(t[len(tag):])
+	if !strings.HasPrefix(rest, "(") || !strings.HasSuffix(rest, ")") {
+		return "", fmt.Errorf("%w: %s body not parenthesized in %q", ErrWKT, tag, truncate(s))
+	}
+	return rest[1 : len(rest)-1], nil
+}
+
+// parsePolygonBody parses "(ring), (ring)...".
+func parsePolygonBody(body string) (Polygon, error) {
+	parts, err := splitTopLevel(body)
+	if err != nil {
+		return Polygon{}, err
+	}
+	if len(parts) == 0 {
+		return Polygon{}, fmt.Errorf("%w: polygon with no rings", ErrWKT)
+	}
+	rings := make([]Ring, 0, len(parts))
+	for _, part := range parts {
+		inner := strings.TrimSpace(part)
+		if !strings.HasPrefix(inner, "(") || !strings.HasSuffix(inner, ")") {
+			return Polygon{}, fmt.Errorf("%w: ring %q", ErrWKT, truncate(part))
+		}
+		r, err := parseRing(inner[1 : len(inner)-1])
+		if err != nil {
+			return Polygon{}, err
+		}
+		rings = append(rings, r)
+	}
+	return Polygon{Exterior: rings[0], Holes: rings[1:]}, nil
+}
+
+func parseRing(body string) (Ring, error) {
+	coords := strings.Split(body, ",")
+	pts := make([]Point, 0, len(coords))
+	for _, c := range coords {
+		fields := strings.Fields(strings.TrimSpace(c))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("%w: coordinate %q", ErrWKT, truncate(c))
+		}
+		x, err1 := strconv.ParseFloat(fields[0], 64)
+		y, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("%w: coordinate %q", ErrWKT, truncate(c))
+		}
+		pts = append(pts, Point{X: x, Y: y})
+	}
+	return NewRing(pts...), nil
+}
+
+// splitTopLevel splits on commas at parenthesis depth zero.
+func splitTopLevel(s string) ([]string, error) {
+	var parts []string
+	depth := 0
+	start := 0
+	for i, r := range s {
+		switch r {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth < 0 {
+				return nil, fmt.Errorf("%w: unbalanced parentheses", ErrWKT)
+			}
+		case ',':
+			if depth == 0 {
+				parts = append(parts, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if depth != 0 {
+		return nil, fmt.Errorf("%w: unbalanced parentheses", ErrWKT)
+	}
+	if strings.TrimSpace(s[start:]) != "" {
+		parts = append(parts, s[start:])
+	}
+	return parts, nil
+}
+
+func truncate(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) > 40 {
+		return s[:40] + "..."
+	}
+	return s
+}

@@ -1,0 +1,185 @@
+package geom
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestWKTPointRoundTrip(t *testing.T) {
+	p := Pt(-118.2437, 34.0522)
+	s := WKTPoint(p)
+	if !strings.HasPrefix(s, "POINT (") {
+		t.Fatalf("WKT = %q", s)
+	}
+	back, err := ParseWKTPoint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != p {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestWKTPolygonRoundTrip(t *testing.T) {
+	poly := NewPolygon(
+		NewRing(Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)),
+		NewRing(Pt(4, 4), Pt(6, 4), Pt(6, 6), Pt(4, 6)),
+	)
+	s := WKTPolygon(poly)
+	back, err := ParseWKTPolygon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Holes) != 1 {
+		t.Fatalf("holes = %d", len(back.Holes))
+	}
+	if back.Area() != poly.Area() {
+		t.Errorf("area %v != %v", back.Area(), poly.Area())
+	}
+	if len(back.Exterior) != len(poly.Exterior) {
+		t.Errorf("closing vertex not stripped: %d vertices", len(back.Exterior))
+	}
+}
+
+func TestWKTMultiPolygonRoundTrip(t *testing.T) {
+	m := MultiPolygon{
+		NewPolygon(NewRing(Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2))),
+		NewPolygon(NewRing(Pt(5, 5), Pt(8, 5), Pt(8, 8), Pt(5, 8)),
+			NewRing(Pt(6, 6), Pt(7, 6), Pt(7, 7), Pt(6, 7))),
+	}
+	back, err := ParseWKTMultiPolygon(WKTMultiPolygon(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("members = %d", len(back))
+	}
+	if math.Abs(back.Area()-m.Area()) > 1e-12 {
+		t.Errorf("area %v != %v", back.Area(), m.Area())
+	}
+	// Empty round trip.
+	if got := WKTMultiPolygon(nil); got != "MULTIPOLYGON EMPTY" {
+		t.Errorf("empty = %q", got)
+	}
+	if back, err := ParseWKTMultiPolygon("MULTIPOLYGON EMPTY"); err != nil || back != nil {
+		t.Errorf("parse empty = %v, %v", back, err)
+	}
+}
+
+func TestWKTCaseInsensitive(t *testing.T) {
+	if _, err := ParseWKTPoint("point (1 2)"); err != nil {
+		t.Errorf("lowercase tag rejected: %v", err)
+	}
+}
+
+func TestWKTErrors(t *testing.T) {
+	cases := []string{
+		"", "POINT", "POINT (1)", "POINT (a b)", "LINESTRING (0 0, 1 1)",
+		"POLYGON (0 0, 1 1)", "POLYGON ((0 0, 1 1)", "POLYGON ()",
+		"MULTIPOLYGON (0 0)",
+	}
+	for _, c := range cases {
+		_, e1 := ParseWKTPoint(c)
+		_, e2 := ParseWKTPolygon(c)
+		_, e3 := ParseWKTMultiPolygon(c)
+		if e1 == nil && e2 == nil && e3 == nil {
+			t.Errorf("input %q parsed as something", c)
+		}
+	}
+}
+
+func TestClipRingFullyInside(t *testing.T) {
+	r := NewRing(Pt(2, 2), Pt(4, 2), Pt(4, 4), Pt(2, 4))
+	got := ClipRingToBBox(r, NewBBox(Pt(0, 0), Pt(10, 10)))
+	if got.Area() != r.Area() {
+		t.Errorf("inside ring should be unchanged: %v", got)
+	}
+}
+
+func TestClipRingFullyOutside(t *testing.T) {
+	r := NewRing(Pt(20, 20), Pt(24, 20), Pt(24, 24), Pt(20, 24))
+	if got := ClipRingToBBox(r, NewBBox(Pt(0, 0), Pt(10, 10))); got != nil {
+		t.Errorf("outside ring should clip to nil, got %v", got)
+	}
+}
+
+func TestClipRingPartial(t *testing.T) {
+	// Square straddling the right edge: half survives.
+	r := NewRing(Pt(8, 2), Pt(12, 2), Pt(12, 6), Pt(8, 6))
+	got := ClipRingToBBox(r, NewBBox(Pt(0, 0), Pt(10, 10)))
+	if got == nil {
+		t.Fatal("partial ring vanished")
+	}
+	if math.Abs(got.Area()-8) > 1e-9 {
+		t.Errorf("clipped area = %v, want 8", got.Area())
+	}
+	bb := got.BBox()
+	if bb.MaxX > 10+1e-12 {
+		t.Errorf("clip leaked past boundary: %v", bb)
+	}
+}
+
+func TestClipRingCorner(t *testing.T) {
+	// Triangle overlapping the box corner.
+	r := NewRing(Pt(8, 8), Pt(14, 8), Pt(8, 14))
+	got := ClipRingToBBox(r, NewBBox(Pt(0, 0), Pt(10, 10)))
+	if got == nil {
+		t.Fatal("corner ring vanished")
+	}
+	for _, p := range got {
+		if p.X > 10+1e-9 || p.Y > 10+1e-9 {
+			t.Fatalf("vertex %v outside box", p)
+		}
+	}
+}
+
+func TestClipPolygonWithHole(t *testing.T) {
+	poly := NewPolygon(
+		NewRing(Pt(0, 0), Pt(10, 0), Pt(10, 10), Pt(0, 10)),
+		NewRing(Pt(4, 4), Pt(6, 4), Pt(6, 6), Pt(4, 6)),
+	)
+	// Window covering the left half including half the hole.
+	got, ok := ClipPolygonToBBox(poly, NewBBox(Pt(0, 0), Pt(5, 10)))
+	if !ok {
+		t.Fatal("clip dropped polygon")
+	}
+	want := 50.0 - 2.0 // half outer minus half hole
+	if math.Abs(got.Area()-want) > 1e-9 {
+		t.Errorf("clipped area = %v, want %v", got.Area(), want)
+	}
+	// Window missing the hole entirely.
+	got, ok = ClipPolygonToBBox(poly, NewBBox(Pt(0, 0), Pt(3, 3)))
+	if !ok || len(got.Holes) != 0 {
+		t.Errorf("hole should vanish: %+v ok=%v", got, ok)
+	}
+}
+
+func TestClipMultiPolygon(t *testing.T) {
+	m := MultiPolygon{
+		NewPolygon(NewRing(Pt(0, 0), Pt(2, 0), Pt(2, 2), Pt(0, 2))),
+		NewPolygon(NewRing(Pt(50, 50), Pt(52, 50), Pt(52, 52), Pt(50, 52))),
+	}
+	got := ClipMultiPolygonToBBox(m, NewBBox(Pt(-1, -1), Pt(10, 10)))
+	if len(got) != 1 {
+		t.Fatalf("members = %d, want 1", len(got))
+	}
+}
+
+func TestClipAreaNeverGrows(t *testing.T) {
+	box := NewBBox(Pt(-5, -5), Pt(5, 5))
+	f := func(seed uint8) bool {
+		// Random convex-ish ring from a regular polygon, shifted.
+		c := Pt(float64(seed%20)-10, float64(seed%13)-6)
+		r := RegularRing(c, 1+float64(seed%7), 12)
+		clipped := ClipRingToBBox(r, box)
+		if clipped == nil {
+			return true
+		}
+		return clipped.Area() <= r.Area()+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

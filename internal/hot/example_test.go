@@ -1,0 +1,24 @@
+package hot_test
+
+import (
+	"fmt"
+
+	"fivealarms/internal/hot"
+)
+
+func ExampleFit() {
+	// Two regions: one ignites nine times as often. Optimal suppression
+	// gives the likely region more resources, so its fires stay smaller —
+	// the HOT mechanism.
+	m, err := hot.Fit([]float64{1, 9}, 10, 1, 100)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("rare-region fire: %.0f acres\n", m.Size(0))
+	fmt.Printf("common-region fire: %.0f acres\n", m.Size(1))
+	fmt.Printf("escape beyond 35 acres: %.1f\n", m.EscapeProbability(35))
+	// Output:
+	// rare-region fire: 40 acres
+	// common-region fire: 13 acres
+	// escape beyond 35 acres: 0.1
+}

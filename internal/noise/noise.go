@@ -1,0 +1,89 @@
+// Package noise implements seeded 2-D value noise and fractal Brownian
+// motion (fBm). The WHP and fuel-model generators use it to synthesize
+// spatially coherent hazard surfaces: nearby locations get similar hazard,
+// with realistic patchiness at several length scales.
+package noise
+
+import "math"
+
+// Field is a deterministic 2-D scalar noise field. Safe for concurrent use.
+type Field struct {
+	seed uint64
+}
+
+// New returns a noise field for the given seed. Distinct seeds produce
+// uncorrelated fields.
+func New(seed uint64) *Field { return &Field{seed: seed} }
+
+// hash derives a uniform [0,1) value from integer lattice coordinates.
+func (f *Field) hash(x, y int64) float64 {
+	h := uint64(x)*0x9e3779b97f4a7c15 ^ uint64(y)*0xc2b2ae3d27d4eb4f ^ f.seed
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return float64(h>>11) / (1 << 53)
+}
+
+// smooth is the quintic fade curve 6t^5 - 15t^4 + 10t^3.
+func smooth(t float64) float64 { return t * t * t * (t*(t*6-15) + 10) }
+
+// Value returns smoothed value noise in [0, 1) at the given coordinates.
+// Coordinates are in lattice units: structure size is ~1 unit.
+func (f *Field) Value(x, y float64) float64 {
+	x0 := math.Floor(x)
+	y0 := math.Floor(y)
+	ix, iy := int64(x0), int64(y0)
+	fx := smooth(x - x0)
+	fy := smooth(y - y0)
+
+	v00 := f.hash(ix, iy)
+	v10 := f.hash(ix+1, iy)
+	v01 := f.hash(ix, iy+1)
+	v11 := f.hash(ix+1, iy+1)
+
+	top := v00 + (v10-v00)*fx
+	bot := v01 + (v11-v01)*fx
+	return top + (bot-top)*fy
+}
+
+// FBM returns fractal Brownian motion: octaves layers of Value noise with
+// per-octave frequency doubling (lacunarity 2) and amplitude decay gain.
+// The result is normalized to [0, 1).
+func (f *Field) FBM(x, y float64, octaves int, gain float64) float64 {
+	if octaves < 1 {
+		octaves = 1
+	}
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		sum += amp * f.Value(x*freq+float64(o)*17.31, y*freq-float64(o)*11.97)
+		norm += amp
+		amp *= gain
+		freq *= 2
+	}
+	return sum / norm
+}
+
+// Ridged returns ridge noise — 1 - |2v-1| folded fBm — which produces
+// connected high-value ridgelines, a good model for mountain-range fuel
+// corridors.
+func (f *Field) Ridged(x, y float64, octaves int, gain float64) float64 {
+	if octaves < 1 {
+		octaves = 1
+	}
+	var sum, norm float64
+	amp := 1.0
+	freq := 1.0
+	for o := 0; o < octaves; o++ {
+		v := f.Value(x*freq+float64(o)*29.17, y*freq+float64(o)*7.77)
+		r := 1 - math.Abs(2*v-1)
+		sum += amp * r * r
+		norm += amp
+		amp *= gain
+		freq *= 2
+	}
+	return sum / norm
+}

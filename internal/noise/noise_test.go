@@ -1,0 +1,111 @@
+package noise
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueDeterministic(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.37
+		y := float64(i) * 0.73
+		if a.Value(x, y) != b.Value(x, y) {
+			t.Fatalf("same seed differs at (%v,%v)", x, y)
+		}
+	}
+}
+
+func TestValueSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	diff := 0
+	for i := 0; i < 100; i++ {
+		x := float64(i) * 0.61
+		if a.Value(x, x) != b.Value(x, x) {
+			diff++
+		}
+	}
+	if diff < 95 {
+		t.Errorf("different seeds agreed too often: only %d/100 differ", diff)
+	}
+}
+
+func TestValueRange(t *testing.T) {
+	f := New(7)
+	check := func(x, y float64) bool {
+		v := f.Value(math.Mod(x, 1e6), math.Mod(y, 1e6))
+		return v >= 0 && v < 1.0000001
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueContinuity(t *testing.T) {
+	// Value noise must be continuous: nearby samples differ slightly.
+	f := New(5)
+	const eps = 1e-4
+	for i := 0; i < 200; i++ {
+		x := float64(i)*0.173 + 0.01
+		y := float64(i)*0.311 + 0.02
+		v1 := f.Value(x, y)
+		v2 := f.Value(x+eps, y+eps)
+		if math.Abs(v1-v2) > 0.01 {
+			t.Fatalf("discontinuity at (%v,%v): %v vs %v", x, y, v1, v2)
+		}
+	}
+}
+
+func TestValueLatticeCorners(t *testing.T) {
+	// At integer lattice points the value equals the lattice hash, so two
+	// adjacent cells must agree on their shared corner.
+	f := New(11)
+	vFromLeft := f.Value(4.9999999, 3.5)
+	vFromRight := f.Value(5.0000001, 3.5)
+	if math.Abs(vFromLeft-vFromRight) > 0.001 {
+		t.Errorf("cell boundary mismatch: %v vs %v", vFromLeft, vFromRight)
+	}
+}
+
+func TestFBMRangeAndVariety(t *testing.T) {
+	f := New(13)
+	var min, max = 1.0, 0.0
+	for i := 0; i < 5000; i++ {
+		v := f.FBM(float64(i)*0.13, float64(i)*0.07, 5, 0.5)
+		if v < 0 || v >= 1.0000001 {
+			t.Fatalf("FBM out of range: %v", v)
+		}
+		min = math.Min(min, v)
+		max = math.Max(max, v)
+	}
+	if max-min < 0.3 {
+		t.Errorf("FBM dynamic range too small: [%v, %v]", min, max)
+	}
+}
+
+func TestFBMOctavesClamp(t *testing.T) {
+	f := New(17)
+	// octaves < 1 clamps to 1 and must not panic.
+	_ = f.FBM(1.5, 2.5, 0, 0.5)
+	_ = f.Ridged(1.5, 2.5, -3, 0.5)
+}
+
+func TestRidgedRange(t *testing.T) {
+	f := New(19)
+	for i := 0; i < 5000; i++ {
+		v := f.Ridged(float64(i)*0.11, float64(i)*0.19, 4, 0.6)
+		if v < 0 || v > 1.0000001 {
+			t.Fatalf("Ridged out of range: %v", v)
+		}
+	}
+}
+
+func BenchmarkFBM5(b *testing.B) {
+	f := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = f.FBM(float64(i)*0.01, float64(i)*0.02, 5, 0.5)
+	}
+}

@@ -1,0 +1,77 @@
+package powergrid
+
+import (
+	"testing"
+
+	"fivealarms/internal/wildfire"
+)
+
+// backhaulScenario builds a two-day scenario with the 2019 CA fires and
+// the given sever probability, no shutoffs (isolates the backhaul cause).
+func backhaulScenario(t *testing.T, prob float64) *Outcome {
+	t.Helper()
+	season := wildfire.Simulate2019(wildfire.NewSimulator(testWorld, testWHP), 7, 15)
+	var fires []ActiveFire
+	for i := range season.Mapped {
+		if caRegion.Intersects(season.Mapped[i].BBox()) {
+			fires = append(fires, ActiveFire{Fire: &season.Mapped[i], FirstDay: 0, LastDay: 1})
+		}
+	}
+	if len(fires) == 0 {
+		t.Fatal("no CA fires")
+	}
+	sc := Scenario{
+		Days:              []DayPlan{{}, {}},
+		Fires:             fires,
+		BackhaulSeverProb: prob,
+		DamageProb:        1e-12, // isolate backhaul (0 selects the default)
+	}
+	return testNet.Simulate(sc, 11)
+}
+
+func TestBackhaulSeverProbScales(t *testing.T) {
+	low := backhaulScenario(t, 0.05)
+	high := backhaulScenario(t, 0.95)
+	lo := low.OutByCause[0][BackhaulLoss]
+	hi := high.OutByCause[0][BackhaulLoss]
+	if hi <= lo {
+		t.Errorf("backhaul outages should grow with sever probability: %d vs %d", lo, hi)
+	}
+	if hi == 0 {
+		t.Error("near-certain severing produced no outages")
+	}
+}
+
+func TestBackhaulOnlyWhileFiresActive(t *testing.T) {
+	season := wildfire.Simulate2019(wildfire.NewSimulator(testWorld, testWHP), 7, 15)
+	var fires []ActiveFire
+	for i := range season.Mapped {
+		if caRegion.Intersects(season.Mapped[i].BBox()) {
+			// Fires active only on day 0.
+			fires = append(fires, ActiveFire{Fire: &season.Mapped[i], FirstDay: 0, LastDay: 0})
+		}
+	}
+	sc := Scenario{
+		Days:              []DayPlan{{}, {}},
+		Fires:             fires,
+		BackhaulSeverProb: 0.95,
+		DamageProb:        1e-12,
+	}
+	o := testNet.Simulate(sc, 13)
+	if o.OutByCause[1][BackhaulLoss] != 0 {
+		t.Errorf("backhaul outages persist after the fires: %d", o.OutByCause[1][BackhaulLoss])
+	}
+}
+
+func TestBackhaulRoutesAreLocal(t *testing.T) {
+	// The nearest-CO wiring keeps routes short: the mean backhaul length
+	// must be far below the region diagonal.
+	var sum float64
+	for i := range testNet.Sites {
+		sum += testNet.Sites[i].XY.DistanceTo(testNet.Sites[i].Backhaul)
+	}
+	mean := sum / float64(len(testNet.Sites))
+	if mean > 250000 {
+		t.Errorf("mean backhaul route = %.0f m, want local (< 250 km)", mean)
+	}
+}

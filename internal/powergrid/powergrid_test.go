@@ -1,0 +1,246 @@
+package powergrid
+
+import (
+	"testing"
+
+	"fivealarms/internal/cellnet"
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/whp"
+	"fivealarms/internal/wildfire"
+)
+
+var (
+	testWorld = conus.Build(conus.Config{Seed: 7, CellSizeM: 20000})
+	testWHP   = whp.Build(testWorld, testWorld.Grid, whp.Config{})
+	testData  = cellnet.Generate(testWorld, cellnet.GenConfig{Seed: 7, Total: 40000})
+	// California window (the case-study region).
+	caRegion = func() geom.BBox {
+		sw := testWorld.ToXY(geom.Point{X: -124.5, Y: 32.3})
+		ne := testWorld.ToXY(geom.Point{X: -114.0, Y: 42.1})
+		return geom.NewBBox(sw, ne)
+	}()
+	testNet = BuildNetwork(testData, testWHP, caRegion, NetConfig{Seed: 7})
+)
+
+func TestCauseString(t *testing.T) {
+	if None.String() != "none" || Damage.String() != "damage" ||
+		PowerLoss.String() != "power-loss" || BackhaulLoss.String() != "backhaul-loss" {
+		t.Error("cause strings")
+	}
+	if Cause(99).String() != "invalid" {
+		t.Error("invalid cause")
+	}
+}
+
+func TestBuildNetworkBasics(t *testing.T) {
+	if len(testNet.Sites) < 100 {
+		t.Fatalf("CA sites = %d, want hundreds", len(testNet.Sites))
+	}
+	if len(testNet.Substations) == 0 {
+		t.Fatal("no substations")
+	}
+	ratio := float64(len(testNet.Sites)) / float64(len(testNet.Substations))
+	if ratio < 10 || ratio > 80 {
+		t.Errorf("sites per substation = %v, want ~40", ratio)
+	}
+	for i := range testNet.Sites {
+		s := &testNet.Sites[i]
+		if !caRegion.ContainsPoint(s.XY) {
+			t.Fatal("site outside region")
+		}
+		if s.BatteryHours < 2 || s.BatteryHours > 16 {
+			t.Fatalf("battery hours %v out of range", s.BatteryHours)
+		}
+		if s.SubstationID < 0 || s.SubstationID >= len(testNet.Substations) {
+			t.Fatal("bad substation assignment")
+		}
+		if s.Transceivers <= 0 {
+			t.Fatal("site with no transceivers")
+		}
+	}
+}
+
+func TestBuildNetworkDeterministic(t *testing.T) {
+	a := BuildNetwork(testData, testWHP, caRegion, NetConfig{Seed: 7})
+	if len(a.Sites) != len(testNet.Sites) {
+		t.Fatal("site counts differ")
+	}
+	for i := range a.Sites {
+		if a.Sites[i] != testNet.Sites[i] {
+			t.Fatal("sites differ between identical builds")
+		}
+	}
+}
+
+func TestNearestSubstationAssignment(t *testing.T) {
+	for i := range testNet.Sites {
+		s := &testNet.Sites[i]
+		d := s.XY.DistanceTo(testNet.Substations[s.SubstationID])
+		for j, sub := range testNet.Substations {
+			if dd := s.XY.DistanceTo(sub); dd < d-1e-9 {
+				t.Fatalf("site %d assigned substation %d but %d is closer", i, s.SubstationID, j)
+			}
+		}
+		break // nearest property verified exhaustively for the first site
+	}
+	// Spot-check a sample of sites.
+	for i := 0; i < len(testNet.Sites); i += 97 {
+		s := &testNet.Sites[i]
+		d := s.XY.DistanceTo(testNet.Substations[s.SubstationID])
+		for _, sub := range testNet.Substations {
+			if dd := s.XY.DistanceTo(sub); dd < d-1e-9 {
+				t.Fatalf("site %d not assigned to nearest substation", i)
+			}
+		}
+	}
+}
+
+func fall2019Outcome(t *testing.T, seed uint64) (*Outcome, Scenario) {
+	t.Helper()
+	season := wildfire.Simulate2019(wildfire.NewSimulator(testWorld, testWHP), 7, 15)
+	var caFires []*wildfire.Fire
+	for i := range season.Mapped {
+		if caRegion.Intersects(season.Mapped[i].BBox()) {
+			caFires = append(caFires, &season.Mapped[i])
+		}
+	}
+	if len(caFires) < 4 {
+		t.Fatalf("CA fires = %d, want at least the 4 anchors", len(caFires))
+	}
+	sc := NewFall2019Scenario(caFires)
+	return testNet.Simulate(sc, seed), sc
+}
+
+func TestSimulateShape(t *testing.T) {
+	o, sc := fall2019Outcome(t, 7)
+	if len(o.Causes) != len(sc.Days) {
+		t.Fatalf("days = %d", len(o.Causes))
+	}
+	peakDay, peakN := o.PeakDay()
+	// The shutoff schedule peaks on day 3 (Oct 28).
+	if peakDay != 3 {
+		t.Errorf("peak day = %d (%s), want 3 (Oct 28)", peakDay, Fall2019DayLabels[peakDay])
+	}
+	if peakN == 0 {
+		t.Fatal("no outages at peak")
+	}
+	// Power loss dominates at the peak (the paper: 702/874 = 80%).
+	power := o.OutByCause[peakDay][PowerLoss]
+	if frac := float64(power) / float64(peakN); frac < 0.6 {
+		t.Errorf("power share at peak = %v, want > 0.6", frac)
+	}
+	// The event winds down but damage persists: final day has fewer out
+	// than peak, and damage is a visible share of the tail.
+	finalOut := o.SitesOut(len(sc.Days) - 1)
+	if finalOut >= peakN {
+		t.Errorf("final-day outages %d should be below peak %d", finalOut, peakN)
+	}
+}
+
+func TestSimulateDeterministic(t *testing.T) {
+	a, _ := fall2019Outcome(t, 9)
+	b, _ := fall2019Outcome(t, 9)
+	for d := range a.Causes {
+		for i := range a.Causes[d] {
+			if a.Causes[d][i] != b.Causes[d][i] {
+				t.Fatalf("day %d site %d differs", d, i)
+			}
+		}
+	}
+}
+
+func TestDamagePersistsAfterPowerRestored(t *testing.T) {
+	o, sc := fall2019Outcome(t, 11)
+	last := len(sc.Days) - 1
+	if o.OutByCause[last][PowerLoss] > o.OutByCause[3][PowerLoss] {
+		t.Error("power outages should decline after restoration")
+	}
+	// Damaged sites (if any occurred) must still be out on the last day:
+	// damage lasts RepairDays past the fire.
+	damagedAtPeak := o.OutByCause[3][Damage]
+	damagedAtEnd := o.OutByCause[last][Damage]
+	if damagedAtPeak > 0 && damagedAtEnd == 0 {
+		t.Error("damage should persist through the reporting window")
+	}
+}
+
+func TestBatteryRideThrough(t *testing.T) {
+	// With enormous batteries, a one-day shutoff causes no power outages.
+	n2 := BuildNetwork(testData, testWHP, caRegion, NetConfig{Seed: 7, MeanBatteryHours: 1000})
+	for i := range n2.Sites {
+		n2.Sites[i].BatteryHours = 1000
+	}
+	sc := Scenario{Days: []DayPlan{{ShutoffFrac: 0.9}}}
+	o := n2.Simulate(sc, 1)
+	if got := o.OutByCause[0][PowerLoss]; got != 0 {
+		t.Errorf("power outages with huge batteries = %d, want 0", got)
+	}
+}
+
+func TestShutoffFracScalesOutages(t *testing.T) {
+	mk := func(frac float64) int {
+		sc := Scenario{Days: []DayPlan{{ShutoffFrac: frac}, {ShutoffFrac: frac}}}
+		o := testNet.Simulate(sc, 3)
+		return o.OutByCause[1][PowerLoss]
+	}
+	small := mk(0.1)
+	large := mk(0.8)
+	if large <= small {
+		t.Errorf("outages should grow with shutoff fraction: %d vs %d", small, large)
+	}
+}
+
+func TestHazardOrderedShutoff(t *testing.T) {
+	// With a small shutoff fraction, the de-energized substations must be
+	// the highest-hazard ones; their sites bear the outages.
+	sc := Scenario{Days: []DayPlan{{ShutoffFrac: 0.15}, {ShutoffFrac: 0.15}}}
+	o := testNet.Simulate(sc, 5)
+	// Collect hazard of substations of powered-out sites vs in-service.
+	var outHaz, inHaz float64
+	var outN, inN int
+	for i, c := range o.Causes[1] {
+		h := testNet.SubstationHazard[testNet.Sites[i].SubstationID]
+		if c == PowerLoss {
+			outHaz += h
+			outN++
+		} else if c == None {
+			inHaz += h
+			inN++
+		}
+	}
+	if outN == 0 || inN == 0 {
+		t.Skip("degenerate outcome")
+	}
+	if outHaz/float64(outN) <= inHaz/float64(inN) {
+		t.Errorf("mean hazard of shut-off sites (%v) should exceed in-service (%v)",
+			outHaz/float64(outN), inHaz/float64(inN))
+	}
+}
+
+func TestHoursWithoutPower(t *testing.T) {
+	if hoursWithoutPower(-1, 5) != 0 {
+		t.Error("no shutoff -> 0 hours")
+	}
+	if hoursWithoutPower(2, 2) != 12 {
+		t.Error("first day -> 12 hours")
+	}
+	if hoursWithoutPower(2, 4) != 60 {
+		t.Error("third day -> 60 hours")
+	}
+}
+
+func BenchmarkSimulateFall2019(b *testing.B) {
+	season := wildfire.Simulate2019(wildfire.NewSimulator(testWorld, testWHP), 7, 15)
+	var caFires []*wildfire.Fire
+	for i := range season.Mapped {
+		if caRegion.Intersects(season.Mapped[i].BBox()) {
+			caFires = append(caFires, &season.Mapped[i])
+		}
+	}
+	sc := NewFall2019Scenario(caFires)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = testNet.Simulate(sc, uint64(i))
+	}
+}

@@ -1,0 +1,50 @@
+package powergrid
+
+import "fivealarms/internal/wildfire"
+
+// NewFall2019Scenario builds the PSPS + fire scenario of the paper's §3.2
+// case study: the eight DIRS reporting days (25 Oct - 1 Nov 2019), a
+// shutoff wave ramping to its maximum on day 3 (28 Oct, the paper's peak
+// with 874 sites out, 80% from power loss), a second smaller wave, and
+// restoration over the final days. The caller passes the 2019 fires
+// already filtered to the region of interest; named anchor fires get
+// their historical burn windows.
+func NewFall2019Scenario(fires []*wildfire.Fire) Scenario {
+	sc := Scenario{
+		// Day indexes: 0=Oct 25 ... 7=Nov 1. The shutoff fraction traces
+		// the PG&E/SCE event shape: ramp, peak Oct 28, partial
+		// restoration, second wave, then wind-down. The fractions are
+		// small in absolute terms — the 2019 PSPS de-energized a few
+		// percent of California's distribution feeders (874 of the
+		// state's ~30k cell sites at the peak), targeted at the
+		// highest-hazard terrain.
+		Days: []DayPlan{
+			{ShutoffFrac: 0.010}, // Oct 25
+			{ShutoffFrac: 0.024}, // Oct 26
+			{ShutoffFrac: 0.042}, // Oct 27
+			{ShutoffFrac: 0.052}, // Oct 28 (peak)
+			{ShutoffFrac: 0.032}, // Oct 29
+			{ShutoffFrac: 0.022}, // Oct 30 (second wave tail)
+			{ShutoffFrac: 0.008}, // Oct 31
+			{ShutoffFrac: 0.002}, // Nov 1
+		},
+	}
+	for _, f := range fires {
+		first, last := 0, 5
+		switch f.Name {
+		case "Kincade":
+			first, last = 0, 7 // burned through the whole window
+		case "Getty":
+			first, last = 3, 7
+		case "Saddle Ridge", "Tick":
+			first, last = 0, 4
+		}
+		sc.Fires = append(sc.Fires, ActiveFire{Fire: f, FirstDay: first, LastDay: last})
+	}
+	return sc
+}
+
+// Fall2019DayLabels are the calendar labels of the scenario days.
+var Fall2019DayLabels = []string{
+	"Oct 25", "Oct 26", "Oct 27", "Oct 28", "Oct 29", "Oct 30", "Oct 31", "Nov 1",
+}

@@ -1,0 +1,78 @@
+package proj
+
+import (
+	"math"
+
+	"fivealarms/internal/geom"
+)
+
+// Lambert is a spherical Lambert Conformal Conic projection — the
+// projection most US state-plane zones and weather products use.
+// Conformal (angle-preserving), so it complements the equal-area Albers:
+// Albers for zonal statistics, Lambert for shape-faithful regional maps.
+type Lambert struct {
+	n      float64
+	f      float64
+	rho0   float64
+	lon0   float64
+	radius float64
+}
+
+// NewLambert constructs the projection with standard parallels phi1 and
+// phi2, origin latitude phi0 and central meridian lon0 (degrees).
+func NewLambert(phi1, phi2, phi0, lon0 float64) *Lambert {
+	r1 := geom.Deg2Rad(phi1)
+	r2 := geom.Deg2Rad(phi2)
+	r0 := geom.Deg2Rad(phi0)
+	var n float64
+	if math.Abs(r1-r2) < 1e-12 {
+		n = math.Sin(r1)
+	} else {
+		n = math.Log(math.Cos(r1)/math.Cos(r2)) /
+			math.Log(math.Tan(math.Pi/4+r2/2)/math.Tan(math.Pi/4+r1/2))
+	}
+	l := &Lambert{
+		n:      n,
+		lon0:   geom.Deg2Rad(lon0),
+		radius: geom.EarthRadiusMeters,
+	}
+	l.f = math.Cos(r1) * math.Pow(math.Tan(math.Pi/4+r1/2), n) / n
+	l.rho0 = l.rho(r0)
+	return l
+}
+
+// ConusLambert returns the Lambert projection conventionally used for
+// CONUS weather products (standard parallels 33 and 45, origin 39N 96W).
+func ConusLambert() *Lambert { return NewLambert(33, 45, 39, -96) }
+
+func (l *Lambert) rho(phi float64) float64 {
+	return l.radius * l.f / math.Pow(math.Tan(math.Pi/4+phi/2), l.n)
+}
+
+// Name implements Projection.
+func (l *Lambert) Name() string { return "lambert" }
+
+// Forward implements Projection.
+func (l *Lambert) Forward(ll geom.Point) geom.Point {
+	phi := geom.Deg2Rad(ll.Y)
+	lam := geom.Deg2Rad(ll.X)
+	rho := l.rho(phi)
+	theta := l.n * (lam - l.lon0)
+	return geom.Point{
+		X: rho * math.Sin(theta),
+		Y: l.rho0 - rho*math.Cos(theta),
+	}
+}
+
+// Inverse implements Projection.
+func (l *Lambert) Inverse(xy geom.Point) geom.Point {
+	dy := l.rho0 - xy.Y
+	rho := math.Hypot(xy.X, dy)
+	if l.n < 0 {
+		rho = -rho
+	}
+	theta := math.Atan2(xy.X, dy)
+	phi := 2*math.Atan(math.Pow(l.radius*l.f/rho, 1/l.n)) - math.Pi/2
+	lam := l.lon0 + theta/l.n
+	return geom.Point{X: geom.Rad2Deg(lam), Y: geom.Rad2Deg(phi)}
+}

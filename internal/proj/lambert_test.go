@@ -1,0 +1,80 @@
+package proj
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"fivealarms/internal/geom"
+)
+
+func TestLambertRoundTrip(t *testing.T) {
+	l := ConusLambert()
+	for _, p := range conusPoints {
+		back := l.Inverse(l.Forward(p))
+		if math.Abs(back.X-p.X) > 1e-9 || math.Abs(back.Y-p.Y) > 1e-9 {
+			t.Errorf("round trip %v -> %v", p, back)
+		}
+	}
+}
+
+func TestLambertRoundTripProperty(t *testing.T) {
+	l := ConusLambert()
+	f := func(lonRaw, latRaw float64) bool {
+		lon := -125 + math.Mod(math.Abs(lonRaw), 58)
+		lat := 24 + math.Mod(math.Abs(latRaw), 25)
+		p := geom.Point{X: lon, Y: lat}
+		back := l.Inverse(l.Forward(p))
+		return math.Abs(back.X-lon) < 1e-8 && math.Abs(back.Y-lat) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLambertConformality(t *testing.T) {
+	// Conformal projections preserve local angles: a small right angle at
+	// any in-domain point stays (approximately) right.
+	l := ConusLambert()
+	for _, p := range conusPoints {
+		const d = 0.01
+		o := l.Forward(p)
+		east := l.Forward(geom.Point{X: p.X + d, Y: p.Y}).Sub(o)
+		north := l.Forward(geom.Point{X: p.X, Y: p.Y + d}).Sub(o)
+		cosAngle := east.Dot(north) / (east.Norm() * north.Norm())
+		if math.Abs(cosAngle) > 0.002 {
+			t.Errorf("at %v: angle deviates from 90 deg (cos = %v)", p, cosAngle)
+		}
+	}
+}
+
+func TestLambertSingleParallel(t *testing.T) {
+	// Degenerate construction with phi1 == phi2 must still round trip.
+	l := NewLambert(40, 40, 40, -100)
+	p := geom.Point{X: -100, Y: 40}
+	back := l.Inverse(l.Forward(p))
+	if math.Abs(back.X-p.X) > 1e-9 || math.Abs(back.Y-p.Y) > 1e-9 {
+		t.Errorf("round trip = %v", back)
+	}
+}
+
+func TestLambertName(t *testing.T) {
+	if ConusLambert().Name() != "lambert" {
+		t.Error("name")
+	}
+}
+
+func TestLambertVsAlbersAgreeRoughly(t *testing.T) {
+	// Both CONUS projections should place LA southwest of Denver.
+	l := ConusLambert()
+	a := ConusAlbers()
+	la := geom.Point{X: -118.2437, Y: 34.0522}
+	den := geom.Point{X: -104.9903, Y: 39.7392}
+	for _, pr := range []Projection{l, a} {
+		dla := pr.Forward(la)
+		dden := pr.Forward(den)
+		if dla.X >= dden.X || dla.Y >= dden.Y {
+			t.Errorf("%s: LA not southwest of Denver", pr.Name())
+		}
+	}
+}

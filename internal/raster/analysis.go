@@ -1,0 +1,195 @@
+package raster
+
+import "fmt"
+
+// Labels is the result of connected-component labeling: component IDs
+// start at 1 (0 = background), stored per cell.
+type Labels struct {
+	Geometry
+	Data []int32
+	// N is the number of components.
+	N int
+	// Sizes holds the cell count per component, indexed by ID (Sizes[0]
+	// is unused).
+	Sizes []int
+}
+
+// LabelComponents labels the 4-connected components of the set cells of a
+// mask with a two-pass union-find algorithm. Fire complexes, contiguous
+// hazard patches and coverage islands all reduce to this.
+func LabelComponents(mask *BitGrid) *Labels {
+	g := mask.Geometry
+	out := &Labels{Geometry: g, Data: make([]int32, g.Cells())}
+
+	parent := []int32{0} // union-find; index 0 reserved for background
+	find := func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int32) int32 {
+		ra, rb := find(a), find(b)
+		if ra == rb {
+			return ra
+		}
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		parent[rb] = ra
+		return ra
+	}
+
+	// First pass: provisional labels.
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			if !mask.Get(cx, cy) {
+				continue
+			}
+			var left, down int32
+			if cx > 0 {
+				left = out.Data[cy*g.NX+cx-1]
+			}
+			if cy > 0 {
+				down = out.Data[(cy-1)*g.NX+cx]
+			}
+			switch {
+			case left == 0 && down == 0:
+				id := int32(len(parent))
+				parent = append(parent, id)
+				out.Data[cy*g.NX+cx] = id
+			case left != 0 && down == 0:
+				out.Data[cy*g.NX+cx] = left
+			case left == 0 && down != 0:
+				out.Data[cy*g.NX+cx] = down
+			default:
+				out.Data[cy*g.NX+cx] = union(left, down)
+			}
+		}
+	}
+
+	// Second pass: compress to dense sequential IDs.
+	remap := make(map[int32]int32)
+	for i, v := range out.Data {
+		if v == 0 {
+			continue
+		}
+		root := find(v)
+		id, ok := remap[root]
+		if !ok {
+			id = int32(len(remap) + 1)
+			remap[root] = id
+		}
+		out.Data[i] = id
+	}
+	out.N = len(remap)
+	out.Sizes = make([]int, out.N+1)
+	for _, v := range out.Data {
+		if v > 0 {
+			out.Sizes[v]++
+		}
+	}
+	return out
+}
+
+// Largest returns the ID and size of the largest component (0, 0 when
+// there are none).
+func (l *Labels) Largest() (int, int) {
+	best, bestN := 0, 0
+	for id := 1; id <= l.N; id++ {
+		if l.Sizes[id] > bestN {
+			best, bestN = id, l.Sizes[id]
+		}
+	}
+	return best, bestN
+}
+
+// ComponentMask returns the mask of one component.
+func (l *Labels) ComponentMask(id int) *BitGrid {
+	m := NewBitGrid(l.Geometry)
+	for i, v := range l.Data {
+		if int(v) == id {
+			m.setIdx(i)
+		}
+	}
+	return m
+}
+
+// Downsample returns a class grid at factor-times-coarser resolution,
+// assigning each coarse cell the majority class of its fine cells (ties
+// break toward the higher class value, biasing conservative for hazard
+// classes). factor must be >= 1.
+func (c *ClassGrid) Downsample(factor int) *ClassGrid {
+	if factor <= 1 {
+		return c.Clone()
+	}
+	g := Geometry{
+		MinX: c.MinX, MinY: c.MinY,
+		CellSize: c.CellSize * float64(factor),
+		NX:       (c.NX + factor - 1) / factor,
+		NY:       (c.NY + factor - 1) / factor,
+	}
+	out := NewClassGrid(g)
+	var counts [256]int
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			for i := range counts {
+				counts[i] = 0
+			}
+			for fy := cy * factor; fy < (cy+1)*factor && fy < c.NY; fy++ {
+				for fx := cx * factor; fx < (cx+1)*factor && fx < c.NX; fx++ {
+					counts[c.Data[fy*c.NX+fx]]++
+				}
+			}
+			best := 0
+			for v := 1; v < 256; v++ {
+				if counts[v] >= counts[best] {
+					best = v
+				}
+			}
+			out.Set(cx, cy, uint8(best))
+		}
+	}
+	return out
+}
+
+// ZonalStats summarizes a float field per zone of a class grid.
+type ZonalStats struct {
+	Count    int
+	Sum      float64
+	Min, Max float64
+	Mean     float64
+}
+
+// ZonalStatistics computes per-class statistics of field over zones. The
+// grids must share geometry.
+func ZonalStatistics(zones *ClassGrid, field *FloatGrid) (map[uint8]ZonalStats, error) {
+	if !zones.Same(field.Geometry) {
+		return nil, fmt.Errorf("raster: zonal statistics: %w", ErrShapeMismatch)
+	}
+	out := map[uint8]ZonalStats{}
+	for i, z := range zones.Data {
+		v := field.Data[i]
+		s, ok := out[z]
+		if !ok {
+			s = ZonalStats{Min: v, Max: v}
+		}
+		s.Count++
+		s.Sum += v
+		if v < s.Min {
+			s.Min = v
+		}
+		if v > s.Max {
+			s.Max = v
+		}
+		out[z] = s
+	}
+	for z, s := range out {
+		if s.Count > 0 {
+			s.Mean = s.Sum / float64(s.Count)
+		}
+		out[z] = s
+	}
+	return out, nil
+}

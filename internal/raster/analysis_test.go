@@ -1,0 +1,196 @@
+package raster
+
+import (
+	"testing"
+
+	"fivealarms/internal/rng"
+)
+
+func TestLabelComponentsBasic(t *testing.T) {
+	g := testGeom(10, 10, 1)
+	mask := NewBitGrid(g)
+	// Two blobs and an isolated cell.
+	for cx := 1; cx <= 3; cx++ {
+		mask.Set(cx, 1, true)
+		mask.Set(cx, 2, true)
+	}
+	mask.Set(7, 7, true)
+	mask.Set(7, 8, true)
+	mask.Set(5, 5, true)
+	l := LabelComponents(mask)
+	if l.N != 3 {
+		t.Fatalf("components = %d, want 3", l.N)
+	}
+	id, size := l.Largest()
+	if size != 6 {
+		t.Errorf("largest = %d cells, want 6", size)
+	}
+	cm := l.ComponentMask(id)
+	if cm.Count() != 6 {
+		t.Errorf("component mask = %d", cm.Count())
+	}
+	total := 0
+	for i := 1; i <= l.N; i++ {
+		total += l.Sizes[i]
+	}
+	if total != mask.Count() {
+		t.Errorf("sizes sum %d != mask %d", total, mask.Count())
+	}
+}
+
+func TestLabelComponentsDiagonalSeparate(t *testing.T) {
+	g := testGeom(5, 5, 1)
+	mask := NewBitGrid(g)
+	mask.Set(1, 1, true)
+	mask.Set(2, 2, true)
+	if l := LabelComponents(mask); l.N != 2 {
+		t.Errorf("diagonal cells = %d components, want 2 (4-connectivity)", l.N)
+	}
+}
+
+func TestLabelComponentsUShape(t *testing.T) {
+	// A U shape forces a union between provisional labels.
+	g := testGeom(7, 7, 1)
+	mask := NewBitGrid(g)
+	for cy := 1; cy <= 4; cy++ {
+		mask.Set(1, cy, true)
+		mask.Set(5, cy, true)
+	}
+	for cx := 1; cx <= 5; cx++ {
+		mask.Set(cx, 5, true)
+	}
+	if l := LabelComponents(mask); l.N != 1 {
+		t.Errorf("U shape = %d components, want 1", l.N)
+	}
+}
+
+func TestLabelComponentsEmpty(t *testing.T) {
+	l := LabelComponents(NewBitGrid(testGeom(4, 4, 1)))
+	if l.N != 0 {
+		t.Errorf("empty mask = %d components", l.N)
+	}
+	if id, size := l.Largest(); id != 0 || size != 0 {
+		t.Error("Largest of empty should be zero")
+	}
+}
+
+func TestLabelComponentsRandomAgainstFloodFill(t *testing.T) {
+	s := rng.New(31)
+	for trial := 0; trial < 10; trial++ {
+		g := testGeom(30, 30, 1)
+		mask := NewBitGrid(g)
+		for i := 0; i < 250; i++ {
+			mask.Set(s.Intn(30), s.Intn(30), true)
+		}
+		got := LabelComponents(mask).N
+		want := floodFillCount(mask)
+		if got != want {
+			t.Fatalf("trial %d: components = %d, flood fill says %d", trial, got, want)
+		}
+	}
+}
+
+func floodFillCount(mask *BitGrid) int {
+	g := mask.Geometry
+	seen := make([]bool, g.Cells())
+	count := 0
+	var stack [][2]int
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			if !mask.Get(cx, cy) || seen[cy*g.NX+cx] {
+				continue
+			}
+			count++
+			stack = stack[:0]
+			stack = append(stack, [2]int{cx, cy})
+			seen[cy*g.NX+cx] = true
+			for len(stack) > 0 {
+				c := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+					nx, ny := c[0]+d[0], c[1]+d[1]
+					if nx < 0 || ny < 0 || nx >= g.NX || ny >= g.NY {
+						continue
+					}
+					if mask.Get(nx, ny) && !seen[ny*g.NX+nx] {
+						seen[ny*g.NX+nx] = true
+						stack = append(stack, [2]int{nx, ny})
+					}
+				}
+			}
+		}
+	}
+	return count
+}
+
+func TestDownsample(t *testing.T) {
+	g := testGeom(8, 8, 1)
+	c := NewClassGrid(g)
+	// Fill a quadrant with class 2.
+	for cy := 0; cy < 4; cy++ {
+		for cx := 0; cx < 4; cx++ {
+			c.Set(cx, cy, 2)
+		}
+	}
+	d := c.Downsample(4)
+	if d.NX != 2 || d.NY != 2 {
+		t.Fatalf("downsampled dims %dx%d", d.NX, d.NY)
+	}
+	if d.CellSize != 4 {
+		t.Errorf("cell size = %v", d.CellSize)
+	}
+	if d.At(0, 0) != 2 {
+		t.Errorf("SW coarse cell = %d, want majority 2", d.At(0, 0))
+	}
+	if d.At(1, 1) != 0 {
+		t.Errorf("NE coarse cell = %d, want 0", d.At(1, 1))
+	}
+	// Tie break favors the higher class.
+	tie := NewClassGrid(testGeom(2, 1, 1))
+	tie.Set(0, 0, 1)
+	tie.Set(1, 0, 3)
+	if got := tie.Downsample(2).At(0, 0); got != 3 {
+		t.Errorf("tie break = %d, want 3", got)
+	}
+	same := c.Downsample(1)
+	if same.NX != c.NX {
+		t.Error("factor 1 should clone")
+	}
+}
+
+func TestZonalStatistics(t *testing.T) {
+	g := testGeom(4, 1, 1)
+	zones := NewClassGrid(g)
+	field := NewFloatGrid(g)
+	zones.Data = []uint8{1, 1, 2, 2}
+	field.Data = []float64{1, 3, 10, 20}
+	stats, err := ZonalStatistics(zones, field)
+	if err != nil {
+		t.Fatal(err)
+	}
+	z1 := stats[1]
+	if z1.Count != 2 || z1.Mean != 2 || z1.Min != 1 || z1.Max != 3 {
+		t.Errorf("zone 1 = %+v", z1)
+	}
+	z2 := stats[2]
+	if z2.Sum != 30 || z2.Mean != 15 {
+		t.Errorf("zone 2 = %+v", z2)
+	}
+	// Shape mismatch errors.
+	if _, err := ZonalStatistics(zones, NewFloatGrid(testGeom(9, 9, 1))); err == nil {
+		t.Error("shape mismatch should error")
+	}
+}
+
+func BenchmarkLabelComponents(b *testing.B) {
+	s := rng.New(5)
+	g := testGeom(256, 256, 1)
+	mask := NewBitGrid(g)
+	for i := 0; i < 20000; i++ {
+		mask.Set(s.Intn(256), s.Intn(256), true)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = LabelComponents(mask)
+	}
+}

@@ -1,0 +1,146 @@
+package raster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Esri ASCII grid I/O. The original study's workflow lived in ArcGIS;
+// this is the simplest interchange format its tooling reads natively, so
+// synthetic WHP and hazard rasters can be inspected alongside the real
+// products.
+
+// WriteArcASCII serializes the float grid as an Esri ASCII raster
+// (NODATA -9999). Rows are written north to south per the format.
+func (f *FloatGrid) WriteArcASCII(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw,
+		"ncols %d\nnrows %d\nxllcorner %g\nyllcorner %g\ncellsize %g\nNODATA_value -9999\n",
+		f.NX, f.NY, f.MinX, f.MinY, f.CellSize); err != nil {
+		return fmt.Errorf("raster: writing ArcASCII header: %w", err)
+	}
+	for cy := f.NY - 1; cy >= 0; cy-- {
+		for cx := 0; cx < f.NX; cx++ {
+			if cx > 0 {
+				if err := bw.WriteByte(' '); err != nil {
+					return fmt.Errorf("raster: writing ArcASCII: %w", err)
+				}
+			}
+			if _, err := bw.WriteString(strconv.FormatFloat(f.Data[cy*f.NX+cx], 'g', -1, 64)); err != nil {
+				return fmt.Errorf("raster: writing ArcASCII: %w", err)
+			}
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return fmt.Errorf("raster: writing ArcASCII: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("raster: flushing ArcASCII: %w", err)
+	}
+	return nil
+}
+
+// WriteArcASCIIClasses serializes the class grid as an Esri ASCII raster
+// of integer class codes.
+func (c *ClassGrid) WriteArcASCIIClasses(w io.Writer) error {
+	f := NewFloatGrid(c.Geometry)
+	for i, v := range c.Data {
+		f.Data[i] = float64(v)
+	}
+	return f.WriteArcASCII(w)
+}
+
+// ReadArcASCII parses an Esri ASCII raster into a float grid. Both
+// xllcorner/yllcorner and xllcenter/yllcenter header variants are
+// accepted; NODATA cells become NaN-free zeros with ok=false in the
+// returned mask.
+func ReadArcASCII(r io.Reader) (*FloatGrid, *BitGrid, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+
+	hdr := map[string]float64{}
+	var rows [][]string
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) == 2 && !isNumeric(fields[0]) {
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("raster: ArcASCII header %q: %w", line, err)
+			}
+			hdr[strings.ToLower(fields[0])] = v
+			continue
+		}
+		rows = append(rows, fields)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("raster: reading ArcASCII: %w", err)
+	}
+
+	ncols := int(hdr["ncols"])
+	nrows := int(hdr["nrows"])
+	cell := hdr["cellsize"]
+	if ncols <= 0 || nrows <= 0 || cell <= 0 {
+		return nil, nil, fmt.Errorf("raster: ArcASCII header incomplete (ncols=%d nrows=%d cellsize=%g)", ncols, nrows, cell)
+	}
+	// Refuse absurd headers before allocating: a malicious or corrupt
+	// header must not drive a multi-gigabyte grid allocation.
+	const maxCells = 1 << 28
+	if int64(ncols)*int64(nrows) > maxCells {
+		return nil, nil, fmt.Errorf("raster: ArcASCII grid %dx%d exceeds the %d-cell limit", ncols, nrows, maxCells)
+	}
+	minX, okX := hdr["xllcorner"]
+	minY, okY := hdr["yllcorner"]
+	if !okX {
+		if cx, ok := hdr["xllcenter"]; ok {
+			minX = cx - cell/2
+			okX = true
+		}
+	}
+	if !okY {
+		if cy, ok := hdr["yllcenter"]; ok {
+			minY = cy - cell/2
+			okY = true
+		}
+	}
+	if !okX || !okY {
+		return nil, nil, fmt.Errorf("raster: ArcASCII header missing corner coordinates")
+	}
+	nodata, hasNodata := hdr["nodata_value"]
+
+	if len(rows) != nrows {
+		return nil, nil, fmt.Errorf("raster: ArcASCII has %d data rows, header says %d", len(rows), nrows)
+	}
+	g := Geometry{MinX: minX, MinY: minY, CellSize: cell, NX: ncols, NY: nrows}
+	out := NewFloatGrid(g)
+	valid := NewBitGrid(g)
+	for ry, fields := range rows {
+		if len(fields) != ncols {
+			return nil, nil, fmt.Errorf("raster: ArcASCII row %d has %d columns, want %d", ry, len(fields), ncols)
+		}
+		cy := nrows - 1 - ry // file rows run north to south
+		for cx, s := range fields {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("raster: ArcASCII row %d col %d: %w", ry, cx, err)
+			}
+			if hasNodata && v == nodata {
+				continue
+			}
+			out.Set(cx, cy, v)
+			valid.Set(cx, cy, true)
+		}
+	}
+	return out, valid, nil
+}
+
+func isNumeric(s string) bool {
+	_, err := strconv.ParseFloat(s, 64)
+	return err == nil
+}

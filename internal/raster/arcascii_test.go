@@ -1,0 +1,125 @@
+package raster
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestArcASCIIRoundTrip(t *testing.T) {
+	f := NewFloatGrid(Geometry{MinX: 100, MinY: 200, CellSize: 30, NX: 4, NY: 3})
+	for i := range f.Data {
+		f.Data[i] = float64(i) * 1.5
+	}
+	var buf bytes.Buffer
+	if err := f.WriteArcASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, valid, err := ReadArcASCII(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Geometry != f.Geometry {
+		t.Fatalf("geometry %v != %v", back.Geometry, f.Geometry)
+	}
+	for i := range f.Data {
+		if back.Data[i] != f.Data[i] {
+			t.Fatalf("cell %d: %v != %v", i, back.Data[i], f.Data[i])
+		}
+	}
+	if valid.Count() != f.Cells() {
+		t.Errorf("valid cells = %d", valid.Count())
+	}
+}
+
+func TestArcASCIINodata(t *testing.T) {
+	in := `ncols 2
+nrows 2
+xllcorner 0
+yllcorner 0
+cellsize 10
+NODATA_value -9999
+1 -9999
+3 4
+`
+	f, valid, err := ReadArcASCII(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// File rows are north-to-south: first row is cy=1.
+	if f.At(0, 1) != 1 || f.At(1, 0) != 4 {
+		t.Errorf("values: %v", f.Data)
+	}
+	if valid.Get(1, 1) {
+		t.Error("NODATA cell should be invalid")
+	}
+	if !valid.Get(0, 1) || !valid.Get(1, 0) {
+		t.Error("data cells should be valid")
+	}
+}
+
+func TestArcASCIICenterVariant(t *testing.T) {
+	in := `ncols 2
+nrows 1
+xllcenter 5
+yllcenter 5
+cellsize 10
+1 2
+`
+	f, _, err := ReadArcASCII(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.MinX != 0 || f.MinY != 0 {
+		t.Errorf("corner from center: (%v,%v)", f.MinX, f.MinY)
+	}
+}
+
+func TestArcASCIIErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"ncols 2\nnrows 1\ncellsize 10\n1 2\n", // missing corner
+		"ncols 2\nnrows 2\nxllcorner 0\nyllcorner 0\ncellsize 10\n1 2\n",   // row count
+		"ncols 3\nnrows 1\nxllcorner 0\nyllcorner 0\ncellsize 10\n1 2\n",   // col count
+		"ncols 2\nnrows 1\nxllcorner 0\nyllcorner 0\ncellsize 10\n1 abc\n", // bad value
+		"ncols X\nnrows 1\nxllcorner 0\nyllcorner 0\ncellsize 10\n1 2\n",   // bad header
+	}
+	for i, c := range cases {
+		if _, _, err := ReadArcASCII(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should error", i)
+		}
+	}
+}
+
+func TestArcASCIIClassExport(t *testing.T) {
+	c := NewClassGrid(Geometry{MinX: 0, MinY: 0, CellSize: 5, NX: 2, NY: 2})
+	c.Set(0, 0, 6)
+	var buf bytes.Buffer
+	if err := c.WriteArcASCIIClasses(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadArcASCII(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.At(0, 0) != 6 {
+		t.Errorf("class round trip = %v", back.At(0, 0))
+	}
+}
+
+func TestArcASCIILargeValues(t *testing.T) {
+	f := NewFloatGrid(Geometry{MinX: -2.4e6, MinY: 3e5, CellSize: 270, NX: 3, NY: 2})
+	f.Set(1, 1, math.Pi*1e6)
+	var buf bytes.Buffer
+	if err := f.WriteArcASCII(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := ReadArcASCII(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(back.At(1, 1)-math.Pi*1e6) > 1e-6 {
+		t.Errorf("precision lost: %v", back.At(1, 1))
+	}
+}

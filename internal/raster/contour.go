@@ -1,0 +1,268 @@
+package raster
+
+import (
+	"sort"
+
+	"fivealarms/internal/geom"
+)
+
+// TraceContours extracts the boundary polygons of the set region of a
+// binary mask. The result is a MultiPolygon in projected coordinates whose
+// exterior rings wind counter-clockwise and whose holes wind clockwise,
+// following the cell edges exactly (rectilinear rings). Diagonally touching
+// cells are treated as disconnected (4-connectivity), which matches how
+// fire perimeters are reported.
+//
+// This is how the wildfire simulator converts a burned-cell mask into a
+// GeoMAC-style perimeter geometry.
+func TraceContours(mask *BitGrid) geom.MultiPolygon {
+	g := mask.Geometry
+
+	// Collect directed boundary edges with the interior on the left:
+	//   bottom edge -> +x, right edge -> +y, top edge -> -x, left edge -> -y.
+	// Vertices are grid corners addressed as vy*(NX+1)+vx.
+	type edge struct{ to int32 }
+	w := int32(g.NX + 1)
+	vertexID := func(vx, vy int) int32 { return int32(vy)*w + int32(vx) }
+
+	// out[vertex] holds up to two outgoing edges (checkerboard corners have
+	// exactly two).
+	out := make(map[int32][2]int32)
+	outN := make(map[int32]uint8)
+	addEdge := func(from, to int32) {
+		e := out[from]
+		n := outN[from]
+		if n < 2 {
+			e[n] = to
+			out[from] = e
+			outN[from] = n + 1
+		}
+	}
+
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			if !mask.Get(cx, cy) {
+				continue
+			}
+			if !mask.Get(cx, cy-1) { // bottom: left-to-right
+				addEdge(vertexID(cx, cy), vertexID(cx+1, cy))
+			}
+			if !mask.Get(cx+1, cy) { // right: bottom-to-top
+				addEdge(vertexID(cx+1, cy), vertexID(cx+1, cy+1))
+			}
+			if !mask.Get(cx, cy+1) { // top: right-to-left
+				addEdge(vertexID(cx+1, cy+1), vertexID(cx, cy+1))
+			}
+			if !mask.Get(cx-1, cy) { // left: top-to-bottom
+				addEdge(vertexID(cx, cy+1), vertexID(cx, cy))
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+
+	vertexPoint := func(v int32) geom.Point {
+		vy := int(v / w)
+		vx := int(v % w)
+		return geom.Point{X: g.MinX + float64(vx)*g.CellSize, Y: g.MinY + float64(vy)*g.CellSize}
+	}
+
+	// Deterministic iteration: trace loops starting from the smallest
+	// remaining vertex.
+	starts := make([]int32, 0, len(out))
+	for v := range out {
+		starts = append(starts, v)
+	}
+	sort.Slice(starts, func(i, j int) bool { return starts[i] < starts[j] })
+
+	takeEdge := func(from int32, incomingDir int32) (int32, bool) {
+		n := outN[from]
+		if n == 0 {
+			return 0, false
+		}
+		e := out[from]
+		pick := 0
+		if n == 2 {
+			// Ambiguous (checkerboard) vertex: prefer the left turn relative
+			// to the incoming direction so loops never cross themselves.
+			// Directions are encoded by the vertex delta: +1 (east), -1
+			// (west), +w (north), -w (south). Left of east is north, etc.
+			left := map[int32]int32{1: w, w: -1, -1: -w, -w: 1}[incomingDir]
+			if e[1]-from == left {
+				pick = 1
+			}
+		}
+		to := e[pick]
+		// Remove the picked edge.
+		if pick == 0 {
+			e[0] = e[1]
+		}
+		outN[from] = n - 1
+		out[from] = e
+		if n-1 == 0 {
+			delete(out, from)
+		}
+		return to, true
+	}
+
+	var outers []geom.Ring
+	var holes []geom.Ring
+	for _, start := range starts {
+		for outN[start] > 0 {
+			var ring []geom.Point
+			cur := start
+			var dir int32
+			for {
+				next, ok := takeEdge(cur, dir)
+				if !ok {
+					break
+				}
+				ring = append(ring, vertexPoint(cur))
+				dir = next - cur
+				cur = next
+				if cur == start {
+					break
+				}
+			}
+			if len(ring) < 4 {
+				continue
+			}
+			r := compressCollinear(geom.Ring(ring))
+			if !r.Valid() {
+				continue
+			}
+			if r.IsCCW() {
+				outers = append(outers, r)
+			} else {
+				holes = append(holes, r)
+			}
+		}
+	}
+
+	// Assign each hole to the smallest containing outer ring.
+	polys := make(geom.MultiPolygon, len(outers))
+	for i, o := range outers {
+		polys[i] = geom.Polygon{Exterior: o}
+	}
+	for _, h := range holes {
+		bestIdx := -1
+		bestArea := 0.0
+		probe := h[0]
+		// Nudge the probe inside the hole-owning polygon: any hole vertex is
+		// also on the outer region boundary lattice, so test containment
+		// with the hole's centroid instead.
+		probe = h.Centroid()
+		for i, o := range outers {
+			if o.ContainsPoint(probe) {
+				a := o.Area()
+				if bestIdx == -1 || a < bestArea {
+					bestIdx = i
+					bestArea = a
+				}
+			}
+		}
+		if bestIdx >= 0 {
+			polys[bestIdx].Holes = append(polys[bestIdx].Holes, h)
+		}
+	}
+	return polys
+}
+
+// compressCollinear removes intermediate vertices along straight runs of a
+// rectilinear ring.
+func compressCollinear(r geom.Ring) geom.Ring {
+	n := len(r)
+	if n < 3 {
+		return r
+	}
+	out := make(geom.Ring, 0, n)
+	for i := 0; i < n; i++ {
+		prev := r[(i+n-1)%n]
+		cur := r[i]
+		next := r[(i+1)%n]
+		v1 := cur.Sub(prev)
+		v2 := next.Sub(cur)
+		if v1.Cross(v2) != 0 {
+			out = append(out, cur)
+		}
+	}
+	return out
+}
+
+// FillPolygon sets every cell of the returned mask whose center lies inside
+// the polygon (even-odd rule over all rings), clipped to the geometry.
+func FillPolygon(g Geometry, poly geom.Polygon) *BitGrid {
+	mask := NewBitGrid(g)
+	rasterizePolygon(mask, poly, true)
+	return mask
+}
+
+// FillMultiPolygon sets every cell whose center lies inside any member
+// polygon.
+func FillMultiPolygon(g Geometry, m geom.MultiPolygon) *BitGrid {
+	mask := NewBitGrid(g)
+	for _, p := range m {
+		rasterizePolygon(mask, p, true)
+	}
+	return mask
+}
+
+// rasterizePolygon scanline-fills poly into mask.
+func rasterizePolygon(mask *BitGrid, poly geom.Polygon, value bool) {
+	g := mask.Geometry
+	bb := poly.BBox().Intersection(g.Bounds())
+	if bb.IsEmpty() {
+		return
+	}
+	cy0 := int((bb.MinY - g.MinY) / g.CellSize)
+	cy1 := int((bb.MaxY - g.MinY) / g.CellSize)
+	if cy0 < 0 {
+		cy0 = 0
+	}
+	if cy1 >= g.NY {
+		cy1 = g.NY - 1
+	}
+	rings := make([]geom.Ring, 0, 1+len(poly.Holes))
+	rings = append(rings, poly.Exterior)
+	rings = append(rings, poly.Holes...)
+
+	var xs []float64
+	for cy := cy0; cy <= cy1; cy++ {
+		y := g.MinY + (float64(cy)+0.5)*g.CellSize
+		xs = xs[:0]
+		for _, ring := range rings {
+			n := len(ring)
+			for i := 0; i < n; i++ {
+				a := ring[i]
+				b := ring[(i+1)%n]
+				if (a.Y > y) == (b.Y > y) {
+					continue
+				}
+				x := a.X + (b.X-a.X)*(y-a.Y)/(b.Y-a.Y)
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) < 2 {
+			continue
+		}
+		sort.Float64s(xs)
+		for i := 0; i+1 < len(xs); i += 2 {
+			x0, x1 := xs[i], xs[i+1]
+			cx0 := int((x0 - g.MinX) / g.CellSize)
+			cx1 := int((x1 - g.MinX) / g.CellSize)
+			if cx0 < 0 {
+				cx0 = 0
+			}
+			if cx1 >= g.NX {
+				cx1 = g.NX - 1
+			}
+			for cx := cx0; cx <= cx1; cx++ {
+				xc := g.MinX + (float64(cx)+0.5)*g.CellSize
+				if xc >= x0 && xc <= x1 {
+					mask.Set(cx, cy, value)
+				}
+			}
+		}
+	}
+}

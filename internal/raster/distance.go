@@ -1,0 +1,170 @@
+package raster
+
+import "math"
+
+// DistanceTransform computes, for every cell, the exact Euclidean distance
+// in meters from the cell center to the center of the nearest set cell in
+// mask. Cells that are themselves set get distance 0. When the mask is
+// empty every cell gets +Inf.
+//
+// The implementation is the exact two-pass separable squared-EDT of
+// Felzenszwalb & Huttenlocher (2012): a column pass computing 1-D squared
+// distances followed by a row pass taking the lower envelope of parabolas.
+// Complexity is O(NX*NY).
+func DistanceTransform(mask *BitGrid) *FloatGrid {
+	g := mask.Geometry
+	out := NewFloatGrid(g)
+	inf := math.Inf(1)
+
+	// Pass 1: per column, squared distance (in cell units) to the nearest
+	// set cell in that column.
+	colDist := make([]float64, g.Cells())
+	for cx := 0; cx < g.NX; cx++ {
+		// Downward sweep.
+		d := inf
+		for cy := 0; cy < g.NY; cy++ {
+			if mask.Get(cx, cy) {
+				d = 0
+			} else if !math.IsInf(d, 1) {
+				d++
+			}
+			colDist[cy*g.NX+cx] = d
+		}
+		// Upward sweep.
+		d = inf
+		for cy := g.NY - 1; cy >= 0; cy-- {
+			if mask.Get(cx, cy) {
+				d = 0
+			} else if !math.IsInf(d, 1) {
+				d++
+			}
+			i := cy*g.NX + cx
+			if d < colDist[i] {
+				colDist[i] = d
+			}
+		}
+		// Square.
+		for cy := 0; cy < g.NY; cy++ {
+			i := cy*g.NX + cx
+			if !math.IsInf(colDist[i], 1) {
+				colDist[i] *= colDist[i]
+			}
+		}
+	}
+
+	// Pass 2: per row, lower envelope of parabolas
+	// f(x) = colDist[row][q] + (x-q)^2, built over the finite parabolas
+	// only (columns with no set cell contribute nothing).
+	v := make([]int, g.NX)       // parabola source positions
+	z := make([]float64, g.NX+1) // envelope breakpoints
+	fRow := make([]float64, g.NX)
+	for cy := 0; cy < g.NY; cy++ {
+		base := cy * g.NX
+		copy(fRow, colDist[base:base+g.NX])
+		k := -1
+		for q := 0; q < g.NX; q++ {
+			if math.IsInf(fRow[q], 1) {
+				continue
+			}
+			var s float64
+			for k >= 0 {
+				p := v[k]
+				s = ((fRow[q] + float64(q*q)) - (fRow[p] + float64(p*p))) / float64(2*q-2*p)
+				if s > z[k] {
+					break
+				}
+				k--
+			}
+			if k < 0 {
+				k = 0
+				v[0] = q
+				z[0] = math.Inf(-1)
+			} else {
+				k++
+				v[k] = q
+				z[k] = s
+			}
+			z[k+1] = inf
+		}
+		if k < 0 {
+			// No set cell anywhere reaches this row: all infinite.
+			for q := 0; q < g.NX; q++ {
+				out.Data[base+q] = inf
+			}
+			continue
+		}
+		k = 0
+		for q := 0; q < g.NX; q++ {
+			for z[k+1] < float64(q) {
+				k++
+			}
+			p := v[k]
+			dq := float64(q - p)
+			out.Data[base+q] = math.Sqrt(fRow[p]+dq*dq) * g.CellSize
+		}
+	}
+	return out
+}
+
+// DilateByDistance returns the mask grown outward by dist meters: every
+// cell whose center lies within dist of a set cell's center becomes set.
+// dist <= 0 returns a clone.
+func DilateByDistance(mask *BitGrid, dist float64) *BitGrid {
+	if dist <= 0 {
+		return mask.Clone()
+	}
+	dt := DistanceTransform(mask)
+	out := NewBitGrid(mask.Geometry)
+	for i, d := range dt.Data {
+		if d <= dist {
+			out.setIdx(i)
+		}
+	}
+	return out
+}
+
+// ErodeByDistance returns the mask shrunk inward by dist meters: a cell
+// stays set only when every cell within dist is set (computed as the
+// complement's dilation).
+func ErodeByDistance(mask *BitGrid, dist float64) *BitGrid {
+	if dist <= 0 {
+		return mask.Clone()
+	}
+	inv := NewBitGrid(mask.Geometry)
+	for i := 0; i < mask.Cells(); i++ {
+		if !mask.getIdx(i) {
+			inv.setIdx(i)
+		}
+	}
+	grown := DilateByDistance(inv, dist)
+	out := NewBitGrid(mask.Geometry)
+	for i := 0; i < mask.Cells(); i++ {
+		if !grown.getIdx(i) {
+			out.setIdx(i)
+		}
+	}
+	return out
+}
+
+// Dilate8 returns the mask grown by steps rings of 8-neighborhood
+// dilation — the cheap morphological alternative to DilateByDistance used
+// by the ablation benchmarks.
+func Dilate8(mask *BitGrid, steps int) *BitGrid {
+	cur := mask.Clone()
+	for s := 0; s < steps; s++ {
+		next := cur.Clone()
+		for cy := 0; cy < cur.NY; cy++ {
+			for cx := 0; cx < cur.NX; cx++ {
+				if cur.Get(cx, cy) {
+					continue
+				}
+				if cur.Get(cx-1, cy) || cur.Get(cx+1, cy) || cur.Get(cx, cy-1) || cur.Get(cx, cy+1) ||
+					cur.Get(cx-1, cy-1) || cur.Get(cx+1, cy-1) || cur.Get(cx-1, cy+1) || cur.Get(cx+1, cy+1) {
+					next.Set(cx, cy, true)
+				}
+			}
+		}
+		cur = next
+	}
+	return cur
+}

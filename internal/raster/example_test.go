@@ -1,0 +1,70 @@
+package raster_test
+
+import (
+	"fmt"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/raster"
+)
+
+func ExampleDistanceTransform() {
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 100, NX: 5, NY: 1}
+	mask := raster.NewBitGrid(g)
+	mask.Set(0, 0, true)
+	dt := raster.DistanceTransform(mask)
+	for cx := 0; cx < 5; cx++ {
+		fmt.Printf("%.0f ", dt.At(cx, 0))
+	}
+	fmt.Println()
+	// Output:
+	// 0 100 200 300 400
+}
+
+func ExampleDilateByDistance() {
+	// The §3.8 operation: grow a very-high hazard mask by a buffer.
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 100, NX: 7, NY: 1}
+	vh := raster.NewBitGrid(g)
+	vh.Set(3, 0, true)
+	grown := raster.DilateByDistance(vh, 150)
+	fmt.Println(grown.Count())
+	// Output:
+	// 3
+}
+
+func ExampleFillPolygon() {
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 1, NX: 10, NY: 10}
+	perimeter := geom.NewPolygon(geom.NewRing(
+		geom.Pt(2, 2), geom.Pt(8, 2), geom.Pt(8, 8), geom.Pt(2, 8),
+	))
+	burned := raster.FillPolygon(g, perimeter)
+	fmt.Println(burned.Count(), "cells burned")
+	// Output:
+	// 36 cells burned
+}
+
+func ExampleTraceContours() {
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 1, NX: 6, NY: 6}
+	mask := raster.NewBitGrid(g)
+	for cy := 1; cy <= 3; cy++ {
+		for cx := 1; cx <= 4; cx++ {
+			mask.Set(cx, cy, true)
+		}
+	}
+	perimeter := raster.TraceContours(mask)
+	fmt.Printf("%d polygon, area %.0f\n", len(perimeter), perimeter.Area())
+	// Output:
+	// 1 polygon, area 12
+}
+
+func ExampleLabelComponents() {
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 1, NX: 6, NY: 1}
+	mask := raster.NewBitGrid(g)
+	mask.Set(0, 0, true)
+	mask.Set(1, 0, true)
+	mask.Set(4, 0, true)
+	labels := raster.LabelComponents(mask)
+	_, largest := labels.Largest()
+	fmt.Println(labels.N, "components, largest", largest)
+	// Output:
+	// 2 components, largest 2
+}

@@ -1,0 +1,313 @@
+// Package raster implements projected-grid rasters and the raster analyses
+// the fivealarms pipeline relies on: class grids (the WHP categories),
+// float fields (fuel/hazard surfaces), point sampling, zonal statistics,
+// exact Euclidean distance transforms (the §3.8 "extend very-high areas by
+// half a mile" operation), binary-mask contour tracing (fire-perimeter
+// extraction), and polygon rasterization (perimeter -> burned-cell mask).
+//
+// Grid convention: cells are squares of CellSize meters in a projected
+// plane; cell (cx, cy) covers [MinX+cx*s, MinX+(cx+1)*s) x [MinY+cy*s,
+// MinY+(cy+1)*s). Row cy=0 is the southern edge. Values are stored
+// row-major, index cy*NX+cx.
+package raster
+
+import (
+	"errors"
+	"fmt"
+
+	"fivealarms/internal/geom"
+)
+
+// ErrShapeMismatch is returned when an operation combines grids with
+// different geometry.
+var ErrShapeMismatch = errors.New("raster: grid shapes differ")
+
+// Geometry describes the placement of a raster in projected space.
+type Geometry struct {
+	MinX, MinY float64 // projected coordinates of the grid's SW corner
+	CellSize   float64 // cell edge length in meters
+	NX, NY     int     // columns, rows
+}
+
+// NewGeometry returns a Geometry covering box with the given cell size,
+// expanding the box to a whole number of cells.
+func NewGeometry(box geom.BBox, cellSize float64) Geometry {
+	if cellSize <= 0 {
+		cellSize = 1
+	}
+	nx := int(box.Width()/cellSize) + 1
+	ny := int(box.Height()/cellSize) + 1
+	return Geometry{MinX: box.MinX, MinY: box.MinY, CellSize: cellSize, NX: nx, NY: ny}
+}
+
+// Cells returns the total number of cells.
+func (g Geometry) Cells() int { return g.NX * g.NY }
+
+// Bounds returns the projected bounding box covered by the grid.
+func (g Geometry) Bounds() geom.BBox {
+	return geom.BBox{
+		MinX: g.MinX, MinY: g.MinY,
+		MaxX: g.MinX + float64(g.NX)*g.CellSize,
+		MaxY: g.MinY + float64(g.NY)*g.CellSize,
+	}
+}
+
+// CellOf returns the cell containing the projected point and whether it is
+// inside the grid.
+func (g Geometry) CellOf(p geom.Point) (cx, cy int, ok bool) {
+	cx = int((p.X - g.MinX) / g.CellSize)
+	cy = int((p.Y - g.MinY) / g.CellSize)
+	// The explicit cx/cy bounds also reject NaN and infinite coordinates,
+	// whose conversions to int are platform-defined.
+	if p.X < g.MinX || p.Y < g.MinY || cx < 0 || cy < 0 || cx >= g.NX || cy >= g.NY {
+		return cx, cy, false
+	}
+	return cx, cy, true
+}
+
+// Center returns the projected coordinates of the center of cell (cx, cy).
+func (g Geometry) Center(cx, cy int) geom.Point {
+	return geom.Point{
+		X: g.MinX + (float64(cx)+0.5)*g.CellSize,
+		Y: g.MinY + (float64(cy)+0.5)*g.CellSize,
+	}
+}
+
+// CellArea returns the area of one cell in square meters.
+func (g Geometry) CellArea() float64 { return g.CellSize * g.CellSize }
+
+// Same reports whether two geometries are identical.
+func (g Geometry) Same(o Geometry) bool { return g == o }
+
+// ClassGrid is a raster of small categorical values (e.g. WHP classes).
+type ClassGrid struct {
+	Geometry
+	Data []uint8
+}
+
+// NewClassGrid allocates a zero-filled class grid with the given geometry.
+func NewClassGrid(g Geometry) *ClassGrid {
+	return &ClassGrid{Geometry: g, Data: make([]uint8, g.Cells())}
+}
+
+// At returns the class at cell (cx, cy); out-of-range cells return 0.
+func (c *ClassGrid) At(cx, cy int) uint8 {
+	if cx < 0 || cy < 0 || cx >= c.NX || cy >= c.NY {
+		return 0
+	}
+	return c.Data[cy*c.NX+cx]
+}
+
+// Set stores v at cell (cx, cy); out-of-range cells are ignored.
+func (c *ClassGrid) Set(cx, cy int, v uint8) {
+	if cx < 0 || cy < 0 || cx >= c.NX || cy >= c.NY {
+		return
+	}
+	c.Data[cy*c.NX+cx] = v
+}
+
+// Sample returns the class at the projected point and whether the point is
+// on the grid.
+func (c *ClassGrid) Sample(p geom.Point) (uint8, bool) {
+	cx, cy, ok := c.CellOf(p)
+	if !ok {
+		return 0, false
+	}
+	return c.Data[cy*c.NX+cx], true
+}
+
+// Histogram returns the number of cells holding each class value.
+func (c *ClassGrid) Histogram() [256]int {
+	var h [256]int
+	for _, v := range c.Data {
+		h[v]++
+	}
+	return h
+}
+
+// Mask returns a boolean mask of the cells for which keep returns true.
+func (c *ClassGrid) Mask(keep func(uint8) bool) *BitGrid {
+	m := NewBitGrid(c.Geometry)
+	for i, v := range c.Data {
+		if keep(v) {
+			m.setIdx(i)
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy.
+func (c *ClassGrid) Clone() *ClassGrid {
+	out := NewClassGrid(c.Geometry)
+	copy(out.Data, c.Data)
+	return out
+}
+
+// FloatGrid is a raster of float64 values (fuel, hazard, elevation...).
+type FloatGrid struct {
+	Geometry
+	Data []float64
+}
+
+// NewFloatGrid allocates a zero-filled float grid.
+func NewFloatGrid(g Geometry) *FloatGrid {
+	return &FloatGrid{Geometry: g, Data: make([]float64, g.Cells())}
+}
+
+// At returns the value at (cx, cy); out-of-range cells return 0.
+func (f *FloatGrid) At(cx, cy int) float64 {
+	if cx < 0 || cy < 0 || cx >= f.NX || cy >= f.NY {
+		return 0
+	}
+	return f.Data[cy*f.NX+cx]
+}
+
+// Set stores v at (cx, cy); out-of-range cells are ignored.
+func (f *FloatGrid) Set(cx, cy int, v float64) {
+	if cx < 0 || cy < 0 || cx >= f.NX || cy >= f.NY {
+		return
+	}
+	f.Data[cy*f.NX+cx] = v
+}
+
+// Sample returns the value at the projected point and whether the point is
+// on the grid.
+func (f *FloatGrid) Sample(p geom.Point) (float64, bool) {
+	cx, cy, ok := f.CellOf(p)
+	if !ok {
+		return 0, false
+	}
+	return f.Data[cy*f.NX+cx], true
+}
+
+// MinMax returns the extreme values of the grid. An empty grid returns
+// (0, 0).
+func (f *FloatGrid) MinMax() (lo, hi float64) {
+	if len(f.Data) == 0 {
+		return 0, 0
+	}
+	lo, hi = f.Data[0], f.Data[0]
+	for _, v := range f.Data[1:] {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	return lo, hi
+}
+
+// Classify maps the grid through thresholds: the result class is the number
+// of thresholds strictly below the value (so len(thresholds)+1 classes).
+func (f *FloatGrid) Classify(thresholds []float64) *ClassGrid {
+	out := NewClassGrid(f.Geometry)
+	for i, v := range f.Data {
+		var cls uint8
+		for _, t := range thresholds {
+			if v >= t {
+				cls++
+			} else {
+				break
+			}
+		}
+		out.Data[i] = cls
+	}
+	return out
+}
+
+// BitGrid is a compact boolean raster used for burned-area and buffer
+// masks.
+type BitGrid struct {
+	Geometry
+	bits []uint64
+}
+
+// NewBitGrid allocates an all-false bit grid.
+func NewBitGrid(g Geometry) *BitGrid {
+	return &BitGrid{Geometry: g, bits: make([]uint64, (g.Cells()+63)/64)}
+}
+
+// Get reports the bit at (cx, cy); out-of-range cells are false.
+func (b *BitGrid) Get(cx, cy int) bool {
+	if cx < 0 || cy < 0 || cx >= b.NX || cy >= b.NY {
+		return false
+	}
+	i := cy*b.NX + cx
+	return b.bits[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Set sets the bit at (cx, cy) to v; out-of-range cells are ignored.
+func (b *BitGrid) Set(cx, cy int, v bool) {
+	if cx < 0 || cy < 0 || cx >= b.NX || cy >= b.NY {
+		return
+	}
+	i := cy*b.NX + cx
+	if v {
+		b.bits[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		b.bits[i>>6] &^= 1 << (uint(i) & 63)
+	}
+}
+
+func (b *BitGrid) setIdx(i int) { b.bits[i>>6] |= 1 << (uint(i) & 63) }
+
+func (b *BitGrid) getIdx(i int) bool { return b.bits[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set cells.
+func (b *BitGrid) Count() int {
+	n := 0
+	for _, w := range b.bits {
+		n += popcount(w)
+	}
+	return n
+}
+
+// Or sets b to the union of b and o. Returns ErrShapeMismatch when the
+// geometries differ.
+func (b *BitGrid) Or(o *BitGrid) error {
+	if !b.Same(o.Geometry) {
+		return ErrShapeMismatch
+	}
+	for i := range b.bits {
+		b.bits[i] |= o.bits[i]
+	}
+	return nil
+}
+
+// AndNot clears in b every cell set in o.
+func (b *BitGrid) AndNot(o *BitGrid) error {
+	if !b.Same(o.Geometry) {
+		return ErrShapeMismatch
+	}
+	for i := range b.bits {
+		b.bits[i] &^= o.bits[i]
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (b *BitGrid) Clone() *BitGrid {
+	out := NewBitGrid(b.Geometry)
+	copy(out.bits, b.bits)
+	return out
+}
+
+// AreaSquareMeters returns the total area of set cells.
+func (b *BitGrid) AreaSquareMeters() float64 {
+	return float64(b.Count()) * b.CellArea()
+}
+
+func popcount(x uint64) int {
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// String summarizes the grid for debugging.
+func (g Geometry) String() string {
+	return fmt.Sprintf("raster %dx%d @%gm origin (%.0f, %.0f)", g.NX, g.NY, g.CellSize, g.MinX, g.MinY)
+}

@@ -1,0 +1,260 @@
+package report
+
+import (
+	"fmt"
+
+	"fivealarms/internal/dirs"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/risk"
+	"fivealarms/internal/whp"
+)
+
+// Table1 renders the historical overlay in the paper's Table 1 layout,
+// with the paper's own numbers alongside for comparison.
+func Table1(rows []risk.YearOverlay) *Table {
+	t := &Table{
+		Title: "Table 1: Historical wildfire statistics for the US (measured vs paper)",
+		Header: []string{
+			"Year", "Fires", "Acres (M)", "Tx in perimeters", "Tx/M-acre",
+			"paper Tx", "paper Tx/M-acre",
+		},
+	}
+	// Newest first, like the paper.
+	for i := len(rows) - 1; i >= 0; i-- {
+		r := rows[i]
+		paperTx, paperRate := "-", "-"
+		if p, ok := geodata.PaperTable1ByYear(r.Year); ok {
+			paperTx = Itoa(p.TransceiversIn)
+			paperRate = Itoa(p.TransceiversPerMA)
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", r.Year),
+			Itoa(r.Fires),
+			fmt.Sprintf("%.3f", r.AcresBurned/1e6),
+			Itoa(r.TransceiversIn),
+			F1(r.PerMillionAcres),
+			paperTx,
+			paperRate,
+		)
+	}
+	return t
+}
+
+// Table2 renders the provider risk breakdown with the paper's Table 2
+// percentages alongside.
+func Table2(rows []risk.ProviderRow) *Table {
+	t := &Table{
+		Title: "Table 2: Cellular service provider risk (measured vs paper %)",
+		Header: []string{
+			"Provider", "WHP M", "WHP H", "WHP VH",
+			"%M", "%H", "%VH", "paper %M", "paper %H", "paper %VH",
+		},
+	}
+	paper := map[string]geodata.ProviderRiskRow{}
+	for _, p := range geodata.PaperTable2 {
+		paper[p.Provider] = p
+	}
+	for _, r := range rows {
+		pm, ph, pvh := "-", "-", "-"
+		if p, ok := paper[r.Provider]; ok {
+			pm, ph, pvh = F2(p.PctM), F2(p.PctH), F2(p.PctVH)
+		}
+		t.AddRow(r.Provider,
+			Itoa(r.Moderate), Itoa(r.High), Itoa(r.VHigh),
+			F2(r.PctM), F2(r.PctH), F2(r.PctVH), pm, ph, pvh)
+	}
+	return t
+}
+
+// Table3 renders the radio-technology risk breakdown.
+func Table3(rows []risk.RadioRow) *Table {
+	t := &Table{
+		Title:  "Table 3: Cell transceiver types at risk (measured vs paper total)",
+		Header: []string{"Type", "WHP VH", "WHP H", "WHP M", "Total", "paper Total"},
+	}
+	paper := map[string]geodata.RadioRiskRow{}
+	for _, p := range geodata.PaperTable3 {
+		paper[p.Radio] = p
+	}
+	for _, r := range rows {
+		pt := "-"
+		if p, ok := paper[r.Radio.String()]; ok {
+			pt = Itoa(p.Total)
+		}
+		t.AddRow(r.Radio.String(), Itoa(r.VHigh), Itoa(r.High), Itoa(r.Moderate),
+			Itoa(r.Total), pt)
+	}
+	return t
+}
+
+// Fig5 renders the case-study daily outage series (the Figure 5 bars).
+func Fig5(s *dirs.Series) *Table {
+	t := &Table{
+		Title:  "Figure 5: Cell site outages during the fall-2019 PSPS event",
+		Header: []string{"Day", "Damage", "Power", "Backhaul", "Total", "Power share"},
+	}
+	for d := range s.Damage {
+		t.AddRow(s.Labels[d], Itoa(s.Damage[d]), Itoa(s.Power[d]),
+			Itoa(s.Backhaul[d]), Itoa(s.Total(d)), Pct(100*s.PowerShare(d)))
+	}
+	return t
+}
+
+// Fig7 renders the national WHP class totals.
+func Fig7(res *risk.WHPResult) *Table {
+	t := &Table{
+		Title:  "Figure 7: Transceivers per WHP class (measured vs paper)",
+		Header: []string{"Class", "Transceivers", "paper"},
+	}
+	paper := map[whp.Class]int{
+		whp.Moderate: geodata.PaperWHPModerate,
+		whp.High:     geodata.PaperWHPHigh,
+		whp.VeryHigh: geodata.PaperWHPVeryHigh,
+	}
+	for _, c := range []whp.Class{whp.Moderate, whp.High, whp.VeryHigh} {
+		t.AddRow(c.String(), Itoa(res.ByClass[c]), Itoa(paper[c]))
+	}
+	t.AddRow("total at risk", Itoa(res.AtRisk()), Itoa(geodata.PaperWHPTotal))
+	return t
+}
+
+// Fig8 renders the top states per class.
+func Fig8(res *risk.WHPResult, topN int) *Table {
+	t := &Table{
+		Title:  "Figure 8: States with the most at-risk transceivers",
+		Header: []string{"Rank", "State (M)", "count", "State (H)", "count", "State (VH)", "count"},
+	}
+	m := res.TopStates(whp.Moderate)
+	h := res.TopStates(whp.High)
+	vh := res.TopStates(whp.VeryHigh)
+	for i := 0; i < topN; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for _, list := range [][]risk.StateCount{m, h, vh} {
+			if i < len(list) {
+				row = append(row, list[i].Abbrev, Itoa(list[i].Count))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig9 renders the per-capita ranking.
+func Fig9(res *risk.WHPResult, topN int) *Table {
+	t := &Table{
+		Title:  "Figure 9: At-risk transceivers per 1000 residents",
+		Header: []string{"Rank", "State (M)", "/1000", "State (H)", "/1000", "State (VH)", "/1000"},
+	}
+	m := res.PerCapita(whp.Moderate)
+	h := res.PerCapita(whp.High)
+	vh := res.PerCapita(whp.VeryHigh)
+	for i := 0; i < topN; i++ {
+		row := []string{fmt.Sprintf("%d", i+1)}
+		for _, list := range [][]risk.StateCount{m, h, vh} {
+			if i < len(list) {
+				row = append(row, list[i].Abbrev, F2(list[i].PerThousand))
+			} else {
+				row = append(row, "-", "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Fig10 renders the WHP x population-density matrix.
+func Fig10(m *risk.ImpactMatrix) *Table {
+	t := &Table{
+		Title:  "Figure 10: At-risk transceivers by WHP class and county density",
+		Header: []string{"WHP class", "Pop M (200k-500k)", "Pop H (500k-1.5M)", "Pop VH (>1.5M)", "Rural"},
+	}
+	names := []string{"moderate", "high", "very-high"}
+	for r := 0; r < 3; r++ {
+		t.AddRow(names[r], Itoa(m.Counts[r][0]), Itoa(m.Counts[r][1]),
+			Itoa(m.Counts[r][2]), Itoa(m.Rural[r]))
+	}
+	t.AddRow("total", Itoa(m.Counts[0][0]+m.Counts[1][0]+m.Counts[2][0]),
+		Itoa(m.Counts[0][1]+m.Counts[1][1]+m.Counts[2][1]),
+		Itoa(m.VeryDenseTotal()),
+		Itoa(m.Rural[0]+m.Rural[1]+m.Rural[2]))
+	return t
+}
+
+// Fig12 renders the metro comparison.
+func Fig12(rows []risk.MetroRow) *Table {
+	t := &Table{
+		Title:  "Figure 12: Metro areas with the most at-risk transceivers",
+		Header: []string{"Metro", "Moderate", "High", "Very high", "Total", "VH in PopVH", "paper VH/PopVH"},
+	}
+	for _, r := range rows {
+		paper := "-"
+		if v, ok := geodata.MetroVHVeryDense[r.Metro]; ok {
+			paper = Itoa(v)
+		}
+		t.AddRow(r.Metro, Itoa(r.Moderate), Itoa(r.High), Itoa(r.VHigh),
+			Itoa(r.Total()), Itoa(r.VHVeryDense), paper)
+	}
+	return t
+}
+
+// Fig14 renders the corridor future-risk projection.
+func Fig14(res *risk.FutureResult) *Table {
+	t := &Table{
+		Title:  "Figure 14: SLC-Denver corridor ecoregion projections (2040s)",
+		Header: []string{"Ecoregion", "Delta", "Transceivers", "At risk now", "At risk 2040s", "Mean hazard now", "Mean hazard 2040s"},
+	}
+	for _, r := range res.Rows {
+		t.AddRow(r.Ecoregion, fmt.Sprintf("%+.0f%%", r.DeltaPct), Itoa(r.Transceivers),
+			Itoa(r.AtRiskNow), Itoa(r.AtRiskFuture),
+			fmt.Sprintf("%.3f", r.MeanHazardNow), fmt.Sprintf("%.3f", r.MeanHazardFuture))
+	}
+	return t
+}
+
+// Validation renders the §3.4 validation summary.
+func Validation(v *risk.ValidationResult) *Table {
+	t := &Table{
+		Title:  "Validation (2019 hold-out season, paper section 3.4)",
+		Header: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("transceivers in 2019 perimeters", Itoa(v.InPerimeter), Itoa(geodata.PaperValidation2019InPerimeter))
+	t.AddRow("predicted by WHP (moderate+)", Itoa(v.Predicted), Itoa(geodata.PaperValidation2019Predicted))
+	t.AddRow("accuracy", Pct(v.AccuracyPct()), fmt.Sprintf("%d%%", geodata.PaperValidationAccuracyPct))
+	t.AddRow("misses inside road-corridor fires", Itoa(v.MissesInRoadFires), Itoa(geodata.PaperValidation2019RoadFires))
+	t.AddRow("accuracy excluding road fires", Pct(v.AccuracyExclRoadPct()), fmt.Sprintf("%d%%", geodata.PaperValidationExclRoadPct))
+	return t
+}
+
+// Extension renders the §3.8 very-high buffer extension summary.
+func Extension(e *risk.ExtensionResult) *Table {
+	t := &Table{
+		Title:  "Extension of very-high WHP areas (paper section 3.8)",
+		Header: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("buffer distance (m)", fmt.Sprintf("%.0f", e.DistM), "804.67 (0.5 mi)")
+	t.AddRow("very-high before", Itoa(e.VHBefore), Itoa(geodata.PaperWHPVeryHigh))
+	t.AddRow("very-high after", Itoa(e.VHAfter), Itoa(geodata.PaperExtendedVHCount))
+	t.AddRow("total at-risk before", Itoa(e.TotalBefore), Itoa(geodata.PaperWHPTotal))
+	t.AddRow("total at-risk after", Itoa(e.TotalAfter), Itoa(geodata.PaperExtendedTotal))
+	t.AddRow("accuracy before", Pct(e.Before.AccuracyPct()), fmt.Sprintf("%d%%", geodata.PaperValidationAccuracyPct))
+	t.AddRow("accuracy after", Pct(e.After.AccuracyPct()), fmt.Sprintf("%d%%", geodata.PaperExtendedAccuracyPct))
+	return t
+}
+
+// CaseStudy renders the §3.2 case-study headline numbers.
+func CaseStudy(r *risk.CaseStudyResult) *Table {
+	t := &Table{
+		Title:  "Case study: fall-2019 California PSPS (paper section 3.2)",
+		Header: []string{"Metric", "Measured", "Paper"},
+	}
+	t.AddRow("cell sites in region", Itoa(r.Sites), "-")
+	t.AddRow("peak day", r.Series.Labels[r.PeakDay], "Oct 28")
+	t.AddRow("peak sites out", Itoa(r.PeakOut), Itoa(geodata.PaperDIRSPeakSitesOut))
+	t.AddRow("peak power share", Pct(100*r.PeakPowerShare), "80%")
+	t.AddRow("final-day sites out", Itoa(r.FinalOut), Itoa(geodata.PaperDIRSFinalSitesOut))
+	t.AddRow("final-day damaged", Itoa(r.FinalDamaged), Itoa(geodata.PaperDIRSFinalDamaged))
+	t.AddRow("counties reporting", Itoa(r.Counties), Itoa(geodata.PaperDIRSCounties))
+	return t
+}

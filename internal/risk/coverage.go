@@ -1,0 +1,68 @@
+package risk
+
+import (
+	"fivealarms/internal/coverage"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/whp"
+)
+
+// CoverageResult is the service-coverage impact of wildfire-exposed
+// infrastructure (§3.11's alternate framing; the abstract's "over 85
+// million" people served by at-risk transceivers).
+type CoverageResult struct {
+	// TotalPopulation is the synthetic population surface total.
+	TotalPopulation float64
+	// ServedPopulation is the population within serving radius of any
+	// transceiver site.
+	ServedPopulation float64
+	// AtRiskServedPopulation is the population within serving radius of
+	// at least one at-risk (moderate+) transceiver — the paper's 85M
+	// analog.
+	AtRiskServedPopulation float64
+	// StrandedPopulation is the population that would lose all coverage
+	// if every at-risk transceiver failed simultaneously (the worst-case
+	// fire season).
+	StrandedPopulation float64
+	// RadiusM is the serving radius used.
+	RadiusM float64
+}
+
+// Coverage computes the population-coverage exposure of the at-risk
+// transceiver set with the given serving radius (0 selects the default).
+func (a *Analyzer) Coverage(radiusM float64) *CoverageResult {
+	model := coverage.Build(a.World, a.Counties, radiusM)
+
+	var atRisk, safe []geom.Point
+	for i := range a.Data.T {
+		if a.classOf[i].AtRisk() {
+			atRisk = append(atRisk, a.Data.T[i].XY)
+		} else {
+			safe = append(safe, a.Data.T[i].XY)
+		}
+	}
+	imp := model.Evaluate(safe, atRisk)
+	return &CoverageResult{
+		TotalPopulation:        model.TotalPopulation(),
+		ServedPopulation:       imp.ServedPopulation,
+		AtRiskServedPopulation: imp.ExposedPopulation,
+		StrandedPopulation:     imp.StrandedPopulation,
+		RadiusM:                model.RadiusM,
+	}
+}
+
+// CoverageByClass computes, per at-risk WHP class, the population within
+// serving radius of that class's transceivers.
+func (a *Analyzer) CoverageByClass(radiusM float64) map[whp.Class]float64 {
+	model := coverage.Build(a.World, a.Counties, radiusM)
+	out := map[whp.Class]float64{}
+	for _, c := range []whp.Class{whp.Moderate, whp.High, whp.VeryHigh} {
+		var pts []geom.Point
+		for i := range a.Data.T {
+			if a.classOf[i] == c {
+				pts = append(pts, a.Data.T[i].XY)
+			}
+		}
+		out[c] = model.Population(model.ServedMask(pts))
+	}
+	return out
+}

@@ -1,0 +1,76 @@
+package risk
+
+import "fivealarms/internal/wildfire"
+
+// DailyExposure is one day of the within-season exposure series: how many
+// transceivers sit inside perimeters of fires actively burning that day —
+// a finer-grained view of Figure 4 that the GeoMAC date fields enable.
+type DailyExposure struct {
+	DayOfYear    int
+	ActiveFires  int
+	Transceivers int
+}
+
+// SeasonExposure computes the daily series over a season's mapped fires
+// (days with no active fires are omitted). A transceiver inside two
+// simultaneously-active perimeters counts once.
+func (a *Analyzer) SeasonExposure(season *wildfire.Season) []DailyExposure {
+	if len(season.Mapped) == 0 {
+		return nil
+	}
+	first, last := 367, 0
+	for i := range season.Mapped {
+		f := &season.Mapped[i]
+		if f.StartDay < first {
+			first = f.StartDay
+		}
+		if f.EndDay > last {
+			last = f.EndDay
+		}
+	}
+	// Precompute each fire's contained transceivers once.
+	contained := make([][]int, len(season.Mapped))
+	for i := range season.Mapped {
+		contained[i] = a.TransceiversInFire(&season.Mapped[i])
+	}
+
+	var out []DailyExposure
+	seen := map[int]bool{}
+	for day := first; day <= last; day++ {
+		active := 0
+		for k := range seen {
+			delete(seen, k)
+		}
+		for i := range season.Mapped {
+			f := &season.Mapped[i]
+			if day < f.StartDay || day > f.EndDay {
+				continue
+			}
+			active++
+			for _, ti := range contained[i] {
+				seen[ti] = true
+			}
+		}
+		if active == 0 {
+			continue
+		}
+		out = append(out, DailyExposure{
+			DayOfYear:    day,
+			ActiveFires:  active,
+			Transceivers: len(seen),
+		})
+	}
+	return out
+}
+
+// PeakExposure returns the day with the most transceivers inside active
+// perimeters (zero value when the season is empty).
+func PeakExposure(series []DailyExposure) DailyExposure {
+	var best DailyExposure
+	for _, d := range series {
+		if d.Transceivers > best.Transceivers {
+			best = d
+		}
+	}
+	return best
+}

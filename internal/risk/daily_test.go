@@ -1,0 +1,52 @@
+package risk
+
+import (
+	"testing"
+
+	"fivealarms/internal/wildfire"
+)
+
+func TestSeasonExposure(t *testing.T) {
+	season := testSim.Season(wildfire.SeasonConfig{
+		Seed: 5, Year: 2018, TotalFires: 58083, TotalAcres: 8.8e6, MappedFires: 25,
+	})
+	series := testAnalyzer.SeasonExposure(season)
+	if len(series) == 0 {
+		t.Fatal("empty exposure series")
+	}
+	for i, d := range series {
+		if d.ActiveFires <= 0 {
+			t.Fatalf("day %d listed with no active fires", d.DayOfYear)
+		}
+		if d.Transceivers < 0 {
+			t.Fatal("negative exposure")
+		}
+		if i > 0 && d.DayOfYear <= series[i-1].DayOfYear {
+			t.Fatal("series not strictly increasing in day")
+		}
+	}
+	// The daily maximum cannot exceed the season's total join.
+	rows := testAnalyzer.HistoricalOverlay([]*wildfire.Season{season})
+	peak := PeakExposure(series)
+	if peak.Transceivers > rows[0].TransceiversIn {
+		t.Errorf("peak daily exposure %d exceeds season total %d",
+			peak.Transceivers, rows[0].TransceiversIn)
+	}
+	// The peak day must be a day of the series.
+	if peak.DayOfYear == 0 && peak.Transceivers == 0 {
+		// Legitimate only if no fire contains any transceiver.
+		if rows[0].TransceiversIn != 0 {
+			t.Error("peak missing despite season exposure")
+		}
+	}
+}
+
+func TestSeasonExposureEmpty(t *testing.T) {
+	empty := &wildfire.Season{Year: 2001}
+	if got := testAnalyzer.SeasonExposure(empty); got != nil {
+		t.Errorf("empty season series = %v", got)
+	}
+	if p := PeakExposure(nil); p.Transceivers != 0 {
+		t.Error("peak of nil should be zero")
+	}
+}

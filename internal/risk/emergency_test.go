@@ -1,0 +1,52 @@
+package risk
+
+import (
+	"testing"
+
+	"fivealarms/internal/powergrid"
+	"fivealarms/internal/wildfire"
+)
+
+func TestEmergencyAnalysis(t *testing.T) {
+	season := wildfire.Simulate2019(testSim, 7, 15)
+	res := testAnalyzer.EmergencyAnalysis(season, powergrid.NetConfig{Seed: 7}, 7, 0)
+	if res.WirelessOnlyShare != 0.80 {
+		t.Errorf("default wireless share = %v", res.WirelessOnlyShare)
+	}
+	if len(res.StrandedByDay) != 8 {
+		t.Fatalf("days = %d", len(res.StrandedByDay))
+	}
+	var sum float64
+	peakSeen := 0.0
+	for d, v := range res.StrandedByDay {
+		if v < 0 {
+			t.Fatalf("day %d negative stranded", d)
+		}
+		sum += v
+		if v > peakSeen {
+			peakSeen = v
+		}
+	}
+	if res.PersonDays != sum {
+		t.Errorf("person-days %v != sum %v", res.PersonDays, sum)
+	}
+	if res.PeakStranded != peakSeen {
+		t.Errorf("peak %v != observed %v", res.PeakStranded, peakSeen)
+	}
+	if res.At911Risk != res.PersonDays*0.80 {
+		t.Error("911 scaling wrong")
+	}
+	// The stranded population tracks the outage curve: the peak day must
+	// strand more than the final day.
+	if len(res.StrandedByDay) >= 8 && res.StrandedByDay[3] < res.StrandedByDay[7] {
+		t.Errorf("peak day strands %v, final day %v", res.StrandedByDay[3], res.StrandedByDay[7])
+	}
+}
+
+func TestEmergencyAnalysisShareOverride(t *testing.T) {
+	season := wildfire.Simulate2019(testSim, 7, 15)
+	res := testAnalyzer.EmergencyAnalysis(season, powergrid.NetConfig{Seed: 7}, 7, 0.5)
+	if res.WirelessOnlyShare != 0.5 || res.At911Risk != res.PersonDays*0.5 {
+		t.Error("share override ignored")
+	}
+}

@@ -1,0 +1,87 @@
+package risk
+
+import (
+	"sort"
+
+	"math"
+
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/hot"
+)
+
+// StateEscape is one row of the regionalized escape-probability analysis
+// (the §3.11 extension: HOT-based per-region escape probabilities).
+type StateEscape struct {
+	Abbrev string
+	// Escape is the probability that an ignition in the state exceeds
+	// the containment threshold.
+	Escape float64
+	// ExpectedLossAcres is the expected burned area per ignition under
+	// the optimal suppression allocation.
+	ExpectedLossAcres float64
+	// AtRiskTransceivers is the state's moderate+ transceiver count, for
+	// joining escape risk against infrastructure exposure.
+	AtRiskTransceivers int
+}
+
+// EscapeProbabilities fits a HOT suppression-allocation model per state
+// (ignition weights from the hazard raster, a resource budget
+// proportional to the state's cell count) and returns each state's
+// probability that an ignition escapes initial attack beyond
+// thresholdAcres, sorted descending. States whose zones carry no hazard
+// are omitted.
+func (a *Analyzer) EscapeProbabilities(thresholdAcres float64) []StateEscape {
+	if thresholdAcres <= 0 {
+		thresholdAcres = 300 // GeoMAC-style mapping threshold
+	}
+	g := a.WHP.Hazard.Geometry
+	// Collect hazard weights per state.
+	weights := make([][]float64, len(geodata.States))
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			v := a.World.StateZone.At(cx, cy)
+			if v == 0 {
+				continue
+			}
+			h := a.WHP.Hazard.At(cx, cy)
+			if h <= 0 {
+				continue
+			}
+			si := int(v) - 1
+			// Ignition likelihood rises superlinearly with hazard, as in
+			// the fire simulator.
+			weights[si] = append(weights[si], math.Exp(10*h))
+		}
+	}
+	overlay := a.WHPOverlay()
+
+	var out []StateEscape
+	for si, w := range weights {
+		if len(w) == 0 {
+			continue
+		}
+		// Budget: one resource unit per cell — uniform suppression
+		// capacity density nationwide, so differences come from the
+		// hazard structure alone. The area scale (60 acres at unit
+		// resource) keeps the typical ignition contained, so escape
+		// probability measures the hazard tail.
+		m, err := hot.Fit(w, float64(len(w)), 1, 250)
+		if err != nil {
+			continue
+		}
+		row := overlay.ByState[si]
+		out = append(out, StateEscape{
+			Abbrev:             geodata.States[si].Abbrev,
+			Escape:             m.EscapeProbability(thresholdAcres),
+			ExpectedLossAcres:  m.ExpectedLoss(),
+			AtRiskTransceivers: row[0] + row[1] + row[2],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Escape != out[j].Escape {
+			return out[i].Escape > out[j].Escape
+		}
+		return out[i].Abbrev < out[j].Abbrev
+	})
+	return out
+}

@@ -1,0 +1,78 @@
+package risk
+
+import (
+	"testing"
+
+	"fivealarms/internal/hot"
+	"fivealarms/internal/wildfire"
+)
+
+func TestEscapeProbabilities(t *testing.T) {
+	rows := testAnalyzer.EscapeProbabilities(0)
+	if len(rows) < 40 {
+		t.Fatalf("states with escape estimates = %d", len(rows))
+	}
+	byState := map[string]StateEscape{}
+	for i, r := range rows {
+		byState[r.Abbrev] = r
+		if r.Escape < 0 || r.Escape > 1 {
+			t.Fatalf("escape out of range: %+v", r)
+		}
+		if i > 0 && rows[i].Escape > rows[i-1].Escape {
+			t.Fatal("not sorted descending")
+		}
+	}
+	// Heterogeneous hazard fields (the west) escape more than the flat
+	// farm belt.
+	if byState["CA"].Escape <= byState["IL"].Escape {
+		t.Errorf("CA escape %.3f should exceed IL %.3f",
+			byState["CA"].Escape, byState["IL"].Escape)
+	}
+	if byState["CA"].AtRiskTransceivers == 0 {
+		t.Error("CA at-risk join missing")
+	}
+}
+
+func TestEscapeThresholdMonotone(t *testing.T) {
+	low := testAnalyzer.EscapeProbabilities(100)
+	high := testAnalyzer.EscapeProbabilities(100000)
+	lm := map[string]float64{}
+	for _, r := range low {
+		lm[r.Abbrev] = r.Escape
+	}
+	for _, r := range high {
+		if r.Escape > lm[r.Abbrev]+1e-12 {
+			t.Fatalf("%s: escape grew with threshold", r.Abbrev)
+		}
+	}
+}
+
+func TestHOTSizeSamplerIntegration(t *testing.T) {
+	// Plug a HOT model into the season simulator in place of the
+	// truncated Pareto: the season must still calibrate to its acre
+	// target and produce mapped perimeters.
+	g := testWHP.Hazard.Geometry
+	var w []float64
+	for cy := 0; cy < g.NY; cy += 2 {
+		for cx := 0; cx < g.NX; cx += 2 {
+			if h := testWHP.Hazard.At(cx, cy); h > 0 {
+				w = append(w, h*h)
+			}
+		}
+	}
+	m, err := hot.Fit(w, float64(len(w)), 1, 2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := testSim.Season(wildfire.SeasonConfig{
+		Seed: 5, Year: 2013, TotalFires: 47579, TotalAcres: 4.3e6,
+		MappedFires: 20, SizeSampler: m,
+	})
+	if len(s.Mapped) < 15 {
+		t.Fatalf("mapped fires = %d", len(s.Mapped))
+	}
+	ratio := s.MappedAcres() / (4.3e6 * 0.85)
+	if ratio < 0.4 || ratio > 1.8 {
+		t.Errorf("HOT-sized season calibration off: ratio %v", ratio)
+	}
+}

@@ -1,0 +1,41 @@
+package risk
+
+import (
+	"testing"
+
+	"fivealarms/internal/wildfire"
+)
+
+func TestExtendAndValidateFine(t *testing.T) {
+	season := wildfire.Simulate2019(testSim, 7, 40)
+	// Test scale: 4 km window cells, 5 km buffer (one-plus cells).
+	res := testAnalyzer.ExtendAndValidateFine(season, 4000, 5000)
+	if res.WindowTransceivers == 0 {
+		t.Fatal("empty window")
+	}
+	if res.InPerimeter == 0 {
+		t.Fatal("no in-perimeter transceivers in the CA window")
+	}
+	if res.PredictedAfter < res.PredictedBefore {
+		t.Errorf("extension reduced predictions: %d -> %d",
+			res.PredictedBefore, res.PredictedAfter)
+	}
+	if res.VHAfter <= res.VHBefore {
+		t.Errorf("extension did not grow very-high membership: %d -> %d",
+			res.VHBefore, res.VHAfter)
+	}
+	if res.AccuracyAfterPct() < res.AccuracyBeforePct() {
+		t.Errorf("accuracy fell: %.1f%% -> %.1f%%",
+			res.AccuracyBeforePct(), res.AccuracyAfterPct())
+	}
+	if res.AccuracyBeforePct() < 0 || res.AccuracyAfterPct() > 100 {
+		t.Error("accuracy out of range")
+	}
+}
+
+func TestExtendAndValidateFineDefaults(t *testing.T) {
+	res := &FineExtension{}
+	if res.AccuracyBeforePct() != 0 || res.AccuracyAfterPct() != 0 {
+		t.Error("empty result accuracies should be 0")
+	}
+}

@@ -1,0 +1,9 @@
+package risk
+
+import "fivealarms/internal/ecoregion"
+
+// corridorFixture builds the SLC-Denver corridor lazily (it is cheap but
+// keeps the var block above focused on the heavyweight fixtures).
+func corridorFixture() *ecoregion.Corridor {
+	return ecoregion.BuildCorridor(testWorld)
+}

@@ -1,0 +1,74 @@
+package risk
+
+import "testing"
+
+func TestHardeningPlanBasics(t *testing.T) {
+	res := testAnalyzer.HardeningPlan(10, 30000)
+	if res.CandidateSites == 0 {
+		t.Fatal("no candidate sites")
+	}
+	if len(res.Sites) == 0 || len(res.Sites) > 10 {
+		t.Fatalf("chosen sites = %d", len(res.Sites))
+	}
+	if res.ProtectedPopulation <= 0 {
+		t.Fatal("no population protected")
+	}
+	if res.ProtectedPopulation > res.CandidatePopulation+1 {
+		t.Error("protected exceeds the candidate ceiling")
+	}
+	// Greedy marginal gains are non-increasing.
+	for i := 1; i < len(res.Sites); i++ {
+		if res.Sites[i].Gain > res.Sites[i-1].Gain+1e-9 {
+			t.Errorf("gain %d (%.0f) exceeds gain %d (%.0f)",
+				i, res.Sites[i].Gain, i-1, res.Sites[i-1].Gain)
+		}
+	}
+	for _, s := range res.Sites {
+		if s.Transceivers <= 0 {
+			t.Error("site without transceivers chosen")
+		}
+	}
+}
+
+func TestHardeningPlanMonotoneInBudget(t *testing.T) {
+	small := testAnalyzer.HardeningPlan(3, 30000)
+	large := testAnalyzer.HardeningPlan(12, 30000)
+	if large.ProtectedPopulation < small.ProtectedPopulation {
+		t.Errorf("larger budget protected less: %.0f < %.0f",
+			large.ProtectedPopulation, small.ProtectedPopulation)
+	}
+	// The first selections agree (greedy determinism).
+	for i := range small.Sites {
+		if small.Sites[i].SiteID != large.Sites[i].SiteID {
+			t.Errorf("selection order differs at %d", i)
+		}
+	}
+}
+
+func TestHardeningPlanZeroBudget(t *testing.T) {
+	res := testAnalyzer.HardeningPlan(0, 30000)
+	if len(res.Sites) != 0 || res.ProtectedPopulation != 0 {
+		t.Error("zero budget should protect nothing")
+	}
+	if res.CandidatePopulation <= 0 {
+		t.Error("candidate ceiling should still be computed")
+	}
+}
+
+func TestHardeningPlanDiminishingReturns(t *testing.T) {
+	res := testAnalyzer.HardeningPlan(15, 30000)
+	if len(res.Sites) < 4 {
+		t.Skip("too few sites for the check")
+	}
+	first := res.Sites[0].Gain
+	last := res.Sites[len(res.Sites)-1].Gain
+	if last >= first {
+		t.Errorf("no diminishing returns: first %.0f, last %.0f", first, last)
+	}
+}
+
+func BenchmarkHardeningPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = testAnalyzer.HardeningPlan(10, 30000)
+	}
+}

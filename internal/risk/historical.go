@@ -1,0 +1,97 @@
+package risk
+
+import (
+	"fivealarms/internal/raster"
+	"fivealarms/internal/wildfire"
+)
+
+// YearOverlay is one row of the Table 1 reproduction: the transceivers
+// whose locations fall inside that season's mapped fire perimeters.
+type YearOverlay struct {
+	Year            int
+	Fires           int
+	AcresBurned     float64
+	TransceiversIn  int
+	PerMillionAcres float64
+}
+
+// HistoricalOverlay joins the transceiver set against each season's
+// perimeters (Table 1, Figure 4). A transceiver inside several perimeters
+// of one season counts once for that year, matching the paper's "within
+// wildfire perimeters" semantics.
+func (a *Analyzer) HistoricalOverlay(seasons []*wildfire.Season) []YearOverlay {
+	out := make([]YearOverlay, 0, len(seasons))
+	visited := make([]bool, a.Data.Len())
+	var touched []int
+	var buf []int
+	for _, s := range seasons {
+		count := 0
+		touched = touched[:0]
+		for fi := range s.Mapped {
+			f := &s.Mapped[fi]
+			buf = a.Data.Index.Query(f.BBox(), buf[:0])
+			for _, ti := range buf {
+				if visited[ti] {
+					continue
+				}
+				if f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
+					visited[ti] = true
+					touched = append(touched, ti)
+					count++
+				}
+			}
+		}
+		perM := 0.0
+		if s.TotalAcres > 0 {
+			perM = float64(count) / (s.TotalAcres / 1e6)
+		}
+		out = append(out, YearOverlay{
+			Year:            s.Year,
+			Fires:           s.TotalFires,
+			AcresBurned:     s.TotalAcres,
+			TransceiversIn:  count,
+			PerMillionAcres: perM,
+		})
+		for _, ti := range touched {
+			visited[ti] = false
+		}
+	}
+	return out
+}
+
+// TotalInPerimeters sums the per-year counts (the paper's ">27,000
+// transceivers 2000-2018", Figure 4).
+func TotalInPerimeters(rows []YearOverlay) int {
+	t := 0
+	for _, r := range rows {
+		t += r.TransceiversIn
+	}
+	return t
+}
+
+// TransceiversInFire returns the indices of transceivers inside one
+// fire's perimeter.
+func (a *Analyzer) TransceiversInFire(f *wildfire.Fire) []int {
+	var out []int
+	cand := a.Data.Index.Query(f.BBox(), nil)
+	for _, ti := range cand {
+		if f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
+			out = append(out, ti)
+		}
+	}
+	return out
+}
+
+// FireUnionMask rasterizes the union of all seasons' perimeters onto the
+// world grid — the data behind Figure 3's perimeter map.
+func (a *Analyzer) FireUnionMask(seasons []*wildfire.Season) *raster.BitGrid {
+	union := raster.NewBitGrid(a.World.Grid)
+	for _, s := range seasons {
+		for fi := range s.Mapped {
+			m := raster.FillMultiPolygon(a.World.Grid, s.Mapped[fi].Perimeter)
+			// Same geometry by construction; Or cannot fail.
+			_ = union.Or(m)
+		}
+	}
+	return union
+}

@@ -1,0 +1,136 @@
+package risk
+
+import (
+	"sort"
+
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/whp"
+)
+
+// WHPResult is the §3.3 overlay: transceivers per WHP class, per state,
+// and per capita (Figures 7, 8 and 9).
+type WHPResult struct {
+	// ByClass counts transceivers per WHP class.
+	ByClass map[whp.Class]int
+	// ByState[stateIdx] counts [moderate, high, very-high].
+	ByState [][3]int
+	// Total is the dataset size.
+	Total int
+}
+
+// AtRisk returns the moderate+high+very-high total (the paper's 430,844
+// analog).
+func (r *WHPResult) AtRisk() int {
+	return r.ByClass[whp.Moderate] + r.ByClass[whp.High] + r.ByClass[whp.VeryHigh]
+}
+
+// WHPOverlay computes the class histogram and per-state breakdown.
+func (a *Analyzer) WHPOverlay() *WHPResult {
+	res := &WHPResult{
+		ByClass: map[whp.Class]int{},
+		ByState: make([][3]int, len(geodata.States)),
+		Total:   a.Data.Len(),
+	}
+	for i := range a.Data.T {
+		c := a.classOf[i]
+		res.ByClass[c]++
+		si := int(a.Data.T[i].StateIdx)
+		if si < 0 || si >= len(res.ByState) {
+			continue
+		}
+		switch c {
+		case whp.Moderate:
+			res.ByState[si][0]++
+		case whp.High:
+			res.ByState[si][1]++
+		case whp.VeryHigh:
+			res.ByState[si][2]++
+		}
+	}
+	return res
+}
+
+// classColumn maps a WHP class to the ByState column, -1 for classes
+// outside the at-risk bands.
+func classColumn(c whp.Class) int {
+	switch c {
+	case whp.Moderate:
+		return 0
+	case whp.High:
+		return 1
+	case whp.VeryHigh:
+		return 2
+	}
+	return -1
+}
+
+// TopStates ranks states by transceivers in the given class (Figure 8),
+// descending, including only states with a positive count.
+func (r *WHPResult) TopStates(c whp.Class) []StateCount {
+	col := classColumn(c)
+	if col < 0 {
+		return nil
+	}
+	var out []StateCount
+	for si, row := range r.ByState {
+		if row[col] > 0 {
+			out = append(out, StateCount{Abbrev: stateName(si), Count: row[col]})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Abbrev < out[j].Abbrev
+	})
+	return out
+}
+
+// TopStatesAtRisk ranks states by total moderate+high+very-high count.
+func (r *WHPResult) TopStatesAtRisk() []StateCount {
+	var out []StateCount
+	for si, row := range r.ByState {
+		total := row[0] + row[1] + row[2]
+		if total > 0 {
+			out = append(out, StateCount{Abbrev: stateName(si), Count: total})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Abbrev < out[j].Abbrev
+	})
+	return out
+}
+
+// PerCapita ranks states by class-c transceivers per thousand residents
+// (Figure 9), descending.
+func (r *WHPResult) PerCapita(c whp.Class) []StateCount {
+	col := classColumn(c)
+	if col < 0 {
+		return nil
+	}
+	var out []StateCount
+	for si, row := range r.ByState {
+		if row[col] == 0 {
+			continue
+		}
+		pop := geodata.States[si].Pop
+		if pop == 0 {
+			continue
+		}
+		out = append(out, StateCount{
+			Abbrev:      stateName(si),
+			Count:       row[col],
+			PerThousand: float64(row[col]) / (float64(pop) / 1000),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].PerThousand != out[j].PerThousand {
+			return out[i].PerThousand > out[j].PerThousand
+		}
+		return out[i].Abbrev < out[j].Abbrev
+	})
+	return out
+}

@@ -1,0 +1,119 @@
+package risk
+
+import (
+	"sort"
+
+	"fivealarms/internal/cellnet"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/whp"
+)
+
+// ProviderRow is one Table 2 row: a provider group's transceivers in each
+// at-risk class, absolutely and as a share of its own fleet.
+type ProviderRow struct {
+	Provider              string
+	Fleet                 int
+	Moderate, High, VHigh int
+	PctM, PctH, PctVH     float64
+}
+
+// ProviderRisk reproduces Table 2: the provider-group breakdown of
+// at-risk infrastructure, resolved through MCC/MNC (§3.5). Rows are
+// ordered as the paper lists them (the four national carriers, then
+// Others).
+func (a *Analyzer) ProviderRisk() []ProviderRow {
+	order := append(append([]string{}, geodata.MajorProviders...), geodata.ProviderOthersAg)
+	idx := map[string]int{}
+	rows := make([]ProviderRow, len(order))
+	for i, p := range order {
+		rows[i].Provider = p
+		idx[p] = i
+	}
+	for i := range a.Data.T {
+		g := a.Resolver.ProviderGroup(&a.Data.T[i])
+		ri, ok := idx[g]
+		if !ok {
+			continue
+		}
+		rows[ri].Fleet++
+		switch a.classOf[i] {
+		case whp.Moderate:
+			rows[ri].Moderate++
+		case whp.High:
+			rows[ri].High++
+		case whp.VeryHigh:
+			rows[ri].VHigh++
+		}
+	}
+	for i := range rows {
+		if rows[i].Fleet == 0 {
+			continue
+		}
+		f := float64(rows[i].Fleet)
+		rows[i].PctM = 100 * float64(rows[i].Moderate) / f
+		rows[i].PctH = 100 * float64(rows[i].High) / f
+		rows[i].PctVH = 100 * float64(rows[i].VHigh) / f
+	}
+	return rows
+}
+
+// RegionalProvidersAtRisk counts the distinct non-national providers with
+// at least one transceiver in an at-risk class (the paper's footnote: 46
+// smaller providers).
+func (a *Analyzer) RegionalProvidersAtRisk() []string {
+	seen := map[string]bool{}
+	for i := range a.Data.T {
+		if !a.classOf[i].AtRisk() {
+			continue
+		}
+		p := a.Resolver.Provider(&a.Data.T[i])
+		if geodata.IsMajorProvider(p) || p == geodata.ProviderUnknown {
+			continue
+		}
+		seen[p] = true
+	}
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RadioRow is one Table 3 row: a technology's at-risk transceivers.
+type RadioRow struct {
+	Radio                 cellnet.Radio
+	VHigh, High, Moderate int
+	Total                 int
+}
+
+// RadioTypeRisk reproduces Table 3 (cell transceiver types at risk),
+// ordered CDMA, GSM, LTE, UMTS as the paper prints it.
+func (a *Analyzer) RadioTypeRisk() []RadioRow {
+	byRadio := map[cellnet.Radio]*RadioRow{}
+	for _, r := range cellnet.Radios() {
+		byRadio[r] = &RadioRow{Radio: r}
+	}
+	for i := range a.Data.T {
+		row := byRadio[a.Data.T[i].Radio]
+		if row == nil {
+			continue
+		}
+		switch a.classOf[i] {
+		case whp.Moderate:
+			row.Moderate++
+		case whp.High:
+			row.High++
+		case whp.VeryHigh:
+			row.VHigh++
+		}
+	}
+	order := []cellnet.Radio{cellnet.CDMA, cellnet.GSM, cellnet.LTE, cellnet.UMTS}
+	out := make([]RadioRow, 0, len(order))
+	for _, r := range order {
+		row := byRadio[r]
+		row.Total = row.VHigh + row.High + row.Moderate
+		out = append(out, *row)
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+// Package risk is the paper's primary contribution: the geospatial
+// overlay engine that joins the cellular infrastructure layer against
+// wildfire perimeters, the Wildfire Hazard Potential, county populations
+// and future-climate projections, producing every table and figure of the
+// evaluation (see DESIGN.md for the experiment index).
+package risk
+
+import (
+	"runtime"
+	"sync"
+
+	"fivealarms/internal/cellnet"
+	"fivealarms/internal/census"
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/raster"
+	"fivealarms/internal/whp"
+)
+
+// Analyzer bundles the data layers and caches the per-transceiver WHP
+// class, which every analysis reuses.
+type Analyzer struct {
+	World    *conus.World
+	WHP      *whp.Map
+	Data     *cellnet.Dataset
+	Counties *census.Counties
+	Resolver *cellnet.Resolver
+
+	// classOf caches the WHP class at each transceiver.
+	classOf []whp.Class
+	// countyOf caches the county index of each transceiver (-1 off-CONUS).
+	countyOf []int32
+}
+
+// New builds an analyzer over the given layers and precomputes the
+// per-transceiver class and county assignments (in parallel; both are
+// pure lookups).
+func New(w *conus.World, m *whp.Map, d *cellnet.Dataset, c *census.Counties) *Analyzer {
+	a := &Analyzer{
+		World:    w,
+		WHP:      m,
+		Data:     d,
+		Counties: c,
+		Resolver: cellnet.NewResolver(),
+		classOf:  make([]whp.Class, d.Len()),
+		countyOf: make([]int32, d.Len()),
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > d.Len() {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for i := start; i < len(d.T); i += workers {
+				a.classOf[i] = m.ClassAt(d.T[i].XY)
+				a.countyOf[i] = int32(c.CountyAt(d.T[i].XY))
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return a
+}
+
+// Class returns the cached WHP class of transceiver i.
+func (a *Analyzer) Class(i int) whp.Class { return a.classOf[i] }
+
+// CountyOf returns the cached county index of transceiver i (-1 when
+// off-CONUS).
+func (a *Analyzer) CountyOf(i int) int { return int(a.countyOf[i]) }
+
+// AtRiskCount returns the number of transceivers in the moderate, high or
+// very-high classes — the paper's headline "430,844 transceivers at risk"
+// metric (scaled to the synthetic snapshot size).
+func (a *Analyzer) AtRiskCount() int {
+	n := 0
+	for _, c := range a.classOf {
+		if c.AtRisk() {
+			n++
+		}
+	}
+	return n
+}
+
+// ReclassifyWith recomputes the cached classes against a replacement class
+// raster (used by the §3.8 extension analysis) and returns the previous
+// cache so callers can restore it.
+func (a *Analyzer) ReclassifyWith(classes *raster.ClassGrid) []whp.Class {
+	old := a.classOf
+	next := make([]whp.Class, a.Data.Len())
+	for i := range a.Data.T {
+		v, ok := classes.Sample(a.Data.T[i].XY)
+		if !ok {
+			next[i] = whp.Water
+			continue
+		}
+		next[i] = whp.Class(v)
+	}
+	a.classOf = next
+	return old
+}
+
+// RestoreClasses reinstates a class cache returned by ReclassifyWith.
+func (a *Analyzer) RestoreClasses(old []whp.Class) { a.classOf = old }
+
+// StateCount pairs a state with a count for ranking outputs.
+type StateCount struct {
+	Abbrev string
+	Count  int
+	// PerThousand is the count per 1000 residents (per-capita ranking).
+	PerThousand float64
+}
+
+// stateName returns the abbreviation for a state index, "??" when out of
+// range.
+func stateName(idx int) string {
+	if idx < 0 || idx >= len(geodata.States) {
+		return "??"
+	}
+	return geodata.States[idx].Abbrev
+}

@@ -1,0 +1,119 @@
+package risk
+
+import (
+	"fivealarms/internal/raster"
+	"fivealarms/internal/whp"
+	"fivealarms/internal/wildfire"
+)
+
+// ValidationResult reproduces §3.4: how well the WHP identifies the
+// transceivers that ended up inside a held-out season's fire perimeters.
+type ValidationResult struct {
+	// InPerimeter is the number of transceivers inside any perimeter of
+	// the validation season (the paper's 656).
+	InPerimeter int
+	// Predicted is how many of those the WHP placed in moderate or higher
+	// (the paper's 302, 46%).
+	Predicted int
+	// MissesInRoadFires counts unpredicted transceivers that sat inside
+	// road-corridor fires (the Saddle Ridge/Tick analog: 288).
+	MissesInRoadFires int
+	// RoadFireTotal counts all in-perimeter transceivers inside
+	// road-corridor fires (predicted or not).
+	RoadFireTotal int
+}
+
+// AccuracyPct is Predicted/InPerimeter as a percentage.
+func (v *ValidationResult) AccuracyPct() float64 {
+	if v.InPerimeter == 0 {
+		return 0
+	}
+	return 100 * float64(v.Predicted) / float64(v.InPerimeter)
+}
+
+// AccuracyExclRoadPct recomputes accuracy after discarding the
+// road-corridor misses, the paper's 84% figure.
+func (v *ValidationResult) AccuracyExclRoadPct() float64 {
+	denom := v.InPerimeter - v.MissesInRoadFires
+	if denom <= 0 {
+		return 0
+	}
+	return 100 * float64(v.Predicted) / float64(denom)
+}
+
+// Validate joins the validation season's perimeters against the cached
+// WHP classes.
+func (a *Analyzer) Validate(season *wildfire.Season) *ValidationResult {
+	res := &ValidationResult{}
+	seen := make(map[int]bool)
+	// inRoad tracks whether the transceiver is inside at least one
+	// road-corridor fire.
+	inRoad := make(map[int]bool)
+	var buf []int
+	for fi := range season.Mapped {
+		f := &season.Mapped[fi]
+		buf = a.Data.Index.Query(f.BBox(), buf[:0])
+		for _, ti := range buf {
+			if !f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
+				continue
+			}
+			seen[ti] = true
+			if f.RoadCorridor {
+				inRoad[ti] = true
+			}
+		}
+	}
+	for ti := range seen {
+		res.InPerimeter++
+		predicted := a.classOf[ti].AtRisk()
+		if predicted {
+			res.Predicted++
+		}
+		if inRoad[ti] {
+			res.RoadFireTotal++
+			if !predicted {
+				res.MissesInRoadFires++
+			}
+		}
+	}
+	return res
+}
+
+// ExtensionResult reproduces §3.8: buffering the very-high class by half
+// a mile and its effect on class totals and validation accuracy.
+type ExtensionResult struct {
+	DistM             float64
+	VHBefore, VHAfter int
+	TotalBefore       int // M+H+VH before
+	TotalAfter        int // M+H+VH(extended) after
+	Before, After     *ValidationResult
+}
+
+// ExtendAndValidate runs the §3.8 experiment: extend very-high by dist
+// meters, recount the classes, re-run the validation, then restore the
+// analyzer's original classification. The class raster's resolution
+// bounds the effective buffer: at cells coarser than dist the dilation
+// cannot grow (documented in EXPERIMENTS.md; full-scale runs use a fine
+// raster).
+func (a *Analyzer) ExtendAndValidate(season *wildfire.Season, dist float64) *ExtensionResult {
+	res := &ExtensionResult{DistM: dist}
+
+	before := a.WHPOverlay()
+	res.VHBefore = before.ByClass[whp.VeryHigh]
+	res.TotalBefore = before.AtRisk()
+	res.Before = a.Validate(season)
+
+	ext := a.WHP.ExtendVeryHigh(dist)
+	old := a.ReclassifyWith(ext)
+	after := a.WHPOverlay()
+	res.VHAfter = after.ByClass[whp.VeryHigh]
+	res.TotalAfter = after.AtRisk()
+	res.After = a.Validate(season)
+	a.RestoreClasses(old)
+	return res
+}
+
+// ExtendedClasses exposes the extended class raster for rendering.
+func (a *Analyzer) ExtendedClasses(dist float64) *raster.ClassGrid {
+	return a.WHP.ExtendVeryHigh(dist)
+}

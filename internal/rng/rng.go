@@ -1,0 +1,266 @@
+// Package rng provides a deterministic, allocation-free pseudo-random
+// number generator and the sampling distributions the synthetic data
+// generators rely on. Every generator in the fivealarms repository takes an
+// explicit *rng.Source so that a given seed reproduces an identical world
+// across machines and Go versions — a requirement the stdlib does not
+// guarantee across releases for all of math/rand's helper methods.
+//
+// The core generator is PCG-XSH-RR 64/32 (O'Neill 2014) seeded through
+// SplitMix64, a combination with good statistical quality and a tiny state.
+package rng
+
+import "math"
+
+// Source is a deterministic PCG32 random number generator. The zero value
+// is NOT usable; construct with New.
+type Source struct {
+	state uint64
+	inc   uint64
+}
+
+// New returns a Source seeded deterministically from seed. Distinct seeds
+// yield independent-looking streams.
+func New(seed uint64) *Source {
+	s := &Source{}
+	s.Reseed(seed)
+	return s
+}
+
+// NewStream returns a Source on an independent stream: two sources with the
+// same seed but different stream IDs produce uncorrelated sequences. Use it
+// to give each subsystem (fires, transceivers, counties, ...) its own
+// stream from one master seed.
+func NewStream(seed, stream uint64) *Source {
+	s := &Source{}
+	sm := splitMix64(seed)
+	s.state = splitMix64(sm ^ 0x9e3779b97f4a7c15)
+	s.inc = (splitMix64(stream)<<1 | 1)
+	s.Uint32() // advance once to decorrelate
+	return s
+}
+
+// Reseed resets the source to the deterministic state for seed.
+func (s *Source) Reseed(seed uint64) {
+	s.state = splitMix64(seed)
+	s.inc = (splitMix64(seed^0xda3e39cb94b95bdb)<<1 | 1)
+	s.Uint32()
+}
+
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Uint32 returns the next 32 random bits.
+func (s *Source) Uint32() uint32 {
+	old := s.state
+	s.state = old*6364136223846793005 + s.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 random bits.
+func (s *Source) Uint64() uint64 {
+	return uint64(s.Uint32())<<32 | uint64(s.Uint32())
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform int in [0, n). It panics when n <= 0.
+func (s *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	bound := uint32(n)
+	for {
+		v := s.Uint32()
+		prod := uint64(v) * uint64(bound)
+		low := uint32(prod)
+		if low >= bound || low >= (-bound)%bound {
+			return int(prod >> 32)
+		}
+	}
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics when n <= 0.
+func (s *Source) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with non-positive n")
+	}
+	max := uint64(1)<<63 - 1
+	limit := max - max%uint64(n)
+	for {
+		v := s.Uint64() >> 1
+		if v < limit {
+			return int64(v % uint64(n))
+		}
+	}
+}
+
+// Range returns a uniform float64 in [lo, hi).
+func (s *Source) Range(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Bool returns true with probability p.
+func (s *Source) Bool(p float64) bool { return s.Float64() < p }
+
+// Normal returns a normally distributed float64 with the given mean and
+// standard deviation (Box-Muller, polar form).
+func (s *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// Exponential returns an exponentially distributed float64 with the given
+// mean (= 1/rate).
+func (s *Source) Exponential(mean float64) float64 {
+	return -mean * math.Log(1-s.Float64())
+}
+
+// Pareto returns a Pareto(xm, alpha) variate: xm * U^(-1/alpha). Heavy
+// tails for alpha <= 2; fire sizes in the HOT framework follow this family.
+func (s *Source) Pareto(xm, alpha float64) float64 {
+	u := 1 - s.Float64() // (0, 1]
+	return xm * math.Pow(u, -1/alpha)
+}
+
+// TruncatedPareto returns a Pareto(xm, alpha) variate truncated to
+// [xm, cap] by inverse-CDF sampling of the truncated distribution (not by
+// rejection, so it never loops).
+func (s *Source) TruncatedPareto(xm, cap, alpha float64) float64 {
+	if cap <= xm {
+		return xm
+	}
+	u := s.Float64()
+	hc := math.Pow(xm/cap, alpha)
+	return xm * math.Pow(1-u*(1-hc), -1/alpha)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// Knuth's method for small means and a normal approximation above 30.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 30 {
+		v := s.Normal(mean, math.Sqrt(mean))
+		if v < 0 {
+			return 0
+		}
+		return int(v + 0.5)
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= s.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf returns an integer in [0, n) with probability proportional to
+// 1/(i+1)^s, by inverse-CDF over precomputed weights. For repeated sampling
+// use NewZipf.
+func (s *Source) Zipf(n int, exponent float64) int {
+	z := NewZipf(n, exponent)
+	return z.Sample(s)
+}
+
+// Zipfian samples from a Zipf distribution over ranks [0, n).
+type Zipfian struct {
+	cdf []float64
+}
+
+// NewZipf precomputes a Zipf sampler over n ranks with the given exponent.
+func NewZipf(n int, exponent float64) *Zipfian {
+	if n <= 0 {
+		n = 1
+	}
+	cdf := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), exponent)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &Zipfian{cdf: cdf}
+}
+
+// Sample draws a rank from the distribution.
+func (z *Zipfian) Sample(s *Source) int {
+	u := s.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Categorical samples an index from the given non-negative weights. Zero
+// total weight returns 0.
+func (s *Source) Categorical(weights []float64) int {
+	var total float64
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		return 0
+	}
+	u := s.Float64() * total
+	var acc float64
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	return len(weights) - 1
+}
+
+// Shuffle permutes the first n elements using the supplied swap function
+// (Fisher-Yates).
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	s.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

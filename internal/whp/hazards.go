@@ -1,0 +1,13 @@
+package whp
+
+import "fivealarms/internal/geodata"
+
+// stateHazards caches the per-state hazard weights indexed like
+// geodata.States.
+var stateHazards = func() []float64 {
+	out := make([]float64, len(geodata.States))
+	for i, s := range geodata.States {
+		out[i] = s.Hazard
+	}
+	return out
+}()

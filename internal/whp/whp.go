@@ -1,0 +1,325 @@
+// Package whp implements the synthetic Wildfire Hazard Potential model —
+// the fivealarms stand-in for the USFS WHP raster (Dillon et al. 2014).
+//
+// The real WHP integrates historical fire occurrence, vegetation and Fsim
+// large-fire simulations into a 270 m raster with seven classes. The
+// synthetic model reproduces the properties the paper's analyses depend
+// on:
+//
+//   - regional structure: hazard concentrates in the west and southeast
+//     (driven by per-state calibration weights in geodata.States);
+//   - multi-scale patchiness: very-high areas are small islands inside
+//     high areas inside moderate areas (multi-octave value noise);
+//   - the wildland-urban gradient: hazard falls toward city cores;
+//   - nonburnable urban cores and transportation corridors — the exact
+//     property behind the §3.4 validation shortfall and the §3.8
+//     half-mile extension.
+//
+// A Map can be built on any raster geometry (the shared world grid for
+// national overlays, or a fine window for the buffer-extension
+// experiment).
+package whp
+
+import (
+	"image/color"
+	"math"
+	"runtime"
+	"sync"
+
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/raster"
+)
+
+// Class is a WHP category. The ordering matches the USFS product: higher
+// is more hazardous; NonBurnable and Water carry no wildfire hazard.
+type Class uint8
+
+// WHP classes.
+const (
+	Water Class = iota
+	NonBurnable
+	VeryLow
+	Low
+	Moderate
+	High
+	VeryHigh
+	numClasses
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case Water:
+		return "water"
+	case NonBurnable:
+		return "non-burnable"
+	case VeryLow:
+		return "very-low"
+	case Low:
+		return "low"
+	case Moderate:
+		return "moderate"
+	case High:
+		return "high"
+	case VeryHigh:
+		return "very-high"
+	default:
+		return "invalid"
+	}
+}
+
+// AtRisk reports whether the class is in the paper's top-three risk bands
+// (moderate, high or very high).
+func (c Class) AtRisk() bool { return c >= Moderate }
+
+// Config tunes the hazard model. The zero value selects calibrated
+// defaults.
+type Config struct {
+	// UrbanCoreThreshold is the urban intensity above which a cell is
+	// classified NonBurnable (built-up core). Default 0.45.
+	UrbanCoreThreshold float64
+	// RoadBufferM is the half-width of the nonburnable transportation
+	// corridor in meters. Default 1.25 cells of the target geometry.
+	RoadBufferM float64
+	// WUIDamping scales how strongly urban intensity suppresses hazard in
+	// the wildland-urban interface. Default 0.55.
+	WUIDamping float64
+	// Thresholds are the hazard-value cut points for VeryLow|Low,
+	// Low|Moderate, Moderate|High, High|VeryHigh. Defaults are calibrated
+	// so the class histogram over placed transceivers reproduces the
+	// paper's M > H > VH nesting.
+	Thresholds [4]float64
+	// NoiseScaleM is the wavelength in meters of the dominant hazard
+	// patchiness. Default 220 km.
+	NoiseScaleM float64
+}
+
+func (c Config) withDefaults(cell float64) Config {
+	if c.UrbanCoreThreshold == 0 {
+		c.UrbanCoreThreshold = 0.45
+	}
+	if c.RoadBufferM == 0 {
+		c.RoadBufferM = 1.25 * cell
+	}
+	if c.WUIDamping == 0 {
+		c.WUIDamping = 0.20
+	}
+	if c.Thresholds == [4]float64{} {
+		c.Thresholds = [4]float64{0.12, 0.26, 0.42, 0.60}
+	}
+	if c.NoiseScaleM == 0 {
+		c.NoiseScaleM = 220000
+	}
+	return c
+}
+
+// Map is a realized WHP raster plus the continuous hazard field it was
+// classified from (kept for the fire simulator's fuel model).
+type Map struct {
+	Cfg     Config
+	Classes *raster.ClassGrid
+	Hazard  *raster.FloatGrid
+	world   *conus.World
+}
+
+// Build computes the WHP over the given geometry (often w.Grid). Rows are
+// evaluated in parallel; the result is deterministic because every cell
+// is a pure function of the world fields.
+func Build(w *conus.World, g raster.Geometry, cfg Config) *Map {
+	cfg = cfg.withDefaults(g.CellSize)
+	m := &Map{
+		Cfg:     cfg,
+		Classes: raster.NewClassGrid(g),
+		Hazard:  raster.NewFloatGrid(g),
+		world:   w,
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > g.NY {
+		workers = g.NY
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(start int) {
+			defer wg.Done()
+			for cy := start; cy < g.NY; cy += workers {
+				for cx := 0; cx < g.NX; cx++ {
+					p := g.Center(cx, cy)
+					h, cls := m.evaluate(p)
+					m.Hazard.Set(cx, cy, h)
+					m.Classes.Set(cx, cy, uint8(cls))
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	return m
+}
+
+// evaluate computes the continuous hazard and class at a projected point
+// directly from the world fields (resolution-independent).
+func (m *Map) evaluate(p geom.Point) (float64, Class) {
+	w := m.world
+	si := w.StateAt(p)
+	if si < 0 {
+		return 0, Water
+	}
+	urban := w.UrbanAt(p)
+	if urban >= m.Cfg.UrbanCoreThreshold {
+		return 0, NonBurnable
+	}
+	if w.RoadDistAt(p) <= m.Cfg.RoadBufferM {
+		return 0, NonBurnable
+	}
+	h := m.HazardValue(p, si, urban)
+	return h, classify(h, m.Cfg.Thresholds)
+}
+
+// HazardValue returns the continuous hazard in [0,1) at a projected point
+// given its state index and urban intensity. Exposed for the fire
+// simulator's fuel model.
+func (m *Map) HazardValue(p geom.Point, stateIdx int, urban float64) float64 {
+	w := m.world
+	base := stateHazard(stateIdx)
+	n := w.Noise().FBM(p.X/m.Cfg.NoiseScaleM, p.Y/m.Cfg.NoiseScaleM, 5, 0.55)
+	// Mix: the state weight sets the regional level, noise modulates it.
+	h := base * (0.15 + 0.85*n)
+	// The wildland-urban interface: hazard decays toward the urban core.
+	damp := 1 - m.Cfg.WUIDamping*math.Min(urban/math.Max(m.Cfg.UrbanCoreThreshold, 1e-9), 1)
+	h *= damp
+	if h < 0 {
+		h = 0
+	}
+	if h >= 1 {
+		h = 0.999
+	}
+	return h
+}
+
+func classify(h float64, th [4]float64) Class {
+	switch {
+	case h < th[0]:
+		return VeryLow
+	case h < th[1]:
+		return Low
+	case h < th[2]:
+		return Moderate
+	case h < th[3]:
+		return High
+	default:
+		return VeryHigh
+	}
+}
+
+// FuelAt returns the continuous fuel loading at a projected point for the
+// fire-spread simulator: 0 outside the CONUS (fires cannot burn into the
+// ocean), a small permeability for nonburnable urban cores and road
+// corridors (wind-driven spotting lets real fires cross them — the Saddle
+// Ridge/Tick mechanism of §3.4), and the hazard value elsewhere with a
+// floor so even very-low-hazard wildland carries some fuel. The function
+// is resolution-independent: it derives from the world fields, not from
+// the class raster.
+func (m *Map) FuelAt(p geom.Point) float64 {
+	w := m.world
+	si := w.StateAt(p)
+	if si < 0 {
+		return 0
+	}
+	urban := w.UrbanAt(p)
+	if urban >= m.Cfg.UrbanCoreThreshold || w.RoadDistAt(p) <= m.Cfg.RoadBufferM {
+		return 0.03
+	}
+	h := m.HazardValue(p, si, urban)
+	if h < 0.05 {
+		return 0.05
+	}
+	return h
+}
+
+// ClassAt samples the class raster at a projected point; points off the
+// raster return Water.
+func (m *Map) ClassAt(p geom.Point) Class {
+	v, ok := m.Classes.Sample(p)
+	if !ok {
+		return Water
+	}
+	return Class(v)
+}
+
+// HazardAt samples the continuous hazard at a projected point (0 off the
+// raster).
+func (m *Map) HazardAt(p geom.Point) float64 {
+	v, _ := m.Hazard.Sample(p)
+	return v
+}
+
+// ClassMask returns the mask of cells holding exactly class c.
+func (m *Map) ClassMask(c Class) *raster.BitGrid {
+	return m.Classes.Mask(func(v uint8) bool { return Class(v) == c })
+}
+
+// AtRiskMask returns the mask of cells in the moderate..very-high classes.
+func (m *Map) AtRiskMask() *raster.BitGrid {
+	return m.Classes.Mask(func(v uint8) bool { return Class(v).AtRisk() })
+}
+
+// ExtendVeryHigh returns a copy of the class raster where every cell
+// within dist meters of a very-high cell — and not already moderate, high
+// or very high — is promoted to VeryHigh. This is the §3.8 operation: it
+// captures road corridors and urban fringes adjacent to the most hazardous
+// wildland, where power- and backhaul-mediated outages concentrate.
+func (m *Map) ExtendVeryHigh(dist float64) *raster.ClassGrid {
+	vh := m.ClassMask(VeryHigh)
+	grown := raster.DilateByDistance(vh, dist)
+	out := m.Classes.Clone()
+	for cy := 0; cy < out.NY; cy++ {
+		for cx := 0; cx < out.NX; cx++ {
+			if !grown.Get(cx, cy) {
+				continue
+			}
+			if c := Class(out.At(cx, cy)); !c.AtRisk() {
+				out.Set(cx, cy, uint8(VeryHigh))
+			}
+		}
+	}
+	return out
+}
+
+// ClassCounts returns the cell count per class.
+func (m *Map) ClassCounts() map[Class]int {
+	h := m.Classes.Histogram()
+	out := make(map[Class]int, int(numClasses))
+	for c := Class(0); c < numClasses; c++ {
+		if h[c] > 0 {
+			out[c] = h[c]
+		}
+	}
+	return out
+}
+
+// Palette renders the WHP in the color scheme of the paper's Figure 6:
+// reds/yellows for the hazardous classes, greens/black for the rest.
+func Palette() raster.Palette {
+	return raster.Palette{
+		uint8(Water):       color.RGBA{R: 10, G: 10, B: 40, A: 255},
+		uint8(NonBurnable): color.RGBA{R: 40, G: 40, B: 40, A: 255},
+		uint8(VeryLow):     color.RGBA{R: 10, G: 60, B: 10, A: 255},
+		uint8(Low):         color.RGBA{R: 40, G: 110, B: 40, A: 255},
+		uint8(Moderate):    color.RGBA{R: 250, G: 230, B: 80, A: 255},
+		uint8(High):        color.RGBA{R: 250, G: 150, B: 40, A: 255},
+		uint8(VeryHigh):    color.RGBA{R: 220, G: 30, B: 30, A: 255},
+	}
+}
+
+// stateHazard returns the calibration weight for a state index, 0 for
+// invalid indexes.
+func stateHazard(idx int) float64 {
+	if idx < 0 {
+		return 0
+	}
+	return stateHazards[idx]
+}

@@ -1,0 +1,53 @@
+package wildfire
+
+import (
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+)
+
+// SimulateHistory runs the 2000-2018 seasons with fire counts and burned
+// acres calibrated to the paper's Table 1 marginals. mappedPerSeason
+// controls simulation cost (0 selects the default).
+func SimulateHistory(sim *Simulator, seed uint64, mappedPerSeason int) []*Season {
+	out := make([]*Season, 0, len(geodata.PaperTable1))
+	// Table 1 is listed newest-first; simulate oldest-first.
+	for i := len(geodata.PaperTable1) - 1; i >= 0; i-- {
+		row := geodata.PaperTable1[i]
+		out = append(out, sim.Season(SeasonConfig{
+			Seed:        seed,
+			Year:        row.Year,
+			TotalFires:  row.Fires,
+			TotalAcres:  row.AcresBurnedM * 1e6,
+			MappedFires: mappedPerSeason,
+		}))
+	}
+	return out
+}
+
+// Simulate2019 runs the held-out validation season: the named anchor
+// fires of §3.2/§3.4 (Kincade, Getty, and the road-corridor Saddle Ridge
+// and Tick fires) pinned at their real locations, plus a background of
+// additional 2019 fires. 2019 burned ~4.66M acres nationally.
+func Simulate2019(sim *Simulator, seed uint64, mappedFires int) *Season {
+	forced := make([]ForcedIgnition, 0, len(geodata.PaperFires2019))
+	for _, f := range geodata.PaperFires2019 {
+		forced = append(forced, ForcedIgnition{
+			Name:   f.Name,
+			LonLat: geom.Point{X: f.Lon, Y: f.Lat},
+			Acres:  f.Acres,
+			// Santa Ana/Diablo: offshore winds blowing to the southwest,
+			// strong enough to drive the fire across low-fuel fringes
+			// toward the built-up areas.
+			WindDeg:      225,
+			WindStrength: 2.2,
+		})
+	}
+	return sim.Season(SeasonConfig{
+		Seed:            seed,
+		Year:            2019,
+		TotalFires:      50477,
+		TotalAcres:      4.664e6,
+		MappedFires:     mappedFires,
+		ForcedIgnitions: forced,
+	})
+}

@@ -1,0 +1,136 @@
+package wildfire
+
+import (
+	"math"
+	"sort"
+
+	"fivealarms/internal/geom"
+)
+
+// Complex is a group of fires whose perimeters touch or overlap — the
+// "fire complex" unit GeoMAC and incident command use when separate
+// ignitions merge.
+type Complex struct {
+	// Fires holds indexes into Season.Mapped.
+	Fires []int
+	// Acres is the summed area (overlap counted twice, as incident
+	// reporting does).
+	Acres float64
+}
+
+// Complexes groups the season's mapped fires into complexes with a
+// union-find over perimeter intersection, largest complex first.
+func (s *Season) Complexes() []Complex {
+	n := len(s.Mapped)
+	if n == 0 {
+		return nil
+	}
+	parent := make([]int, n)
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[rb] = ra
+		}
+	}
+
+	// Candidate pairs via the season R-tree, confirmed by exterior-ring
+	// intersection.
+	var buf []int
+	for i := range s.Mapped {
+		buf = s.Tree.Search(s.Mapped[i].BBox(), buf[:0])
+		for _, j := range buf {
+			if j <= i {
+				continue
+			}
+			if perimetersTouch(&s.Mapped[i], &s.Mapped[j]) {
+				union(i, j)
+			}
+		}
+	}
+
+	groups := map[int]*Complex{}
+	for i := range s.Mapped {
+		r := find(i)
+		c := groups[r]
+		if c == nil {
+			c = &Complex{}
+			groups[r] = c
+		}
+		c.Fires = append(c.Fires, i)
+		c.Acres += s.Mapped[i].Acres
+	}
+	out := make([]Complex, 0, len(groups))
+	for _, c := range groups {
+		out = append(out, *c)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Acres != out[j].Acres {
+			return out[i].Acres > out[j].Acres
+		}
+		return out[i].Fires[0] < out[j].Fires[0]
+	})
+	return out
+}
+
+func perimetersTouch(a, b *Fire) bool {
+	for _, pa := range a.Perimeter {
+		for _, pb := range b.Perimeter {
+			if geom.RingsIntersect(pa.Exterior, pb.Exterior) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Stats summarizes a season's mapped-fire size distribution.
+type Stats struct {
+	Mapped       int
+	MappedAcres  float64
+	LargestAcres float64
+	MedianAcres  float64
+	// GiniLike is the share of mapped area in the top decile of fires —
+	// the concentration statistic behind Table 1's variability.
+	TopDecileShare float64
+}
+
+// SeasonStats computes the summary.
+func (s *Season) SeasonStats() Stats {
+	n := len(s.Mapped)
+	if n == 0 {
+		return Stats{}
+	}
+	sizes := make([]float64, n)
+	var sum float64
+	for i := range s.Mapped {
+		sizes[i] = s.Mapped[i].Acres
+		sum += sizes[i]
+	}
+	sort.Float64s(sizes)
+	st := Stats{
+		Mapped:       n,
+		MappedAcres:  sum,
+		LargestAcres: sizes[n-1],
+		MedianAcres:  sizes[n/2],
+	}
+	k := int(math.Ceil(float64(n) / 10))
+	var top float64
+	for _, v := range sizes[n-k:] {
+		top += v
+	}
+	if sum > 0 {
+		st.TopDecileShare = top / sum
+	}
+	return st
+}

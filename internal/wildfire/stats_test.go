@@ -1,0 +1,84 @@
+package wildfire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestComplexes(t *testing.T) {
+	s := testSim.Season(SeasonConfig{
+		Seed: 41, Year: 2017, TotalFires: 71499, TotalAcres: 1e7, MappedFires: 40,
+	})
+	complexes := s.Complexes()
+	if len(complexes) == 0 {
+		t.Fatal("no complexes")
+	}
+	// Every fire belongs to exactly one complex.
+	seen := map[int]bool{}
+	total := 0
+	for _, c := range complexes {
+		for _, fi := range c.Fires {
+			if seen[fi] {
+				t.Fatalf("fire %d in two complexes", fi)
+			}
+			seen[fi] = true
+			total++
+		}
+		if c.Acres <= 0 {
+			t.Error("complex without area")
+		}
+	}
+	if total != len(s.Mapped) {
+		t.Errorf("complexes cover %d of %d fires", total, len(s.Mapped))
+	}
+	// Sorted by acreage descending.
+	for i := 1; i < len(complexes); i++ {
+		if complexes[i].Acres > complexes[i-1].Acres {
+			t.Fatal("complexes not sorted")
+		}
+	}
+	// Acres sum matches the season's mapped acres.
+	var sum float64
+	for _, c := range complexes {
+		sum += c.Acres
+	}
+	if math.Abs(sum-s.MappedAcres()) > 1 {
+		t.Errorf("complex acres %.1f != season %.1f", sum, s.MappedAcres())
+	}
+}
+
+func TestComplexesEmpty(t *testing.T) {
+	if got := (&Season{}).Complexes(); got != nil {
+		t.Errorf("empty season complexes = %v", got)
+	}
+}
+
+func TestSeasonStats(t *testing.T) {
+	s := testSim.Season(SeasonConfig{
+		Seed: 43, Year: 2012, TotalFires: 67774, TotalAcres: 9.3e6, MappedFires: 50,
+	})
+	st := s.SeasonStats()
+	if st.Mapped != len(s.Mapped) {
+		t.Errorf("mapped = %d", st.Mapped)
+	}
+	if st.LargestAcres < st.MedianAcres {
+		t.Error("largest below median")
+	}
+	if math.Abs(st.MappedAcres-s.MappedAcres()) > 1e-6 {
+		t.Error("acres mismatch")
+	}
+	// Heavy tail: the top decile of fires carries a large share of the
+	// burned area.
+	if st.TopDecileShare < 0.3 {
+		t.Errorf("top decile share = %.3f, want heavy concentration", st.TopDecileShare)
+	}
+	if st.TopDecileShare > 1 {
+		t.Error("share above 1")
+	}
+}
+
+func TestSeasonStatsEmpty(t *testing.T) {
+	if st := (&Season{}).SeasonStats(); st.Mapped != 0 || st.MappedAcres != 0 {
+		t.Error("empty stats")
+	}
+}

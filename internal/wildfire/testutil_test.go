@@ -1,0 +1,7 @@
+package wildfire
+
+import "fivealarms/internal/rng"
+
+// newTestSource gives tests direct access to growFire with a fresh
+// deterministic source.
+func newTestSource(seed uint64) *rng.Source { return rng.New(seed + 1) }

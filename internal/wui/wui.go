@@ -1,0 +1,172 @@
+// Package wui maps the Wildland-Urban Interface following the scheme of
+// Radeloff et al. (2018), the paper's reference [29]: populated places
+// meet wildland vegetation either by intermixing with it ("intermix WUI")
+// or by abutting a large vegetated area ("interface WUI"). The paper's
+// §3.7 key finding — wildfire impact on cell infrastructure concentrates
+// along city edges in the WUI — is quantified over this layer.
+//
+// The synthetic analog substitutes the population surface for census
+// housing density and the continuous hazard field for vegetation cover;
+// thresholds follow the Radeloff methodology's structure (a density
+// minimum, a vegetation minimum, a proximity buffer to large wildland
+// patches).
+package wui
+
+import (
+	"fivealarms/internal/census"
+	"fivealarms/internal/conus"
+	"fivealarms/internal/coverage"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/raster"
+	"fivealarms/internal/whp"
+)
+
+// Class is the WUI category of a cell.
+type Class uint8
+
+// WUI classes.
+const (
+	NonWUI Class = iota
+	Interface
+	Intermix
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	switch c {
+	case NonWUI:
+		return "non-wui"
+	case Interface:
+		return "interface"
+	case Intermix:
+		return "intermix"
+	default:
+		return "invalid"
+	}
+}
+
+// IsWUI reports whether the class is interface or intermix.
+func (c Class) IsWUI() bool { return c == Interface || c == Intermix }
+
+// Config tunes the mapping. Zero values select defaults mirroring the
+// Radeloff thresholds' roles.
+type Config struct {
+	// MinDensityPerKM2 is the minimum population density of a WUI cell
+	// (Radeloff: 6.17 housing units/km2 ~ 15 people/km2). Default 15.
+	MinDensityPerKM2 float64
+	// VegHazard is the hazard level treated as wildland vegetation.
+	// Default 0.10.
+	VegHazard float64
+	// MinPatchKM2 is the minimum area of a wildland patch that creates
+	// interface WUI around it (Radeloff: 5 km2). Default 5.
+	MinPatchKM2 float64
+	// InterfaceDistM is the buffer distance around large patches
+	// (Radeloff: 2.4 km). Default 2400, floored at one cell so coarse
+	// rasters still produce interface cells.
+	InterfaceDistM float64
+}
+
+func (c Config) withDefaults(cell float64) Config {
+	if c.MinDensityPerKM2 == 0 {
+		c.MinDensityPerKM2 = 15
+	}
+	if c.VegHazard == 0 {
+		c.VegHazard = 0.10
+	}
+	if c.MinPatchKM2 == 0 {
+		c.MinPatchKM2 = 5
+	}
+	if c.InterfaceDistM == 0 {
+		c.InterfaceDistM = 2400
+	}
+	if c.InterfaceDistM < cell {
+		c.InterfaceDistM = cell
+	}
+	return c
+}
+
+// Map is the realized WUI layer.
+type Map struct {
+	Cfg     Config
+	Classes *raster.ClassGrid
+	// Pop is the population surface used for density.
+	Pop *raster.FloatGrid
+}
+
+// Build computes the WUI over the world grid.
+func Build(w *conus.World, counties *census.Counties, hazard *whp.Map, cfg Config) *Map {
+	g := w.Grid
+	cfg = cfg.withDefaults(g.CellSize)
+	pop := coverage.BuildPopulation(w, counties)
+
+	// Wildland vegetation mask and its large patches.
+	veg := raster.NewBitGrid(g)
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			if hazard.Hazard.At(cx, cy) >= cfg.VegHazard {
+				veg.Set(cx, cy, true)
+			}
+		}
+	}
+	labels := raster.LabelComponents(veg)
+	cellKM2 := g.CellArea() / 1e6
+	bigPatch := raster.NewBitGrid(g)
+	for i, id := range labels.Data {
+		if id > 0 && float64(labels.Sizes[id])*cellKM2 >= cfg.MinPatchKM2 {
+			cy := i / g.NX
+			cx := i % g.NX
+			bigPatch.Set(cx, cy, true)
+		}
+	}
+	nearBig := raster.DilateByDistance(bigPatch, cfg.InterfaceDistM)
+
+	classes := raster.NewClassGrid(g)
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			density := pop.At(cx, cy) / cellKM2
+			if density < cfg.MinDensityPerKM2 {
+				continue
+			}
+			switch {
+			case veg.Get(cx, cy):
+				classes.Set(cx, cy, uint8(Intermix))
+			case nearBig.Get(cx, cy):
+				classes.Set(cx, cy, uint8(Interface))
+			}
+		}
+	}
+	return &Map{Cfg: cfg, Classes: classes, Pop: pop}
+}
+
+// ClassAt samples the WUI class at a projected point (NonWUI off-grid).
+func (m *Map) ClassAt(p geom.Point) Class {
+	v, ok := m.Classes.Sample(p)
+	if !ok {
+		return NonWUI
+	}
+	return Class(v)
+}
+
+// CellCounts returns the number of cells per class.
+func (m *Map) CellCounts() map[Class]int {
+	h := m.Classes.Histogram()
+	return map[Class]int{
+		NonWUI:    h[uint8(NonWUI)],
+		Interface: h[uint8(Interface)],
+		Intermix:  h[uint8(Intermix)],
+	}
+}
+
+// Population returns the population living in WUI cells.
+func (m *Map) Population() float64 {
+	g := m.Classes.Geometry
+	var t float64
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			if Class(m.Classes.At(cx, cy)).IsWUI() {
+				t += m.Pop.At(cx, cy)
+			}
+		}
+	}
+	return t
+}
