@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench fuzz experiments maps clean
+.PHONY: all build test vet race bench bench-pipeline fuzz experiments maps clean
 
 all: vet test build
 
@@ -20,6 +20,11 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate the study-pipeline baseline (cold build vs. warm re-query)
+# as test2json events, so later PRs can track the trajectory.
+bench-pipeline:
+	$(GO) test -run '^$$' -bench 'BenchmarkStudyColdWarm|BenchmarkStudyBuild' -benchmem -json . > BENCH_pipeline.json
 
 # Run each fuzz target briefly (10s apiece).
 fuzz:

@@ -33,12 +33,16 @@ func main() {
 		os.Exit(2)
 	}
 
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed:                 *seed,
-		CellSizeM:            *cell,
-		Transceivers:         *tx,
-		MappedFiresPerSeason: *fires,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(*seed),
+		fivealarms.WithCellSizeM(*cell),
+		fivealarms.WithTransceivers(*tx),
+		fivealarms.WithFiresPerSeason(*fires),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // library errors carry the package prefix
+		os.Exit(2)
+	}
 
 	tables, err := cli.Run(study, flag.Arg(0))
 	if err != nil {

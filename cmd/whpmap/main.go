@@ -40,9 +40,15 @@ func main() {
 	)
 	flag.Parse()
 
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed: *seed, CellSizeM: *cell, Transceivers: *tx,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(*seed),
+		fivealarms.WithCellSizeM(*cell),
+		fivealarms.WithTransceivers(*tx),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err) // library errors carry the package prefix
+		os.Exit(2)
+	}
 
 	classes, pal, err := cli.BuildMapLayer(study, *layer, cli.MapOptions{
 		Lon: *lon, Lat: *lat, KM: *km, WindowCell: *wcell,

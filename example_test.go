@@ -24,6 +24,31 @@ func ExampleNewStudy() {
 	// true
 }
 
+// The validating constructor: functional options instead of a Config
+// literal, with malformed configurations rejected instead of silently
+// clamped. The returned Study memoizes its derived layers and is safe
+// for concurrent use.
+func ExampleNewStudyWithOptions() {
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(42),
+		fivealarms.WithCellSizeM(40000),
+		fivealarms.WithTransceivers(5000),
+	)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	overlay := study.WHPOverlay()
+	fmt.Println(overlay.AtRisk() > 0)
+
+	// A negative raster resolution is an error, not a silent default.
+	_, err = fivealarms.NewStudyWithOptions(fivealarms.WithCellSizeM(-1))
+	fmt.Println(err != nil)
+	// Output:
+	// true
+	// true
+}
+
 // Reproducing Table 2: who operates the most at-risk infrastructure.
 func ExampleStudy_Table2() {
 	study := fivealarms.NewStudy(fivealarms.Config{

@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"fivealarms"
 	"fivealarms/internal/report"
@@ -17,11 +18,15 @@ import (
 )
 
 func main() {
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed:         13,
-		CellSizeM:    15000,
-		Transceivers: 80000,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(13),
+		fivealarms.WithCellSizeM(15000),
+		fivealarms.WithTransceivers(80000),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// Figure 14: the corridor projection.
 	future := study.Future()

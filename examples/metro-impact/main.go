@@ -10,6 +10,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"fivealarms"
 	"fivealarms/internal/geom"
@@ -18,11 +19,15 @@ import (
 )
 
 func main() {
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed:         5,
-		CellSizeM:    15000,
-		Transceivers: 100000,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(5),
+		fivealarms.WithCellSizeM(15000),
+		fivealarms.WithTransceivers(100000),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// Figure 10: the WHP x county-density matrix.
 	impact := study.Impact()

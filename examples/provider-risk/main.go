@@ -17,11 +17,15 @@ import (
 )
 
 func main() {
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed:         7,
-		CellSizeM:    15000,
-		Transceivers: 80000,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(7),
+		fivealarms.WithCellSizeM(15000),
+		fivealarms.WithTransceivers(80000),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	// Table 2: per-provider exposure. The engine resolves each
 	// transceiver's provider from its MCC/MNC pair — the same

@@ -10,18 +10,23 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"fivealarms"
 	"fivealarms/internal/report"
 )
 
 func main() {
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed:                 11,
-		CellSizeM:            15000,
-		Transceivers:         80000,
-		MappedFiresPerSeason: 30,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(11),
+		fivealarms.WithCellSizeM(15000),
+		fivealarms.WithTransceivers(80000),
+		fivealarms.WithFiresPerSeason(30),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	cs := study.CaseStudy()
 	fmt.Println(report.CaseStudy(cs))

@@ -9,6 +9,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"fivealarms"
 	"fivealarms/internal/whp"
@@ -17,11 +18,15 @@ import (
 func main() {
 	// A laptop-scale study: ~60k transceivers on a 15 km national raster.
 	// The same seed always produces the same world and the same numbers.
-	study := fivealarms.NewStudy(fivealarms.Config{
-		Seed:         42,
-		CellSizeM:    15000,
-		Transceivers: 60000,
-	})
+	study, err := fivealarms.NewStudyWithOptions(
+		fivealarms.WithSeed(42),
+		fivealarms.WithCellSizeM(15000),
+		fivealarms.WithTransceivers(60000),
+	)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	overlay := study.WHPOverlay()
 	fmt.Printf("synthetic OpenCelliD snapshot: %d transceivers\n", study.Data.Len())

@@ -17,20 +17,37 @@
 //
 // # Quick start
 //
-//	study := fivealarms.NewStudy(fivealarms.Config{Seed: 42})
+//	study, err := fivealarms.NewStudyWithOptions(fivealarms.WithSeed(42))
+//	if err != nil { ... }
 //	overlay := study.WHPOverlay()
 //	fmt.Println(overlay.AtRisk(), "transceivers in moderate+ hazard")
 //
 // Everything is deterministic in Config: identical configurations produce
-// identical worlds, datasets, fires and results.
+// identical worlds, datasets, fires and results, whether the layers are
+// built by the parallel pipeline or the serial fallback.
+//
+// # Concurrency
+//
+// A Study is safe for concurrent use: any number of goroutines may run
+// any mix of analysis methods on one Study at the same time. The
+// expensive derived products — the simulated fire seasons, the
+// SLC-Denver corridor, the WHP overlay, the perimeter union masks, the
+// extension experiments — are computed once per Study on first use
+// (singleflight) and shared by every caller; see the README's
+// "Performance & concurrency" section for the cold/warm cost model.
 package fivealarms
 
 import (
+	"fmt"
+	"math"
+
 	"fivealarms/internal/cellnet"
 	"fivealarms/internal/census"
 	"fivealarms/internal/conus"
 	"fivealarms/internal/ecoregion"
+	"fivealarms/internal/pipeline"
 	"fivealarms/internal/powergrid"
+	"fivealarms/internal/raster"
 	"fivealarms/internal/risk"
 	"fivealarms/internal/whp"
 	"fivealarms/internal/wildfire"
@@ -52,6 +69,11 @@ type Config struct {
 	Transceivers int
 	// MappedFiresPerSeason bounds fire-simulation cost. Defaults to 40.
 	MappedFiresPerSeason int
+	// PipelineSerial is the debugging escape hatch: build the layers and
+	// simulate the historical seasons one at a time instead of across
+	// worker goroutines. Results are bit-identical either way; only
+	// wall-clock time changes.
+	PipelineSerial bool
 }
 
 func (c Config) withDefaults() Config {
@@ -70,6 +92,50 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// Validation bounds: a national raster finer than minCellSizeM exhausts
+// memory (the CONUS window is ~4.6M x 2.9M meters), one coarser than
+// maxCellSizeM degenerates below state scale.
+const (
+	minCellSizeM    = 100
+	maxCellSizeM    = 1e6
+	maxTransceivers = 100_000_000
+	maxMappedFires  = 100_000
+)
+
+// Validate rejects configurations that withDefaults would otherwise
+// accept silently: NaN/Inf or negative dimensions, and absurd sizes that
+// would exhaust memory or degenerate the analysis. Zero values are valid
+// (they select the documented defaults). NewStudyWithOptions and the
+// command-line binaries surface these errors; NewStudy retains the
+// legacy lenient behavior for compatibility.
+func (c Config) Validate() error {
+	if math.IsNaN(c.CellSizeM) || math.IsInf(c.CellSizeM, 0) {
+		return fmt.Errorf("fivealarms: CellSizeM must be finite, got %v", c.CellSizeM)
+	}
+	if c.CellSizeM < 0 {
+		return fmt.Errorf("fivealarms: CellSizeM must be >= 0, got %v", c.CellSizeM)
+	}
+	if c.CellSizeM > 0 && c.CellSizeM < minCellSizeM {
+		return fmt.Errorf("fivealarms: CellSizeM %v below the %v m national-raster minimum (use ExtendWith / metro windows for finer analysis)", c.CellSizeM, float64(minCellSizeM))
+	}
+	if c.CellSizeM > maxCellSizeM {
+		return fmt.Errorf("fivealarms: CellSizeM %v above the %v m maximum", c.CellSizeM, float64(maxCellSizeM))
+	}
+	if c.Transceivers < 0 {
+		return fmt.Errorf("fivealarms: Transceivers must be >= 0, got %d", c.Transceivers)
+	}
+	if c.Transceivers > maxTransceivers {
+		return fmt.Errorf("fivealarms: Transceivers %d above the %d maximum", c.Transceivers, maxTransceivers)
+	}
+	if c.MappedFiresPerSeason < 0 {
+		return fmt.Errorf("fivealarms: MappedFiresPerSeason must be >= 0, got %d", c.MappedFiresPerSeason)
+	}
+	if c.MappedFiresPerSeason > maxMappedFires {
+		return fmt.Errorf("fivealarms: MappedFiresPerSeason %d above the %d maximum", c.MappedFiresPerSeason, maxMappedFires)
+	}
+	return nil
+}
+
 // PaperScale returns the configuration approximating the paper's actual
 // data volumes: a 5.36M-transceiver snapshot on a 2.7 km national raster.
 // Expect several GB of memory and minutes of generation time.
@@ -83,6 +149,13 @@ func PaperScale(seed uint64) Config {
 }
 
 // Study bundles the generated world, data layers and the risk engine.
+//
+// A Study is safe for concurrent use by multiple goroutines and must not
+// be copied after creation. The derived-layer accessors (History,
+// Season2019, Corridor, WHPOverlay, the union masks, Extend, ExtendFine)
+// memoize their results: the first caller computes, concurrent callers
+// during that computation block and share it, and every later call is a
+// cache hit.
 type Study struct {
 	Cfg      Config
 	World    *conus.World
@@ -91,40 +164,105 @@ type Study struct {
 	Counties *census.Counties
 	Analyzer *risk.Analyzer
 	Sim      *wildfire.Simulator
-}
 
-// NewStudy builds all layers for the configuration.
-func NewStudy(cfg Config) *Study {
-	cfg = cfg.withDefaults()
-	world := conus.Build(conus.Config{Seed: cfg.Seed, CellSizeM: cfg.CellSizeM})
-	hazard := whp.Build(world, world.Grid, whp.Config{})
-	data := cellnet.Generate(world, cellnet.GenConfig{Seed: cfg.Seed, Total: cfg.Transceivers})
-	counties := census.Synthesize(world, cfg.Seed)
-	return &Study{
-		Cfg:      cfg,
-		World:    world,
-		WHP:      hazard,
-		Data:     data,
-		Counties: counties,
-		Analyzer: risk.New(world, hazard, data, counties),
-		Sim:      wildfire.NewSimulator(world, hazard),
+	// Memoized derived layers (see the type comment).
+	mem struct {
+		history    pipeline.Cell[[]*wildfire.Season]
+		season2019 pipeline.Cell[*wildfire.Season]
+		corridor   pipeline.Cell[*ecoregion.Corridor]
+		overlay    pipeline.Cell[*risk.WHPResult]
+		unionHist  pipeline.Cell[*raster.BitGrid]
+		union2019  pipeline.Cell[*raster.BitGrid]
+		table1     pipeline.Cell[[]risk.YearOverlay]
+		validate   pipeline.Cell[*risk.ValidationResult]
+		caseStudy  pipeline.Cell[*risk.CaseStudyResult]
+		extend     pipeline.Keyed[float64, *risk.ExtensionResult]
+		extendFine pipeline.Keyed[[2]float64, *risk.FineExtension]
 	}
 }
 
-// History simulates the calibrated 2000-2018 fire seasons.
+// NewStudy builds all layers for the configuration. Out-of-range fields
+// are silently defaulted (the legacy behavior); use NewStudyWithOptions
+// to surface configuration errors instead.
+func NewStudy(cfg Config) *Study {
+	return build(cfg.withDefaults())
+}
+
+// build constructs the study layers over the dependency-graph executor:
+// once the shared world exists, the WHP raster, the transceiver snapshot
+// and the county synthesis build concurrently; the fire simulator and
+// the risk engine follow as their inputs complete. Each layer is a pure
+// function of its declared inputs, so the parallel schedule produces the
+// same Study as the serial one bit for bit.
+func build(cfg Config) *Study {
+	s := &Study{Cfg: cfg}
+	g := pipeline.New(0)
+	g.Add("world", func() error {
+		s.World = conus.Build(conus.Config{Seed: cfg.Seed, CellSizeM: cfg.CellSizeM})
+		return nil
+	})
+	g.Add("whp", func() error {
+		s.WHP = whp.Build(s.World, s.World.Grid, whp.Config{})
+		return nil
+	}, "world")
+	g.Add("cellnet", func() error {
+		s.Data = cellnet.Generate(s.World, cellnet.GenConfig{Seed: cfg.Seed, Total: cfg.Transceivers})
+		return nil
+	}, "world")
+	g.Add("census", func() error {
+		s.Counties = census.Synthesize(s.World, cfg.Seed)
+		return nil
+	}, "world")
+	g.Add("sim", func() error {
+		s.Sim = wildfire.NewSimulator(s.World, s.WHP)
+		return nil
+	}, "whp")
+	g.Add("analyzer", func() error {
+		s.Analyzer = risk.New(s.World, s.WHP, s.Data, s.Counties)
+		return nil
+	}, "whp", "cellnet", "census")
+
+	var err error
+	if cfg.PipelineSerial {
+		err = g.RunSerial()
+	} else {
+		err = g.Run()
+	}
+	if err != nil {
+		// The builders are infallible; only a malformed graph reaches
+		// here, which is a programming error.
+		panic(err)
+	}
+	return s
+}
+
+// History simulates the calibrated 2000-2018 fire seasons. The seasons
+// are simulated once per Study (in parallel unless Config.PipelineSerial
+// is set — each season draws from an independent rng stream, so the
+// result is identical either way) and cached for every later caller.
 func (s *Study) History() []*wildfire.Season {
-	return wildfire.SimulateHistory(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
+	return s.mem.history.Get(func() []*wildfire.Season {
+		if s.Cfg.PipelineSerial {
+			return wildfire.SimulateHistory(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
+		}
+		return wildfire.SimulateHistoryParallel(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason, 0)
+	})
 }
 
 // Season2019 simulates the hold-out validation season with the named
-// anchor fires (Kincade, Getty, Saddle Ridge, Tick).
+// anchor fires (Kincade, Getty, Saddle Ridge, Tick), once per Study.
 func (s *Study) Season2019() *wildfire.Season {
-	return wildfire.Simulate2019(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
+	return s.mem.season2019.Get(func() *wildfire.Season {
+		return wildfire.Simulate2019(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
+	})
 }
 
-// Table1 runs the historical overlay over the 2000-2018 seasons.
+// Table1 runs the historical overlay over the 2000-2018 seasons, once
+// per Study. The returned slice is shared between callers: read-only.
 func (s *Study) Table1() []risk.YearOverlay {
-	return s.Analyzer.HistoricalOverlay(s.History())
+	return s.mem.table1.Get(func() []risk.YearOverlay {
+		return s.Analyzer.HistoricalOverlay(s.History())
+	})
 }
 
 // Table2 computes the provider risk breakdown.
@@ -133,31 +271,61 @@ func (s *Study) Table2() []risk.ProviderRow { return s.Analyzer.ProviderRisk() }
 // Table3 computes the radio-technology risk breakdown.
 func (s *Study) Table3() []risk.RadioRow { return s.Analyzer.RadioTypeRisk() }
 
-// WHPOverlay computes the Figure 7-9 class/state/per-capita exposure.
-func (s *Study) WHPOverlay() *risk.WHPResult { return s.Analyzer.WHPOverlay() }
-
-// CaseStudy runs the fall-2019 PSPS simulation (Figure 5).
-func (s *Study) CaseStudy() *risk.CaseStudyResult {
-	return s.Analyzer.CaseStudyFall2019(s.Season2019(), powergrid.NetConfig{Seed: s.Cfg.Seed}, s.Cfg.Seed)
+// WHPOverlay computes the Figure 7-9 class/state/per-capita exposure,
+// once per Study.
+func (s *Study) WHPOverlay() *risk.WHPResult {
+	return s.mem.overlay.Get(s.Analyzer.WHPOverlay)
 }
 
-// Validate runs the §3.4 hold-out validation.
+// HistoryUnionMask rasterizes the union of the 2000-2018 perimeters onto
+// the world grid (the data behind Figure 3), once per Study.
+func (s *Study) HistoryUnionMask() *raster.BitGrid {
+	return s.mem.unionHist.Get(func() *raster.BitGrid {
+		return s.Analyzer.FireUnionMask(s.History())
+	})
+}
+
+// Season2019UnionMask rasterizes the union of the validation season's
+// perimeters onto the world grid, once per Study.
+func (s *Study) Season2019UnionMask() *raster.BitGrid {
+	return s.mem.union2019.Get(func() *raster.BitGrid {
+		return s.Analyzer.FireUnionMask([]*wildfire.Season{s.Season2019()})
+	})
+}
+
+// CaseStudy runs the fall-2019 PSPS simulation (Figure 5), once per
+// Study. The result is shared between callers: read-only.
+func (s *Study) CaseStudy() *risk.CaseStudyResult {
+	return s.mem.caseStudy.Get(func() *risk.CaseStudyResult {
+		return s.Analyzer.CaseStudyFall2019(s.Season2019(), powergrid.NetConfig{Seed: s.Cfg.Seed}, s.Cfg.Seed)
+	})
+}
+
+// Validate runs the §3.4 hold-out validation, once per Study. The
+// result is shared between callers: read-only.
 func (s *Study) Validate() *risk.ValidationResult {
-	return s.Analyzer.Validate(s.Season2019())
+	return s.mem.validate.Get(func() *risk.ValidationResult {
+		return s.Analyzer.Validate(s.Season2019())
+	})
 }
 
 // Extend runs the §3.8 very-high extension experiment with the given
 // buffer distance in meters (the paper uses 0.5 mi = 804.67 m; coarse
-// rasters need at least one cell size to grow).
+// rasters need at least one cell size to grow). Memoized per distance.
 func (s *Study) Extend(distM float64) *risk.ExtensionResult {
-	return s.Analyzer.ExtendAndValidate(s.Season2019(), distM)
+	return s.mem.extend.Get(distM, func() *risk.ExtensionResult {
+		return s.Analyzer.ExtendAndValidate(s.Season2019(), distM)
+	})
 }
 
 // ExtendFine runs the §3.8 experiment at sub-kilometer resolution over
 // the California window with the paper's true half-mile buffer
-// (cellSize 0 -> 800 m, distM 0 -> 804.67 m).
+// (cellSize 0 -> 800 m, distM 0 -> 804.67 m). Memoized per
+// (cellSize, distM) pair.
 func (s *Study) ExtendFine(cellSize, distM float64) *risk.FineExtension {
-	return s.Analyzer.ExtendAndValidateFine(s.Season2019(), cellSize, distM)
+	return s.mem.extendFine.Get([2]float64{cellSize, distM}, func() *risk.FineExtension {
+		return s.Analyzer.ExtendAndValidateFine(s.Season2019(), cellSize, distM)
+	})
 }
 
 // Impact computes the Figure 10 population matrix.
@@ -168,11 +336,16 @@ func (s *Study) Metros() []risk.MetroRow { return s.Analyzer.MetroImpact() }
 
 // Future computes the Figure 14 corridor projection.
 func (s *Study) Future() *risk.FutureResult {
-	return s.Analyzer.FutureRisk(ecoregion.BuildCorridor(s.World))
+	return s.Analyzer.FutureRisk(s.Corridor())
 }
 
-// Corridor exposes the SLC-Denver corridor for rendering.
-func (s *Study) Corridor() *ecoregion.Corridor { return ecoregion.BuildCorridor(s.World) }
+// Corridor exposes the SLC-Denver corridor for rendering, built once per
+// Study.
+func (s *Study) Corridor() *ecoregion.Corridor {
+	return s.mem.corridor.Get(func() *ecoregion.Corridor {
+		return ecoregion.BuildCorridor(s.World)
+	})
+}
 
 // Coverage computes the population-coverage exposure of the at-risk
 // transceiver set (the abstract's "over 85 million" analog). radiusM 0

@@ -77,12 +77,9 @@ func Run(study *fivealarms.Study, exp string) ([]*report.Table, error) {
 	case "validate":
 		return one(report.Validation(study.Validate())), nil
 	case "extend":
-		// Buffer by max(0.5 mi, one cell) so coarse rasters can grow.
-		dist := 804.67
-		if c := study.World.Grid.CellSize; dist < c {
-			dist = c
-		}
-		return one(report.Extension(study.Extend(dist))), nil
+		// The coarse path of the unified entry point buffers by
+		// max(0.5 mi, one cell) so coarse rasters can grow.
+		return one(report.Extension(study.ExtendWith(fivealarms.ExtendOptions{}).Coarse)), nil
 	case "extendfine":
 		return one(extendFineTable(study)), nil
 	case "coverage":
@@ -117,7 +114,7 @@ func extendFineTable(study *fivealarms.Study) *report.Table {
 	// Pick the window cell size relative to the study scale: the paper's
 	// 270 m WHP supports the 804 m buffer directly; a laptop study uses
 	// 800 m cells.
-	res := study.ExtendFine(800, 0)
+	res := study.ExtendWith(fivealarms.ExtendOptions{CellSizeM: 800}).Window
 	t := &report.Table{
 		Title:  "Fine-resolution half-mile extension over the CA window (section 3.8)",
 		Header: []string{"Metric", "Measured", "Paper"},

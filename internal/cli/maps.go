@@ -8,7 +8,6 @@ import (
 	"fivealarms/internal/geom"
 	"fivealarms/internal/raster"
 	"fivealarms/internal/whp"
-	"fivealarms/internal/wildfire"
 	"fivealarms/internal/wui"
 )
 
@@ -50,9 +49,9 @@ func BuildMapLayer(study *fivealarms.Study, layer string, opt MapOptions) (*rast
 	case "fires2019", "history":
 		var mask *raster.BitGrid
 		if layer == "fires2019" {
-			mask = study.Analyzer.FireUnionMask([]*wildfire.Season{study.Season2019()})
+			mask = study.Season2019UnionMask()
 		} else {
-			mask = study.Analyzer.FireUnionMask(study.History())
+			mask = study.HistoryUnionMask()
 		}
 		g := study.World.Grid
 		out := raster.NewClassGrid(g)

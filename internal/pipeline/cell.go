@@ -1,0 +1,67 @@
+package pipeline
+
+import "sync"
+
+// Cell is a concurrency-safe memoization cell: the first Get computes
+// the value, every later Get returns it, and concurrent callers during
+// the first computation block until it finishes (singleflight — the
+// build function runs exactly once no matter how many goroutines race).
+//
+// The zero value is ready to use. A Cell must not be copied after first
+// use. The builder passed to the winning Get is the one that runs; by
+// convention callers pass the same pure builder at every call site.
+type Cell[T any] struct {
+	once sync.Once
+	val  T
+	err  error
+}
+
+// Get returns the memoized value, computing it with build on first use.
+func (c *Cell[T]) Get(build func() T) T {
+	c.once.Do(func() { c.val = build() })
+	return c.val
+}
+
+// GetErr is Get for fallible builders. The outcome — value or error —
+// is memoized either way; a failed build is not retried.
+func (c *Cell[T]) GetErr(build func() (T, error)) (T, error) {
+	c.once.Do(func() { c.val, c.err = build() })
+	return c.val, c.err
+}
+
+// Keyed is a map of memoization cells: one Cell per key, created on
+// demand. Distinct keys compute concurrently; callers racing on the
+// same key share one computation. The zero value is ready to use.
+type Keyed[K comparable, T any] struct {
+	mu sync.Mutex
+	m  map[K]*Cell[T]
+}
+
+// cell returns the (lazily created) cell for key.
+func (k *Keyed[K, T]) cell(key K) *Cell[T] {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if k.m == nil {
+		k.m = map[K]*Cell[T]{}
+	}
+	c, ok := k.m[key]
+	if !ok {
+		c = &Cell[T]{}
+		k.m[key] = c
+	}
+	return c
+}
+
+// Get returns the memoized value for key, computing it with build on
+// the key's first use. The builder runs outside the map lock, so slow
+// builds on different keys proceed in parallel.
+func (k *Keyed[K, T]) Get(key K, build func() T) T {
+	return k.cell(key).Get(build)
+}
+
+// Len reports how many keys have been touched (for tests and stats).
+func (k *Keyed[K, T]) Len() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.m)
+}

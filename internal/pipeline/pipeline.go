@@ -1,0 +1,162 @@
+// Package pipeline provides the small concurrency toolkit behind the
+// public Study: a dependency-graph executor that fans independent build
+// steps out across bounded workers, and memoization cells (Cell, Keyed)
+// that compute a derived product exactly once and share it between
+// concurrent callers (singleflight semantics).
+//
+// The executor is deliberately tiny: tasks are named, depend on other
+// tasks by name, and run as soon as every dependency has finished.
+// Determinism is the caller's contract — tasks must not communicate
+// except through their declared dependency edges, so the schedule
+// (parallel or serial) cannot change any task's result.
+package pipeline
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// task is one node of the dependency graph.
+type task struct {
+	name string
+	deps []string
+	fn   func() error
+}
+
+// Graph is a build-once dependency graph. Declare tasks with Add, then
+// execute with Run (bounded parallel) or RunSerial (deterministic
+// declaration order). A Graph is not safe for concurrent declaration and
+// is consumed by a single Run/RunSerial call.
+type Graph struct {
+	workers int
+	tasks   []*task
+	byName  map[string]*task
+}
+
+// New returns a graph that runs at most workers tasks concurrently.
+// workers <= 0 selects GOMAXPROCS.
+func New(workers int) *Graph {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Graph{workers: workers, byName: map[string]*task{}}
+}
+
+// Add declares a task. Every name in deps must already be declared —
+// declaration order is a valid serial schedule by construction, which is
+// what RunSerial executes. Add panics on a duplicate name or an unknown
+// dependency; both are programming errors in the graph definition.
+func (g *Graph) Add(name string, fn func() error, deps ...string) {
+	if _, dup := g.byName[name]; dup {
+		panic(fmt.Sprintf("pipeline: duplicate task %q", name))
+	}
+	for _, d := range deps {
+		if _, ok := g.byName[d]; !ok {
+			panic(fmt.Sprintf("pipeline: task %q depends on undeclared %q", name, d))
+		}
+	}
+	t := &task{name: name, deps: deps, fn: fn}
+	g.tasks = append(g.tasks, t)
+	g.byName[name] = t
+}
+
+// Run executes the graph with bounded workers. Each task starts once all
+// of its dependencies have succeeded. The first task error cancels the
+// remaining not-yet-started tasks and is returned after every in-flight
+// task has finished, so partially built state is never abandoned
+// mid-write.
+func (g *Graph) Run() error {
+	n := len(g.tasks)
+	if n == 0 {
+		return nil
+	}
+
+	// Indegree per task and forward edges dep -> dependents.
+	indeg := make(map[string]int, n)
+	dependents := make(map[string][]*task, n)
+	for _, t := range g.tasks {
+		indeg[t.name] = len(t.deps)
+		for _, d := range t.deps {
+			dependents[d] = append(dependents[d], t)
+		}
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    []*task
+		running  int
+		done     int
+		firstErr error
+	)
+	for _, t := range g.tasks {
+		if indeg[t.name] == 0 {
+			ready = append(ready, t)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < g.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			mu.Lock()
+			for {
+				for len(ready) == 0 && running > 0 && firstErr == nil {
+					cond.Wait()
+				}
+				if len(ready) == 0 || firstErr != nil {
+					// Drained, failed, or (on a cycle) stalled with
+					// nothing runnable: wake the others and exit.
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				t := ready[len(ready)-1]
+				ready = ready[:len(ready)-1]
+				running++
+				mu.Unlock()
+
+				err := t.fn()
+
+				mu.Lock()
+				running--
+				done++
+				if err != nil && firstErr == nil {
+					firstErr = fmt.Errorf("pipeline: task %q: %w", t.name, err)
+				}
+				if firstErr == nil {
+					for _, dep := range dependents[t.name] {
+						indeg[dep.name]--
+						if indeg[dep.name] == 0 {
+							ready = append(ready, dep)
+						}
+					}
+				}
+				cond.Broadcast()
+			}
+		}()
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return firstErr
+	}
+	if done != n {
+		return fmt.Errorf("pipeline: dependency cycle: %d of %d tasks ran", done, n)
+	}
+	return nil
+}
+
+// RunSerial executes every task one at a time in declaration order (a
+// valid topological order by Add's contract). It is the debugging escape
+// hatch: identical results to Run, no goroutines involved.
+func (g *Graph) RunSerial() error {
+	for _, t := range g.tasks {
+		if err := t.fn(); err != nil {
+			return fmt.Errorf("pipeline: task %q: %w", t.name, err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package pipeline
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGraphRunsAllTasksOnce(t *testing.T) {
+	for _, serial := range []bool{false, true} {
+		var counts [5]int32
+		g := New(3)
+		g.Add("a", func() error { atomic.AddInt32(&counts[0], 1); return nil })
+		g.Add("b", func() error { atomic.AddInt32(&counts[1], 1); return nil }, "a")
+		g.Add("c", func() error { atomic.AddInt32(&counts[2], 1); return nil }, "a")
+		g.Add("d", func() error { atomic.AddInt32(&counts[3], 1); return nil }, "b", "c")
+		g.Add("e", func() error { atomic.AddInt32(&counts[4], 1); return nil })
+		var err error
+		if serial {
+			err = g.RunSerial()
+		} else {
+			err = g.Run()
+		}
+		if err != nil {
+			t.Fatalf("serial=%v: %v", serial, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Errorf("serial=%v: task %d ran %d times", serial, i, c)
+			}
+		}
+	}
+}
+
+func TestGraphRespectsDependencies(t *testing.T) {
+	// The dependency edge must be a happens-before edge: "child" observes
+	// the parent's write without any synchronization of its own.
+	for trial := 0; trial < 50; trial++ {
+		var parentDone bool
+		var observed bool
+		g := New(8)
+		g.Add("parent", func() error { parentDone = true; return nil })
+		g.Add("child", func() error { observed = parentDone; return nil }, "parent")
+		if err := g.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if !observed {
+			t.Fatal("child ran before parent finished")
+		}
+	}
+}
+
+func TestGraphPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	ran := false
+	g := New(2)
+	g.Add("fail", func() error { return boom })
+	g.Add("after", func() error { ran = true; return nil }, "fail")
+	err := g.Run()
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Error("dependent of failed task ran")
+	}
+}
+
+func TestGraphPanicsOnBadDeclarations(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: no panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("duplicate", func() {
+		g := New(1)
+		g.Add("a", func() error { return nil })
+		g.Add("a", func() error { return nil })
+	})
+	mustPanic("unknown dep", func() {
+		g := New(1)
+		g.Add("a", func() error { return nil }, "ghost")
+	})
+}
+
+func TestGraphBoundsWorkers(t *testing.T) {
+	const workers = 2
+	var cur, max int32
+	g := New(workers)
+	for i := 0; i < 10; i++ {
+		g.Add(string(rune('a'+i)), func() error {
+			n := atomic.AddInt32(&cur, 1)
+			for {
+				m := atomic.LoadInt32(&max)
+				if n <= m || atomic.CompareAndSwapInt32(&max, m, n) {
+					break
+				}
+			}
+			atomic.AddInt32(&cur, -1)
+			return nil
+		})
+	}
+	if err := g.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if max > workers {
+		t.Errorf("observed %d concurrent tasks, worker bound %d", max, workers)
+	}
+}
+
+func TestCellSingleflight(t *testing.T) {
+	var c Cell[int]
+	var builds int32
+	var wg sync.WaitGroup
+	results := make([]int, 32)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i] = c.Get(func() int {
+				atomic.AddInt32(&builds, 1)
+				return 41 + 1
+			})
+		}(i)
+	}
+	wg.Wait()
+	if builds != 1 {
+		t.Errorf("builder ran %d times", builds)
+	}
+	for i, r := range results {
+		if r != 42 {
+			t.Errorf("caller %d got %d", i, r)
+		}
+	}
+}
+
+func TestCellGetErrMemoizesError(t *testing.T) {
+	var c Cell[string]
+	boom := errors.New("boom")
+	builds := 0
+	for i := 0; i < 3; i++ {
+		_, err := c.GetErr(func() (string, error) { builds++; return "", boom })
+		if !errors.Is(err, boom) {
+			t.Fatalf("call %d: err = %v", i, err)
+		}
+	}
+	if builds != 1 {
+		t.Errorf("builder ran %d times", builds)
+	}
+}
+
+func TestKeyedPerKeySingleflight(t *testing.T) {
+	var k Keyed[int, int]
+	var builds int32
+	var wg sync.WaitGroup
+	for g := 0; g < 24; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			key := g % 3
+			got := k.Get(key, func() int {
+				atomic.AddInt32(&builds, 1)
+				return key * 10
+			})
+			if got != key*10 {
+				t.Errorf("key %d: got %d", key, got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if builds != 3 {
+		t.Errorf("builders ran %d times for 3 keys", builds)
+	}
+	if k.Len() != 3 {
+		t.Errorf("Len = %d", k.Len())
+	}
+}

@@ -26,13 +26,20 @@ func (r *WHPResult) AtRisk() int {
 
 // WHPOverlay computes the class histogram and per-state breakdown.
 func (a *Analyzer) WHPOverlay() *WHPResult {
+	return a.WHPOverlayFor(a.classOf)
+}
+
+// WHPOverlayFor computes the overlay against an explicit per-transceiver
+// class slice (e.g. one produced by ClassesAgainst) instead of the cached
+// classification. Read-only: safe under concurrent analyses.
+func (a *Analyzer) WHPOverlayFor(classOf []whp.Class) *WHPResult {
 	res := &WHPResult{
 		ByClass: map[whp.Class]int{},
 		ByState: make([][3]int, len(geodata.States)),
 		Total:   a.Data.Len(),
 	}
 	for i := range a.Data.T {
-		c := a.classOf[i]
+		c := classOf[i]
 		res.ByClass[c]++
 		si := int(a.Data.T[i].StateIdx)
 		if si < 0 || si >= len(res.ByState) {

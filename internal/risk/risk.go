@@ -84,11 +84,11 @@ func (a *Analyzer) AtRiskCount() int {
 	return n
 }
 
-// ReclassifyWith recomputes the cached classes against a replacement class
-// raster (used by the §3.8 extension analysis) and returns the previous
-// cache so callers can restore it.
-func (a *Analyzer) ReclassifyWith(classes *raster.ClassGrid) []whp.Class {
-	old := a.classOf
+// ClassesAgainst samples a replacement class raster at every transceiver
+// location and returns the resulting class slice without touching the
+// analyzer's cache (used by the §3.8 extension analysis). Off-raster
+// transceivers classify as Water.
+func (a *Analyzer) ClassesAgainst(classes *raster.ClassGrid) []whp.Class {
 	next := make([]whp.Class, a.Data.Len())
 	for i := range a.Data.T {
 		v, ok := classes.Sample(a.Data.T[i].XY)
@@ -98,11 +98,24 @@ func (a *Analyzer) ReclassifyWith(classes *raster.ClassGrid) []whp.Class {
 		}
 		next[i] = whp.Class(v)
 	}
-	a.classOf = next
+	return next
+}
+
+// ReclassifyWith recomputes the cached classes against a replacement class
+// raster and returns the previous cache so callers can restore it.
+//
+// Deprecated: it mutates shared analyzer state and is therefore not safe
+// under concurrent analyses; use ClassesAgainst with the *For analysis
+// variants instead. Retained for callers that own the analyzer outright.
+func (a *Analyzer) ReclassifyWith(classes *raster.ClassGrid) []whp.Class {
+	old := a.classOf
+	a.classOf = a.ClassesAgainst(classes)
 	return old
 }
 
 // RestoreClasses reinstates a class cache returned by ReclassifyWith.
+//
+// Deprecated: see ReclassifyWith.
 func (a *Analyzer) RestoreClasses(old []whp.Class) { a.classOf = old }
 
 // StateCount pairs a state with a count for ranking outputs.

@@ -44,6 +44,13 @@ func (v *ValidationResult) AccuracyExclRoadPct() float64 {
 // Validate joins the validation season's perimeters against the cached
 // WHP classes.
 func (a *Analyzer) Validate(season *wildfire.Season) *ValidationResult {
+	return a.ValidateFor(season, a.classOf)
+}
+
+// ValidateFor runs the validation join against an explicit class slice
+// (e.g. one produced by ClassesAgainst). Read-only: safe under
+// concurrent analyses.
+func (a *Analyzer) ValidateFor(season *wildfire.Season, classOf []whp.Class) *ValidationResult {
 	res := &ValidationResult{}
 	seen := make(map[int]bool)
 	// inRoad tracks whether the transceiver is inside at least one
@@ -65,7 +72,7 @@ func (a *Analyzer) Validate(season *wildfire.Season) *ValidationResult {
 	}
 	for ti := range seen {
 		res.InPerimeter++
-		predicted := a.classOf[ti].AtRisk()
+		predicted := classOf[ti].AtRisk()
 		if predicted {
 			res.Predicted++
 		}
@@ -90,11 +97,12 @@ type ExtensionResult struct {
 }
 
 // ExtendAndValidate runs the §3.8 experiment: extend very-high by dist
-// meters, recount the classes, re-run the validation, then restore the
-// analyzer's original classification. The class raster's resolution
-// bounds the effective buffer: at cells coarser than dist the dilation
-// cannot grow (documented in EXPERIMENTS.md; full-scale runs use a fine
-// raster).
+// meters, recount the classes against the extended raster, and re-run
+// the validation. The extended classification lives in a local slice, so
+// the analyzer's shared cache is never touched and concurrent analyses
+// are unaffected. The class raster's resolution bounds the effective
+// buffer: at cells coarser than dist the dilation cannot grow
+// (documented in EXPERIMENTS.md; full-scale runs use a fine raster).
 func (a *Analyzer) ExtendAndValidate(season *wildfire.Season, dist float64) *ExtensionResult {
 	res := &ExtensionResult{DistM: dist}
 
@@ -103,13 +111,11 @@ func (a *Analyzer) ExtendAndValidate(season *wildfire.Season, dist float64) *Ext
 	res.TotalBefore = before.AtRisk()
 	res.Before = a.Validate(season)
 
-	ext := a.WHP.ExtendVeryHigh(dist)
-	old := a.ReclassifyWith(ext)
-	after := a.WHPOverlay()
+	extended := a.ClassesAgainst(a.WHP.ExtendVeryHigh(dist))
+	after := a.WHPOverlayFor(extended)
 	res.VHAfter = after.ByClass[whp.VeryHigh]
 	res.TotalAfter = after.AtRisk()
-	res.After = a.Validate(season)
-	a.RestoreClasses(old)
+	res.After = a.ValidateFor(season, extended)
 	return res
 }
 

@@ -1,26 +1,73 @@
 package wildfire
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"fivealarms/internal/geodata"
 	"fivealarms/internal/geom"
 )
 
-// SimulateHistory runs the 2000-2018 seasons with fire counts and burned
-// acres calibrated to the paper's Table 1 marginals. mappedPerSeason
-// controls simulation cost (0 selects the default).
-func SimulateHistory(sim *Simulator, seed uint64, mappedPerSeason int) []*Season {
-	out := make([]*Season, 0, len(geodata.PaperTable1))
-	// Table 1 is listed newest-first; simulate oldest-first.
+// historyConfigs lists the 2000-2018 season configurations oldest-first
+// (Table 1 is listed newest-first).
+func historyConfigs(seed uint64, mappedPerSeason int) []SeasonConfig {
+	out := make([]SeasonConfig, 0, len(geodata.PaperTable1))
 	for i := len(geodata.PaperTable1) - 1; i >= 0; i-- {
 		row := geodata.PaperTable1[i]
-		out = append(out, sim.Season(SeasonConfig{
+		out = append(out, SeasonConfig{
 			Seed:        seed,
 			Year:        row.Year,
 			TotalFires:  row.Fires,
 			TotalAcres:  row.AcresBurnedM * 1e6,
 			MappedFires: mappedPerSeason,
-		}))
+		})
 	}
+	return out
+}
+
+// SimulateHistory runs the 2000-2018 seasons with fire counts and burned
+// acres calibrated to the paper's Table 1 marginals. mappedPerSeason
+// controls simulation cost (0 selects the default).
+func SimulateHistory(sim *Simulator, seed uint64, mappedPerSeason int) []*Season {
+	cfgs := historyConfigs(seed, mappedPerSeason)
+	out := make([]*Season, 0, len(cfgs))
+	for _, cfg := range cfgs {
+		out = append(out, sim.Season(cfg))
+	}
+	return out
+}
+
+// SimulateHistoryParallel simulates the same 2000-2018 seasons across
+// bounded workers (0 selects GOMAXPROCS). Every season draws from its
+// own rng stream keyed by year and the simulator is read-only after
+// construction, so the output is bit-identical to SimulateHistory
+// regardless of scheduling — only wall-clock time changes.
+func SimulateHistoryParallel(sim *Simulator, seed uint64, mappedPerSeason, workers int) []*Season {
+	cfgs := historyConfigs(seed, mappedPerSeason)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(cfgs) {
+		workers = len(cfgs)
+	}
+	out := make([]*Season, len(cfgs))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(cfgs) {
+					return
+				}
+				out[i] = sim.Season(cfgs[i])
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 

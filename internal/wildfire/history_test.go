@@ -1,0 +1,45 @@
+package wildfire
+
+import "testing"
+
+// The parallel history must be bit-identical to the serial one: every
+// season draws from its own rng stream, so scheduling cannot leak into
+// the results.
+func TestSimulateHistoryParallelMatchesSerial(t *testing.T) {
+	serial := SimulateHistory(testSim, 7, 4)
+	parallel := SimulateHistoryParallel(testSim, 7, 4, 4)
+	if len(serial) != len(parallel) {
+		t.Fatalf("season counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for i := range serial {
+		a, b := serial[i], parallel[i]
+		if a.Year != b.Year || a.TotalFires != b.TotalFires || a.TotalAcres != b.TotalAcres {
+			t.Fatalf("season %d statistics differ: %+v vs %+v", i, a, b)
+		}
+		if len(a.Mapped) != len(b.Mapped) {
+			t.Fatalf("season %d mapped counts differ: %d vs %d", i, len(a.Mapped), len(b.Mapped))
+		}
+		for j := range a.Mapped {
+			fa, fb := &a.Mapped[j], &b.Mapped[j]
+			if fa.Acres != fb.Acres || fa.Ignition != fb.Ignition ||
+				fa.Name != fb.Name || fa.StartDay != fb.StartDay {
+				t.Fatalf("season %d fire %d differs: %+v vs %+v", i, j, fa, fb)
+			}
+		}
+	}
+}
+
+// Worker counts beyond the season count and the GOMAXPROCS default both
+// produce the same ordered output.
+func TestSimulateHistoryParallelWorkerBounds(t *testing.T) {
+	a := SimulateHistoryParallel(testSim, 3, 2, 100)
+	b := SimulateHistoryParallel(testSim, 3, 2, 0)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Year != b[i].Year || a[i].MappedAcres() != b[i].MappedAcres() {
+			t.Fatalf("season %d differs across worker counts", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package fivealarms
+
+// Option mutates a Config under NewStudyWithOptions. Options compose
+// left to right; a later option overrides an earlier one for the same
+// field.
+type Option func(*Config)
+
+// WithSeed sets the master random seed (Config.Seed).
+func WithSeed(seed uint64) Option {
+	return func(c *Config) { c.Seed = seed }
+}
+
+// WithCellSizeM sets the world raster resolution in meters
+// (Config.CellSizeM).
+func WithCellSizeM(m float64) Option {
+	return func(c *Config) { c.CellSizeM = m }
+}
+
+// WithTransceivers sets the synthetic OpenCelliD snapshot size
+// (Config.Transceivers).
+func WithTransceivers(n int) Option {
+	return func(c *Config) { c.Transceivers = n }
+}
+
+// WithFiresPerSeason sets the mapped-fire simulation budget per season
+// (Config.MappedFiresPerSeason).
+func WithFiresPerSeason(n int) Option {
+	return func(c *Config) { c.MappedFiresPerSeason = n }
+}
+
+// WithConfig replaces the whole configuration at once; options placed
+// after it adjust individual fields. Useful for starting from
+// PaperScale.
+func WithConfig(cfg Config) Option {
+	return func(c *Config) { *c = cfg }
+}
+
+// WithSerialPipeline forces the serial build and simulation path
+// (Config.PipelineSerial): layers build one at a time and the historical
+// seasons simulate sequentially. Results are bit-identical to the
+// default parallel pipeline; this is a debugging escape hatch.
+func WithSerialPipeline() Option {
+	return func(c *Config) { c.PipelineSerial = true }
+}
+
+// NewStudyWithOptions validates the assembled configuration and builds
+// all layers through the parallel pipeline (see Config.PipelineSerial
+// for the serial escape hatch). Unlike NewStudy, it rejects malformed
+// configurations — negative or non-finite dimensions, absurd sizes —
+// instead of silently clamping them.
+func NewStudyWithOptions(opts ...Option) (*Study, error) {
+	var cfg Config
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return build(cfg.withDefaults()), nil
+}

@@ -1,0 +1,226 @@
+package fivealarms
+
+// Tests for the parallel study pipeline: the serial escape hatch must be
+// bit-identical to the parallel build, the memoized accessors must
+// compute each derived layer exactly once, and a Study must survive
+// many goroutines running every analysis concurrently (run under
+// `go test -race` / `make race`).
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+
+	"fivealarms/internal/report"
+)
+
+// stressCfg is small enough that the -race stress test stays fast.
+var stressCfg = Config{Seed: 7, CellSizeM: 40000, Transceivers: 5000, MappedFiresPerSeason: 4}
+
+func serialCfg() Config {
+	c := stressCfg
+	c.PipelineSerial = true
+	return c
+}
+
+// analysisFingerprints renders the headline analyses into strings; two
+// studies with the same configuration must agree byte for byte.
+func analysisFingerprints(s *Study) map[string]string {
+	return map[string]string{
+		"table1":   report.Table1(s.Table1()).String(),
+		"table2":   report.Table2(s.Table2()).String(),
+		"table3":   report.Table3(s.Table3()).String(),
+		"fig7":     report.Fig7(s.WHPOverlay()).String(),
+		"validate": report.Validation(s.Validate()).String(),
+		"extend":   report.Extension(s.ExtendWith(ExtendOptions{}).Coarse).String(),
+		"fig14":    report.Fig14(s.Future()).String(),
+		"casestudy": fmt.Sprintf("peak=%d out=%d powershare=%.6f",
+			s.CaseStudy().PeakDay, s.CaseStudy().PeakOut, s.CaseStudy().PeakPowerShare),
+		"mask": fmt.Sprintf("hist=%d s2019=%d",
+			s.HistoryUnionMask().Count(), s.Season2019UnionMask().Count()),
+	}
+}
+
+// TestSerialPipelineIdentical asserts the acceptance criterion: a Study
+// built by the parallel pipeline produces byte-identical analysis rows
+// to one built through the PipelineSerial escape hatch.
+func TestSerialPipelineIdentical(t *testing.T) {
+	parallel := analysisFingerprints(NewStudy(stressCfg))
+	serial := analysisFingerprints(NewStudy(serialCfg()))
+	for name, want := range serial {
+		if got := parallel[name]; got != want {
+			t.Errorf("%s differs between serial and parallel builds:\nserial:\n%s\nparallel:\n%s", name, want, got)
+		}
+	}
+}
+
+// TestMemoizedAccessors asserts the warm-path contract: repeated calls
+// return the first call's result without recomputation (pointer
+// identity), so a second Table1/Validate/CaseStudy triggers zero new
+// fire-season simulations.
+func TestMemoizedAccessors(t *testing.T) {
+	s := NewStudy(stressCfg)
+	h1, h2 := s.History(), s.History()
+	if len(h1) == 0 || &h1[0] != &h2[0] {
+		t.Error("History not memoized")
+	}
+	if s.Season2019() != s.Season2019() {
+		t.Error("Season2019 not memoized")
+	}
+	if s.Corridor() != s.Corridor() {
+		t.Error("Corridor not memoized")
+	}
+	if s.WHPOverlay() != s.WHPOverlay() {
+		t.Error("WHPOverlay not memoized")
+	}
+	if s.HistoryUnionMask() != s.HistoryUnionMask() {
+		t.Error("HistoryUnionMask not memoized")
+	}
+	if s.Season2019UnionMask() != s.Season2019UnionMask() {
+		t.Error("Season2019UnionMask not memoized")
+	}
+	d := 2.5 * s.World.Grid.CellSize
+	if s.Extend(d) != s.Extend(d) {
+		t.Error("Extend not memoized per distance")
+	}
+	if s.Extend(d) == s.Extend(2*d) {
+		t.Error("Extend conflates distinct distances")
+	}
+	if s.ExtendFine(800, 0) != s.ExtendFine(800, 0) {
+		t.Error("ExtendFine not memoized per parameter pair")
+	}
+}
+
+// TestConcurrentAnalysesIdentical is the -race stress test: N goroutines
+// run every analysis concurrently on one freshly built Study and each
+// must observe exactly the serial reference results.
+func TestConcurrentAnalysesIdentical(t *testing.T) {
+	want := analysisFingerprints(NewStudy(serialCfg()))
+	s := NewStudy(stressCfg)
+
+	const goroutines = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, goroutines*len(want))
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			got := analysisFingerprints(s)
+			for name, w := range want {
+				if got[name] != w {
+					errs <- fmt.Sprintf("goroutine %d: %s diverged under concurrency", g, name)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	valid := []Config{
+		{},
+		{Seed: 9},
+		{CellSizeM: 2700, Transceivers: 100000, MappedFiresPerSeason: 50},
+		PaperScale(3),
+	}
+	for i, c := range valid {
+		if err := c.Validate(); err != nil {
+			t.Errorf("valid config %d rejected: %v", i, err)
+		}
+	}
+	invalid := []Config{
+		{CellSizeM: math.NaN()},
+		{CellSizeM: math.Inf(1)},
+		{CellSizeM: -10},
+		{CellSizeM: 1},    // absurdly fine national raster
+		{CellSizeM: 1e12}, // coarser than the continent
+		{Transceivers: -1},
+		{Transceivers: 2_000_000_000},
+		{MappedFiresPerSeason: -5},
+		{MappedFiresPerSeason: 10_000_000},
+	}
+	for i, c := range invalid {
+		if err := c.Validate(); err == nil {
+			t.Errorf("invalid config %d accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestNewStudyWithOptions(t *testing.T) {
+	s, err := NewStudyWithOptions(
+		WithSeed(11),
+		WithCellSizeM(40000),
+		WithTransceivers(5000),
+		WithFiresPerSeason(4),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{Seed: 11, CellSizeM: 40000, Transceivers: 5000, MappedFiresPerSeason: 4}
+	if s.Cfg != want {
+		t.Errorf("Cfg = %+v, want %+v", s.Cfg, want)
+	}
+
+	// The thin-wrapper contract: NewStudy with the same config produces
+	// the same results.
+	legacy := NewStudy(want)
+	if a, b := report.Table2(s.Table2()).String(), report.Table2(legacy.Table2()).String(); a != b {
+		t.Error("NewStudyWithOptions and NewStudy disagree for the same config")
+	}
+
+	if _, err := NewStudyWithOptions(WithCellSizeM(-1)); err == nil {
+		t.Error("negative CellSizeM accepted")
+	}
+	if _, err := NewStudyWithOptions(WithTransceivers(-7)); err == nil {
+		t.Error("negative Transceivers accepted")
+	}
+
+	// WithConfig seeds the whole struct; later options override fields.
+	s2, err := NewStudyWithOptions(WithConfig(want), WithSeed(12), WithSerialPipeline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s2.Cfg.Seed != 12 || !s2.Cfg.PipelineSerial || s2.Cfg.CellSizeM != 40000 {
+		t.Errorf("option composition: %+v", s2.Cfg)
+	}
+}
+
+func TestExtendWithSelectionRule(t *testing.T) {
+	s := NewStudy(stressCfg)
+
+	coarse := s.ExtendWith(ExtendOptions{})
+	if coarse.Fine || coarse.Coarse == nil || coarse.Window != nil {
+		t.Fatalf("zero options should take the coarse path: %+v", coarse)
+	}
+	// Default coarse buffer: max(half mile, one cell) = one 40 km cell.
+	if coarse.DistM != s.World.Grid.CellSize {
+		t.Errorf("coarse DistM = %v, want one cell (%v)", coarse.DistM, s.World.Grid.CellSize)
+	}
+
+	fine := s.ExtendWith(ExtendOptions{CellSizeM: 800})
+	if !fine.Fine || fine.Window == nil || fine.Coarse != nil {
+		t.Fatalf("sub-raster CellSizeM should take the fine path: %+v", fine)
+	}
+	// The fine default buffer is the exact half mile (0.5 x 1609.344 m).
+	if fine.CellSizeM != 800 || fine.DistM != 804.672 {
+		t.Errorf("fine resolved params = (%v, %v)", fine.CellSizeM, fine.DistM)
+	}
+
+	// A requested cell at or above the national raster stays coarse.
+	if r := s.ExtendWith(ExtendOptions{CellSizeM: s.World.Grid.CellSize}); r.Fine {
+		t.Error("CellSizeM == national raster should stay coarse")
+	}
+
+	// Consistency with the legacy entry points it unifies.
+	if coarse.Coarse != s.Extend(coarse.DistM) {
+		t.Error("coarse path does not share the Extend memo")
+	}
+	if fine.Window != s.ExtendFine(800, 0) {
+		t.Error("fine path does not share the ExtendFine memo")
+	}
+}
