@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pipeline fuzz experiments maps clean
+.PHONY: all build test vet race bench bench-pipeline bench-geom fuzz experiments maps clean
 
 all: vet test build
 
@@ -26,10 +26,18 @@ bench:
 bench-pipeline:
 	$(GO) test -run '^$$' -bench 'BenchmarkStudyColdWarm|BenchmarkStudyBuild' -benchmem -json . > BENCH_pipeline.json
 
+# Regenerate the prepared-geometry baseline: the naive-vs-prepared
+# point-in-polygon microbenchmarks, the overlay join (naive-serial /
+# prepared-serial / prepared-parallel) and the end-to-end Table 1 join.
+bench-geom:
+	$(GO) test -run '^$$' -bench 'BenchmarkPreparedContains|BenchmarkHistoricalOverlay|BenchmarkTable1$$' \
+		-benchmem -json . ./internal/geom ./internal/risk > BENCH_geom.json
+
 # Run each fuzz target briefly (10s apiece).
 fuzz:
 	$(GO) test -fuzz=FuzzParseWKTPoint -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzParseWKTPolygon -fuzztime=10s ./internal/geom
+	$(GO) test -fuzz=FuzzPreparedRingContains -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzReadArcASCII -fuzztime=10s ./internal/raster
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/cellnet
 

@@ -258,9 +258,15 @@ func (s *Study) Season2019() *wildfire.Season {
 }
 
 // Table1 runs the historical overlay over the 2000-2018 seasons, once
-// per Study. The returned slice is shared between callers: read-only.
+// per Study. The seasons join in parallel unless Config.PipelineSerial
+// is set — each season is an independent join over read-only layers, so
+// the result is identical either way. The returned slice is shared
+// between callers: read-only.
 func (s *Study) Table1() []risk.YearOverlay {
 	return s.mem.table1.Get(func() []risk.YearOverlay {
+		if s.Cfg.PipelineSerial {
+			return s.Analyzer.HistoricalOverlayWorkers(s.History(), 1)
+		}
 		return s.Analyzer.HistoricalOverlay(s.History())
 	})
 }

@@ -114,8 +114,7 @@ func (n *Network) Simulate(sc Scenario, seed uint64) *Outcome {
 		s := &n.Sites[i]
 		severed[i] = make([]bool, len(sc.Fires))
 		for fi, af := range sc.Fires {
-			if af.Fire.BBox().ContainsPoint(s.XY) &&
-				af.Fire.Perimeter.ContainsPoint(s.XY) && src.Bool(sc.DamageProb) {
+			if af.Fire.PreparedPerimeter().Contains(s.XY) && src.Bool(sc.DamageProb) {
 				end := af.LastDay + sc.RepairDays
 				if end > damagedUntil[i] {
 					damagedUntil[i] = end
@@ -181,7 +180,7 @@ func (n *Network) Simulate(sc Scenario, seed uint64) *Outcome {
 // started by the given day (damage cannot precede the fire).
 func siteDamageStarted(sc Scenario, s *Site, day int) bool {
 	for _, af := range sc.Fires {
-		if day >= af.FirstDay && af.Fire.BBox().ContainsPoint(s.XY) && af.Fire.Perimeter.ContainsPoint(s.XY) {
+		if day >= af.FirstDay && af.Fire.PreparedPerimeter().Contains(s.XY) {
 			return true
 		}
 	}
@@ -213,8 +212,8 @@ func backhaulSevered(sc Scenario, severed []bool, day int) bool {
 // containment — a cheap stand-in for exact segment/polygon intersection
 // that is exact in the limit of the sampling density (200 m).
 func segmentCrossesPerimeter(a, b geom.Point, f *wildfire.Fire) bool {
-	bb := f.BBox()
-	if !bb.Intersects(geom.NewBBox(a, b)) {
+	prep := f.PreparedPerimeter()
+	if !prep.BBox().Intersects(geom.NewBBox(a, b)) {
 		return false
 	}
 	d := b.Sub(a)
@@ -224,7 +223,7 @@ func segmentCrossesPerimeter(a, b geom.Point, f *wildfire.Fire) bool {
 	}
 	for i := 0; i <= steps; i++ {
 		p := a.Add(d.Scale(float64(i) / float64(steps)))
-		if bb.ContainsPoint(p) && f.Perimeter.ContainsPoint(p) {
+		if prep.Contains(p) {
 			return true
 		}
 	}

@@ -140,22 +140,46 @@ func TraceContours(mask *BitGrid) geom.MultiPolygon {
 		}
 	}
 
-	// Assign each hole to the smallest containing outer ring.
+	// Assign each hole to the smallest containing outer ring. Probes pay
+	// a bbox reject first; large outer rings are prepared lazily on their
+	// first surviving probe so the scan is banded, while small rings use
+	// the naive walk directly (a linear scan is already optimal there and
+	// preparation would only allocate).
+	const prepareVertexThreshold = 48
 	polys := make(geom.MultiPolygon, len(outers))
 	for i, o := range outers {
 		polys[i] = geom.Polygon{Exterior: o}
 	}
+	var prepared []*geom.PreparedRing
+	var outerBB []geom.BBox
+	if len(holes) > 0 {
+		prepared = make([]*geom.PreparedRing, len(outers))
+		outerBB = make([]geom.BBox, len(outers))
+		for i, o := range outers {
+			outerBB[i] = o.BBox()
+		}
+	}
 	for _, h := range holes {
 		bestIdx := -1
 		bestArea := 0.0
-		probe := h[0]
-		// Nudge the probe inside the hole-owning polygon: any hole vertex is
-		// also on the outer region boundary lattice, so test containment
-		// with the hole's centroid instead.
-		probe = h.Centroid()
-		for i, o := range outers {
-			if o.ContainsPoint(probe) {
-				a := o.Area()
+		// Any hole vertex is also on the outer region boundary lattice, so
+		// probe containment with the hole's centroid instead.
+		probe := h.Centroid()
+		for i := range outers {
+			if !outerBB[i].ContainsPoint(probe) {
+				continue
+			}
+			in := false
+			if len(outers[i]) >= prepareVertexThreshold {
+				if prepared[i] == nil {
+					prepared[i] = geom.PrepareRing(outers[i])
+				}
+				in = prepared[i].Contains(probe)
+			} else {
+				in = outers[i].ContainsPoint(probe)
+			}
+			if in {
+				a := outers[i].Area()
 				if bestIdx == -1 || a < bestArea {
 					bestIdx = i
 					bestArea = a
@@ -202,10 +226,19 @@ func FillPolygon(g Geometry, poly geom.Polygon) *BitGrid {
 // polygon.
 func FillMultiPolygon(g Geometry, m geom.MultiPolygon) *BitGrid {
 	mask := NewBitGrid(g)
+	FillMultiPolygonInto(mask, m)
+	return mask
+}
+
+// FillMultiPolygonInto sets every cell of an existing mask whose center
+// lies inside any member polygon, leaving already-set cells set. Union
+// rasterization (e.g. all fire perimeters of a study period onto one
+// national grid) fills into one shared mask this way instead of
+// allocating a full grid per geometry and Or-ing them.
+func FillMultiPolygonInto(mask *BitGrid, m geom.MultiPolygon) {
 	for _, p := range m {
 		rasterizePolygon(mask, p, true)
 	}
-	return mask
 }
 
 // rasterizePolygon scanline-fills poly into mask.

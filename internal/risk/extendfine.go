@@ -108,15 +108,16 @@ func (a *Analyzer) ExtendAndValidateFine(season *wildfire.Season, cellSize, dist
 	var buf []int
 	for fi := range season.Mapped {
 		f := &season.Mapped[fi]
-		if !f.BBox().Intersects(region) {
+		prep := f.PreparedPerimeter()
+		if !prep.BBox().Intersects(region) {
 			continue
 		}
-		buf = a.Data.Index.Query(f.BBox(), buf[:0])
+		buf = a.Data.Index.Query(prep.BBox(), buf[:0])
 		for _, ti := range buf {
 			if !region.ContainsPoint(a.Data.T[ti].XY) {
 				continue
 			}
-			if f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
+			if prep.Contains(a.Data.T[ti].XY) {
 				inPerimeter[ti] = true
 			}
 		}

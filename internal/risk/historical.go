@@ -1,6 +1,10 @@
 package risk
 
 import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
 	"fivealarms/internal/raster"
 	"fivealarms/internal/wildfire"
 )
@@ -15,47 +19,101 @@ type YearOverlay struct {
 	PerMillionAcres float64
 }
 
-// HistoricalOverlay joins the transceiver set against each season's
-// perimeters (Table 1, Figure 4). A transceiver inside several perimeters
-// of one season counts once for that year, matching the paper's "within
-// wildfire perimeters" semantics.
-func (a *Analyzer) HistoricalOverlay(seasons []*wildfire.Season) []YearOverlay {
-	out := make([]YearOverlay, 0, len(seasons))
-	visited := make([]bool, a.Data.Len())
-	var touched []int
-	var buf []int
-	for _, s := range seasons {
-		count := 0
-		touched = touched[:0]
-		for fi := range s.Mapped {
-			f := &s.Mapped[fi]
-			buf = a.Data.Index.Query(f.BBox(), buf[:0])
-			for _, ti := range buf {
-				if visited[ti] {
-					continue
-				}
-				if f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
-					visited[ti] = true
-					touched = append(touched, ti)
-					count++
-				}
+// overlayScratch is the per-worker reusable state of the seasonal join:
+// the visited mask (reset sparsely through touched after every season)
+// and the candidate buffer the grid index fills.
+type overlayScratch struct {
+	visited []bool
+	touched []int
+	buf     []int
+}
+
+func newOverlayScratch(n int) *overlayScratch {
+	return &overlayScratch{visited: make([]bool, n)}
+}
+
+// overlaySeason joins one season's perimeters against the transceiver
+// set. A transceiver inside several perimeters of the season counts
+// once, matching the paper's "within wildfire perimeters" semantics.
+func (a *Analyzer) overlaySeason(s *wildfire.Season, sc *overlayScratch) YearOverlay {
+	count := 0
+	sc.touched = sc.touched[:0]
+	for fi := range s.Mapped {
+		f := &s.Mapped[fi]
+		prep := f.PreparedPerimeter()
+		sc.buf = a.Data.Index.Query(prep.BBox(), sc.buf[:0])
+		for _, ti := range sc.buf {
+			if sc.visited[ti] {
+				continue
+			}
+			if prep.Contains(a.Data.T[ti].XY) {
+				sc.visited[ti] = true
+				sc.touched = append(sc.touched, ti)
+				count++
 			}
 		}
-		perM := 0.0
-		if s.TotalAcres > 0 {
-			perM = float64(count) / (s.TotalAcres / 1e6)
-		}
-		out = append(out, YearOverlay{
-			Year:            s.Year,
-			Fires:           s.TotalFires,
-			AcresBurned:     s.TotalAcres,
-			TransceiversIn:  count,
-			PerMillionAcres: perM,
-		})
-		for _, ti := range touched {
-			visited[ti] = false
-		}
 	}
+	for _, ti := range sc.touched {
+		sc.visited[ti] = false
+	}
+	perM := 0.0
+	if s.TotalAcres > 0 {
+		perM = float64(count) / (s.TotalAcres / 1e6)
+	}
+	return YearOverlay{
+		Year:            s.Year,
+		Fires:           s.TotalFires,
+		AcresBurned:     s.TotalAcres,
+		TransceiversIn:  count,
+		PerMillionAcres: perM,
+	}
+}
+
+// HistoricalOverlay joins the transceiver set against each season's
+// perimeters (Table 1, Figure 4) across bounded workers. Seasons are
+// independent joins over read-only layers, so the parallel schedule is
+// bit-identical to the serial one; see HistoricalOverlayWorkers.
+func (a *Analyzer) HistoricalOverlay(seasons []*wildfire.Season) []YearOverlay {
+	return a.HistoricalOverlayWorkers(seasons, 0)
+}
+
+// HistoricalOverlayWorkers runs the historical overlay with an explicit
+// worker bound (0 selects GOMAXPROCS, 1 forces the serial schedule —
+// the debugging escape hatch). Each worker joins whole seasons with its
+// own visited/candidate scratch, the same pattern
+// wildfire.SimulateHistoryParallel uses for the season simulations.
+func (a *Analyzer) HistoricalOverlayWorkers(seasons []*wildfire.Season, workers int) []YearOverlay {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(seasons) {
+		workers = len(seasons)
+	}
+	out := make([]YearOverlay, len(seasons))
+	if workers <= 1 {
+		sc := newOverlayScratch(a.Data.Len())
+		for i, s := range seasons {
+			out[i] = a.overlaySeason(s, sc)
+		}
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sc := newOverlayScratch(a.Data.Len())
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(seasons) {
+					return
+				}
+				out[i] = a.overlaySeason(seasons[i], sc)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
@@ -73,9 +131,10 @@ func TotalInPerimeters(rows []YearOverlay) int {
 // fire's perimeter.
 func (a *Analyzer) TransceiversInFire(f *wildfire.Fire) []int {
 	var out []int
-	cand := a.Data.Index.Query(f.BBox(), nil)
+	prep := f.PreparedPerimeter()
+	cand := a.Data.Index.Query(prep.BBox(), nil)
 	for _, ti := range cand {
-		if f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
+		if prep.Contains(a.Data.T[ti].XY) {
 			out = append(out, ti)
 		}
 	}
@@ -83,14 +142,13 @@ func (a *Analyzer) TransceiversInFire(f *wildfire.Fire) []int {
 }
 
 // FireUnionMask rasterizes the union of all seasons' perimeters onto the
-// world grid — the data behind Figure 3's perimeter map.
+// world grid — the data behind Figure 3's perimeter map. All perimeters
+// fill directly into one shared mask; no per-fire grids are allocated.
 func (a *Analyzer) FireUnionMask(seasons []*wildfire.Season) *raster.BitGrid {
 	union := raster.NewBitGrid(a.World.Grid)
 	for _, s := range seasons {
 		for fi := range s.Mapped {
-			m := raster.FillMultiPolygon(a.World.Grid, s.Mapped[fi].Perimeter)
-			// Same geometry by construction; Or cannot fail.
-			_ = union.Or(m)
+			raster.FillMultiPolygonInto(union, s.Mapped[fi].Perimeter)
 		}
 	}
 	return union

@@ -101,23 +101,6 @@ func (a *Analyzer) ClassesAgainst(classes *raster.ClassGrid) []whp.Class {
 	return next
 }
 
-// ReclassifyWith recomputes the cached classes against a replacement class
-// raster and returns the previous cache so callers can restore it.
-//
-// Deprecated: it mutates shared analyzer state and is therefore not safe
-// under concurrent analyses; use ClassesAgainst with the *For analysis
-// variants instead. Retained for callers that own the analyzer outright.
-func (a *Analyzer) ReclassifyWith(classes *raster.ClassGrid) []whp.Class {
-	old := a.classOf
-	a.classOf = a.ClassesAgainst(classes)
-	return old
-}
-
-// RestoreClasses reinstates a class cache returned by ReclassifyWith.
-//
-// Deprecated: see ReclassifyWith.
-func (a *Analyzer) RestoreClasses(old []whp.Class) { a.classOf = old }
-
 // StateCount pairs a state with a count for ranking outputs.
 type StateCount struct {
 	Abbrev string

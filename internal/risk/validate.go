@@ -59,9 +59,10 @@ func (a *Analyzer) ValidateFor(season *wildfire.Season, classOf []whp.Class) *Va
 	var buf []int
 	for fi := range season.Mapped {
 		f := &season.Mapped[fi]
-		buf = a.Data.Index.Query(f.BBox(), buf[:0])
+		prep := f.PreparedPerimeter()
+		buf = a.Data.Index.Query(prep.BBox(), buf[:0])
 		for _, ti := range buf {
-			if !f.Perimeter.ContainsPoint(a.Data.T[ti].XY) {
+			if !prep.Contains(a.Data.T[ti].XY) {
 				continue
 			}
 			seen[ti] = true

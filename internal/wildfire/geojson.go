@@ -89,7 +89,7 @@ func ReadGeoJSON(r io.Reader, world *conus.World) ([]Fire, error) {
 			}
 			mp = append(mp, poly)
 		}
-		f := Fire{ID: i, Name: "unknown", Perimeter: mp, Acres: geom.Acres(mp.Area())}
+		f := Fire{ID: i, Name: "unknown", Perimeter: mp, Acres: geom.Acres(mp.Area()), prep: &firePrep{}}
 		if v, ok := ft.Properties["incidentname"].(string); ok {
 			f.Name = v
 		}

@@ -24,9 +24,9 @@
 package wildfire
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 
 	"fivealarms/internal/conus"
 	"fivealarms/internal/geom"
@@ -54,10 +54,34 @@ type Fire struct {
 	// WindDeg is the prevailing spread direction (degrees, math
 	// convention) used during growth.
 	WindDeg float64
+
+	// prep lazily caches the prepared perimeter. It lives behind a
+	// pointer so Fire values copy freely (Season.Mapped stores fires by
+	// value); every copy shares the one cache.
+	prep *firePrep
+}
+
+// firePrep holds the once-built prepared perimeter.
+type firePrep struct {
+	once sync.Once
+	mp   *geom.PreparedMultiPolygon
 }
 
 // BBox returns the perimeter bounding box.
 func (f *Fire) BBox() geom.BBox { return f.Perimeter.BBox() }
+
+// PreparedPerimeter returns the containment-optimized form of the
+// perimeter (see geom.PrepareMultiPolygon), built on first use and
+// cached; concurrent callers share the one build. Fires assembled by
+// hand (struct literals in tests or external decoders) have no cache
+// slot and prepare on every call — still correct, just unmemoized.
+func (f *Fire) PreparedPerimeter() *geom.PreparedMultiPolygon {
+	if f.prep == nil {
+		return geom.PrepareMultiPolygon(f.Perimeter)
+	}
+	f.prep.once.Do(func() { f.prep.mp = geom.PrepareMultiPolygon(f.Perimeter) })
+	return f.prep.mp
+}
 
 // Season is one simulated fire year.
 type Season struct {
@@ -256,17 +280,48 @@ type frontierItem struct {
 	time float64
 }
 
+// frontierHeap is a hand-rolled min-heap on time. The sift order matches
+// container/heap exactly (strict-less comparisons, left child on ties),
+// but push/pop stay monomorphic: the container/heap interface boxes
+// every item, which made the ignition race the single largest allocator
+// in a cold study build (~1.2M boxed items).
 type frontierHeap []frontierItem
 
-func (h frontierHeap) Len() int            { return len(h) }
-func (h frontierHeap) Less(i, j int) bool  { return h[i].time < h[j].time }
-func (h frontierHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *frontierHeap) Push(x interface{}) { *h = append(*h, x.(frontierItem)) }
-func (h *frontierHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
+func (h *frontierHeap) push(it frontierItem) {
+	s := append(*h, it)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(s[i].time < s[parent].time) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+func (h *frontierHeap) pop() frontierItem {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && s[j2].time < s[j].time {
+			j = j2
+		}
+		if !(s[j].time < s[i].time) {
+			break
+		}
+		s[i], s[j] = s[j], s[i]
+		i = j
+	}
+	it := s[n]
+	*h = s[:n]
 	return it
 }
 
@@ -332,14 +387,14 @@ func (s *Simulator) growFireWind(src *rng.Source, name string, year int,
 			return
 		}
 		seen[i] = true
-		heap.Push(&h, frontierItem{idx: i, time: t})
+		h.push(frontierItem{idx: i, time: t})
 	}
 	push(cx0, cy0, 0)
 
 	nBurned := 0
 	nonburnableBurned := 0
-	for h.Len() > 0 && nBurned < targetCells {
-		it := heap.Pop(&h).(frontierItem)
+	for len(h) > 0 && nBurned < targetCells {
+		it := h.pop()
 		cy := it.idx / g.NX
 		cx := it.idx % g.NX
 		f := fuelAt(cx, cy)
@@ -395,6 +450,7 @@ func (s *Simulator) growFireWind(src *rng.Source, name string, year int,
 		StateIdx:     state,
 		RoadCorridor: float64(nonburnableBurned)/float64(nBurned) > 0.06,
 		WindDeg:      windDeg,
+		prep:         &firePrep{},
 	}
 }
 
