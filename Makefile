@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race bench bench-pipeline bench-geom fuzz experiments maps clean
+.PHONY: all build test vet race chaos bench bench-pipeline bench-geom fuzz experiments maps clean
 
 all: vet test build
 
@@ -37,9 +37,18 @@ bench-geom:
 fuzz:
 	$(GO) test -fuzz=FuzzParseWKTPoint -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzParseWKTPolygon -fuzztime=10s ./internal/geom
+	$(GO) test -fuzz=FuzzParseWKTMultiPolygon -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzPreparedRingContains -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzReadArcASCII -fuzztime=10s ./internal/raster
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/cellnet
+	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dirs
+	$(GO) test -fuzz=FuzzReadGeoJSON -fuzztime=10s ./internal/wildfire
+
+# Run the fault-containment chaos suite under the race detector.
+chaos:
+	$(GO) test -race -count=2 \
+		-run 'Chaos|Cancel|Context|Panic|Poison|Retri|JoinErrors' \
+		./internal/pipeline ./internal/faults ./internal/wildfire .
 
 # Regenerate experiments_run.txt at reference scale (minutes).
 experiments:

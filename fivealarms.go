@@ -38,6 +38,7 @@
 package fivealarms
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -74,6 +75,11 @@ type Config struct {
 	// worker goroutines. Results are bit-identical either way; only
 	// wall-clock time changes.
 	PipelineSerial bool
+
+	// ctx, when set via WithContext, governs cancellation of the layer
+	// build. It is consulted only during NewStudyWithOptions and never
+	// retained by the returned Study.
+	ctx context.Context
 }
 
 func (c Config) withDefaults() Config {
@@ -184,9 +190,28 @@ type Study struct {
 // NewStudy builds all layers for the configuration. Out-of-range fields
 // are silently defaulted (the legacy behavior); use NewStudyWithOptions
 // to surface configuration errors instead.
+//
+// NewStudy keeps its infallible signature because its failure surface is
+// provably empty: every layer builder below returns nil unconditionally,
+// the task graph is acyclic by pipeline.Graph.Add's declared-before-use
+// contract, no context reaches it (Config.ctx is settable only through
+// WithContext), and no injection hook is installed outside the chaos
+// tests. A non-nil error here is therefore a programming error in this
+// file, and panicking is the correct report.
 func NewStudy(cfg Config) *Study {
-	return build(cfg.withDefaults())
+	cfg.ctx = nil
+	s, err := build(cfg.withDefaults())
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
+
+// buildFaultHook, when non-nil, is installed as the chaos-injection
+// hook on every study build graph. It exists solely for the fault-
+// containment tests in this package and must stay nil in production
+// paths (nothing outside _test files assigns it).
+var buildFaultHook func(task string) error
 
 // build constructs the study layers over the dependency-graph executor:
 // once the shared world exists, the WHP raster, the transceiver snapshot
@@ -194,9 +219,17 @@ func NewStudy(cfg Config) *Study {
 // the risk engine follow as their inputs complete. Each layer is a pure
 // function of its declared inputs, so the parallel schedule produces the
 // same Study as the serial one bit for bit.
-func build(cfg Config) *Study {
+//
+// A non-nil error means no usable Study exists: cancellation of cfg.ctx,
+// a contained panic (pipeline.PanicError) or an injected fault. The
+// partially built value never escapes.
+func build(cfg Config) (*Study, error) {
 	s := &Study{Cfg: cfg}
+	s.Cfg.ctx = nil // the Study must not retain the build context
 	g := pipeline.New(0)
+	if buildFaultHook != nil {
+		g.SetInjectionHook(buildFaultHook)
+	}
 	g.Add("world", func() error {
 		s.World = conus.Build(conus.Config{Seed: cfg.Seed, CellSizeM: cfg.CellSizeM})
 		return nil
@@ -222,18 +255,20 @@ func build(cfg Config) *Study {
 		return nil
 	}, "whp", "cellnet", "census")
 
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var err error
 	if cfg.PipelineSerial {
-		err = g.RunSerial()
+		err = g.RunSerialContext(ctx)
 	} else {
-		err = g.Run()
+		err = g.RunContext(ctx)
 	}
 	if err != nil {
-		// The builders are infallible; only a malformed graph reaches
-		// here, which is a programming error.
-		panic(err)
+		return nil, fmt.Errorf("fivealarms: building study: %w", err)
 	}
-	return s
+	return s, nil
 }
 
 // History simulates the calibrated 2000-2018 fire seasons. The seasons

@@ -9,29 +9,67 @@
 // Determinism is the caller's contract — tasks must not communicate
 // except through their declared dependency edges, so the schedule
 // (parallel or serial) cannot change any task's result.
+//
+// # Failure model
+//
+// The executor contains faults instead of amplifying them:
+//
+//   - A panicking task is recovered into a *PanicError carrying the task
+//     name, the panic value and the goroutine stack; sibling workers are
+//     woken and drain cleanly, and no goroutine outlives the run.
+//   - RunContext and RunSerialContext honor cancellation: a cancelled
+//     context stops new tasks from being scheduled, in-flight tasks are
+//     drained, and the returned error wraps ctx.Err() together with how
+//     far the run got.
+//   - By default the first task error wins and stops scheduling. With
+//     JoinErrors, every independent failure is collected and returned as
+//     one errors.Join aggregate in declaration order, so operators see
+//     each broken layer rather than the race winner. Tasks downstream of
+//     a failed dependency are skipped either way.
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 )
 
+// PanicError is a panic recovered from a task. It is returned (wrapped
+// in the run's error) instead of crashing the process; errors.As
+// retrieves it from any executor error chain.
+type PanicError struct {
+	Task  string // the task whose function (or injection hook) panicked
+	Value any    // the value passed to panic
+	Stack []byte // the panicking goroutine's stack at recovery time
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("pipeline: task %q panicked: %v", e.Task, e.Value)
+}
+
 // task is one node of the dependency graph.
 type task struct {
-	name string
-	deps []string
-	fn   func() error
+	name  string
+	order int // declaration index; fixes error-aggregation order
+	deps  []string
+	fn    func() error
 }
 
 // Graph is a build-once dependency graph. Declare tasks with Add, then
-// execute with Run (bounded parallel) or RunSerial (deterministic
-// declaration order). A Graph is not safe for concurrent declaration and
-// is consumed by a single Run/RunSerial call.
+// execute with Run/RunContext (bounded parallel) or
+// RunSerial/RunSerialContext (deterministic declaration order). A Graph
+// is not safe for concurrent declaration and is consumed by a single run
+// call.
 type Graph struct {
 	workers int
 	tasks   []*task
 	byName  map[string]*task
+	joinAll bool
+	inject  func(task string) error
 }
 
 // New returns a graph that runs at most workers tasks concurrently.
@@ -56,20 +94,113 @@ func (g *Graph) Add(name string, fn func() error, deps ...string) {
 			panic(fmt.Sprintf("pipeline: task %q depends on undeclared %q", name, d))
 		}
 	}
-	t := &task{name: name, deps: deps, fn: fn}
+	t := &task{name: name, order: len(g.tasks), deps: deps, fn: fn}
 	g.tasks = append(g.tasks, t)
 	g.byName[name] = t
 }
 
-// Run executes the graph with bounded workers. Each task starts once all
-// of its dependencies have succeeded. The first task error cancels the
-// remaining not-yet-started tasks and is returned after every in-flight
-// task has finished, so partially built state is never abandoned
-// mid-write.
-func (g *Graph) Run() error {
+// TaskNames returns the declared task names in declaration order (a
+// valid serial schedule). Chaos harnesses use it to enumerate injection
+// targets.
+func (g *Graph) TaskNames() []string {
+	out := make([]string, len(g.tasks))
+	for i, t := range g.tasks {
+		out[i] = t.name
+	}
+	return out
+}
+
+// JoinErrors switches the graph from first-error-wins to aggregation:
+// every independent task failure is collected and the run returns one
+// errors.Join of all of them, ordered by task declaration. Scheduling
+// continues past failures for tasks whose dependencies all succeeded.
+func (g *Graph) JoinErrors() { g.joinAll = true }
+
+// SetInjectionHook installs a chaos hook that runs immediately before
+// every task function, receiving the task name. A hook may sleep (delay
+// injection), return a non-nil error (failure injection), or panic
+// (crash injection — contained into a *PanicError exactly like a panic
+// in the task itself). The hook exists for deterministic fault-injection
+// tests (see internal/faults) and must stay nil in production paths.
+func (g *Graph) SetInjectionHook(hook func(task string) error) { g.inject = hook }
+
+// runTask executes one task with the injection hook applied and any
+// panic contained into a *PanicError.
+func (g *Graph) runTask(t *task) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Task: t.name, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	if g.inject != nil {
+		if err := g.inject(t.name); err != nil {
+			return err
+		}
+	}
+	return t.fn()
+}
+
+// taskError pairs a failure with its task's declaration index so
+// aggregated errors report in a deterministic order regardless of which
+// worker lost the race.
+type taskError struct {
+	order int
+	err   error
+}
+
+// wrapTaskErr names the failing task unless the error already does
+// (PanicError carries its task).
+func wrapTaskErr(t *task, err error) taskError {
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		err = fmt.Errorf("pipeline: task %q: %w", t.name, err)
+	}
+	return taskError{order: t.order, err: err}
+}
+
+// finish reduces a run's collected failures to the returned error.
+// done==n with no failures is success even if ctx expired at the last
+// instant; otherwise a non-nil ctxErr is appended so cancellation is
+// always visible in the chain alongside any task errors.
+func finish(errs []taskError, ctxErr error, done, n int) error {
+	if len(errs) == 0 && done == n {
+		return nil
+	}
+	sort.Slice(errs, func(i, j int) bool { return errs[i].order < errs[j].order })
+	flat := make([]error, 0, len(errs)+1)
+	for _, te := range errs {
+		flat = append(flat, te.err)
+	}
+	if ctxErr != nil {
+		flat = append(flat, fmt.Errorf("pipeline: cancelled after %d of %d tasks: %w", done, n, ctxErr))
+	}
+	switch len(flat) {
+	case 0:
+		return fmt.Errorf("pipeline: dependency cycle: %d of %d tasks ran", done, n)
+	case 1:
+		return flat[0]
+	}
+	return errors.Join(flat...)
+}
+
+// Run executes the graph with bounded workers and no cancellation. Each
+// task starts once all of its dependencies have succeeded. By default
+// the first task error stops scheduling and is returned after every
+// in-flight task has finished, so partially built state is never
+// abandoned mid-write; see JoinErrors for the aggregate mode.
+func (g *Graph) Run() error { return g.RunContext(context.Background()) }
+
+// RunContext is Run under a context. Cancellation (or a deadline) stops
+// new tasks from being scheduled — the run returns within one task
+// granularity, after draining the tasks already in flight — and the
+// returned error wraps ctx.Err() with the completed/total progress.
+func (g *Graph) RunContext(ctx context.Context) error {
 	n := len(g.tasks)
 	if n == 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return finish(nil, err, 0, n)
 	}
 
 	// Indegree per task and forward edges dep -> dependents.
@@ -83,17 +214,54 @@ func (g *Graph) Run() error {
 	}
 
 	var (
-		mu       sync.Mutex
-		cond     = sync.NewCond(&mu)
-		ready    []*task
-		running  int
-		done     int
-		firstErr error
+		mu        sync.Mutex
+		cond      = sync.NewCond(&mu)
+		ready     []*task
+		running   int
+		done      int
+		errs      []taskError
+		cancelled bool
 	)
+	// stopped reports (with mu held) whether workers must stop picking up
+	// new tasks: the context fired, or a failure occurred in
+	// first-error-wins mode. In JoinErrors mode failures do not stop
+	// scheduling — unreachable dependents simply never become ready.
+	// The direct ctx.Err() check makes cancellation synchronous with the
+	// caller's cancel(): no task is picked up after cancel returns, even
+	// if the watcher goroutine has not been scheduled yet.
+	stopped := func() bool {
+		if cancelled || (len(errs) > 0 && !g.joinAll) {
+			return true
+		}
+		if ctx.Err() != nil {
+			cancelled = true
+			return true
+		}
+		return false
+	}
 	for _, t := range g.tasks {
 		if indeg[t.name] == 0 {
 			ready = append(ready, t)
 		}
+	}
+
+	// The watcher turns ctx cancellation into a cond broadcast so blocked
+	// workers wake promptly; it exits with the run (no goroutine leak).
+	watchDone := make(chan struct{})
+	var watchWG sync.WaitGroup
+	if ctx.Done() != nil {
+		watchWG.Add(1)
+		go func() {
+			defer watchWG.Done()
+			select {
+			case <-ctx.Done():
+				mu.Lock()
+				cancelled = true
+				cond.Broadcast()
+				mu.Unlock()
+			case <-watchDone:
+			}
+		}()
 	}
 
 	var wg sync.WaitGroup
@@ -103,12 +271,12 @@ func (g *Graph) Run() error {
 			defer wg.Done()
 			mu.Lock()
 			for {
-				for len(ready) == 0 && running > 0 && firstErr == nil {
+				for len(ready) == 0 && running > 0 && !stopped() {
 					cond.Wait()
 				}
-				if len(ready) == 0 || firstErr != nil {
-					// Drained, failed, or (on a cycle) stalled with
-					// nothing runnable: wake the others and exit.
+				if len(ready) == 0 || stopped() {
+					// Drained, failed, cancelled, or (on a cycle) stalled
+					// with nothing runnable: wake the others and exit.
 					cond.Broadcast()
 					mu.Unlock()
 					return
@@ -118,15 +286,14 @@ func (g *Graph) Run() error {
 				running++
 				mu.Unlock()
 
-				err := t.fn()
+				err := g.runTask(t)
 
 				mu.Lock()
 				running--
 				done++
-				if err != nil && firstErr == nil {
-					firstErr = fmt.Errorf("pipeline: task %q: %w", t.name, err)
-				}
-				if firstErr == nil {
+				if err != nil {
+					errs = append(errs, wrapTaskErr(t, err))
+				} else {
 					for _, dep := range dependents[t.name] {
 						indeg[dep.name]--
 						if indeg[dep.name] == 0 {
@@ -139,24 +306,58 @@ func (g *Graph) Run() error {
 		}()
 	}
 	wg.Wait()
+	close(watchDone)
+	watchWG.Wait()
 
-	if firstErr != nil {
-		return firstErr
+	// All workers and the watcher have exited; state is quiescent.
+	var ctxErr error
+	if cancelled || ctx.Err() != nil {
+		ctxErr = ctx.Err()
 	}
-	if done != n {
-		return fmt.Errorf("pipeline: dependency cycle: %d of %d tasks ran", done, n)
-	}
-	return nil
+	return finish(errs, ctxErr, done, n)
 }
 
 // RunSerial executes every task one at a time in declaration order (a
 // valid topological order by Add's contract). It is the debugging escape
-// hatch: identical results to Run, no goroutines involved.
-func (g *Graph) RunSerial() error {
+// hatch: identical results to Run, no goroutines involved. Panics are
+// contained and the injection hook applies exactly as in Run.
+func (g *Graph) RunSerial() error { return g.RunSerialContext(context.Background()) }
+
+// RunSerialContext is RunSerial under a context, checked between tasks.
+func (g *Graph) RunSerialContext(ctx context.Context) error {
+	n := len(g.tasks)
+	var (
+		errs   []taskError
+		done   int
+		failed map[string]bool // tasks that failed or were skipped
+	)
 	for _, t := range g.tasks {
-		if err := t.fn(); err != nil {
-			return fmt.Errorf("pipeline: task %q: %w", t.name, err)
+		if err := ctx.Err(); err != nil {
+			return finish(errs, err, done, n)
 		}
+		blocked := false
+		for _, d := range t.deps {
+			if failed[d] {
+				blocked = true
+				break
+			}
+		}
+		if blocked {
+			failed[t.name] = true
+			continue
+		}
+		if err := g.runTask(t); err != nil {
+			errs = append(errs, wrapTaskErr(t, err))
+			if !g.joinAll {
+				return finish(errs, nil, done, n)
+			}
+			if failed == nil {
+				failed = map[string]bool{}
+			}
+			failed[t.name] = true
+			continue
+		}
+		done++
 	}
-	return nil
+	return finish(errs, nil, done, n)
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestGraphRunsAllTasksOnce(t *testing.T) {
@@ -137,18 +138,117 @@ func TestCellSingleflight(t *testing.T) {
 	}
 }
 
-func TestCellGetErrMemoizesError(t *testing.T) {
+func TestCellGetErrRetriesAfterFailure(t *testing.T) {
+	// Poison regression: a failed build must re-arm the cell (retry on
+	// the next call), and only a successful build may memoize.
 	var c Cell[string]
 	boom := errors.New("boom")
 	builds := 0
-	for i := 0; i < 3; i++ {
+	for i := 0; i < 2; i++ {
 		_, err := c.GetErr(func() (string, error) { builds++; return "", boom })
 		if !errors.Is(err, boom) {
 			t.Fatalf("call %d: err = %v", i, err)
 		}
 	}
-	if builds != 1 {
-		t.Errorf("builder ran %d times", builds)
+	if builds != 2 {
+		t.Fatalf("failed builder ran %d times, want a retry per call", builds)
+	}
+	v, err := c.GetErr(func() (string, error) { builds++; return "ok", nil })
+	if err != nil || v != "ok" {
+		t.Fatalf("recovery build: %q, %v", v, err)
+	}
+	// Success memoizes: later builders must not run.
+	v, err = c.GetErr(func() (string, error) { builds++; return "", boom })
+	if err != nil || v != "ok" {
+		t.Fatalf("after success: %q, %v", v, err)
+	}
+	if builds != 3 {
+		t.Errorf("builder ran %d times, want 3", builds)
+	}
+}
+
+func TestCellConcurrentFailureSharedThenRetried(t *testing.T) {
+	// Callers racing on a failing flight share its one outcome
+	// (singleflight preserved); the cell then re-arms so a later wave
+	// succeeds. Run many waves under -race to stress the state machine.
+	var c Cell[int]
+	var builds, failures atomic.Int32
+	var healed atomic.Bool
+	build := func() (int, error) {
+		builds.Add(1)
+		time.Sleep(time.Millisecond) // widen the sharing window
+		if !healed.Load() {
+			return 0, errors.New("not yet")
+		}
+		return 7, nil
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				v, err := c.GetErr(build)
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if v != 7 {
+					t.Errorf("got %d", v)
+				}
+				return
+			}
+		}()
+	}
+	time.Sleep(5 * time.Millisecond)
+	healed.Store(true)
+	wg.Wait()
+	if failures.Load() == 0 {
+		t.Error("no caller observed the failing flight")
+	}
+	if b := builds.Load(); int(b) > int(failures.Load())+1 {
+		// Singleflight bound: every build except the successful one must
+		// have produced at least one shared failure observation.
+		t.Errorf("%d builds for %d observed failures", b, failures.Load())
+	}
+	// The memoized value survives with no further builds.
+	before := builds.Load()
+	if v, err := c.GetErr(build); err != nil || v != 7 {
+		t.Fatalf("warm read: %d, %v", v, err)
+	}
+	if builds.Load() != before {
+		t.Error("warm read re-ran the builder")
+	}
+}
+
+func TestCellPanicRearmsAndPropagates(t *testing.T) {
+	var c Cell[int]
+	mustPanic := func() (v any) {
+		defer func() { v = recover() }()
+		c.Get(func() int { panic("kaboom") })
+		return nil
+	}
+	if got := mustPanic(); got != "kaboom" {
+		t.Fatalf("winner recovered %v", got)
+	}
+	// The panic must not poison the cell: the next build succeeds.
+	if v := c.Get(func() int { return 11 }); v != 11 {
+		t.Fatalf("post-panic build got %d", v)
+	}
+}
+
+func TestKeyedGetErrRetriesPerKey(t *testing.T) {
+	var k Keyed[string, int]
+	boom := errors.New("boom")
+	if _, err := k.GetErr("a", func() (int, error) { return 0, boom }); !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	v, err := k.GetErr("a", func() (int, error) { return 5, nil })
+	if err != nil || v != 5 {
+		t.Fatalf("retry: %d, %v", v, err)
+	}
+	if k.Len() != 1 {
+		t.Errorf("Len = %d", k.Len())
 	}
 }
 

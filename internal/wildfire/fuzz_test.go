@@ -1,0 +1,65 @@
+package wildfire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// FuzzReadGeoJSON feeds the perimeter reader arbitrary documents. The
+// seed corpus is the writer's own round-trip output (the format the
+// reader promises to accept) plus malformed variants; expand with
+// `go test -fuzz=FuzzReadGeoJSON ./internal/wildfire`.
+func FuzzReadGeoJSON(f *testing.F) {
+	s := testSim.Season(SeasonConfig{Seed: 29, Year: 2014, TotalFires: 63312, TotalAcres: 3.6e6, MappedFires: 4})
+	var buf bytes.Buffer
+	if err := s.WriteGeoJSON(&buf, testWorld); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.String())
+	f.Add(`{"type":"FeatureCollection","features":[]}`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","properties":{"incidentname":"x","fireyear":2005,"roadcorridor":true},"geometry":{"type":"MultiPolygon","coordinates":[[[[-100,40],[-99,40],[-99,41],[-100,40]]]]}}]}`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","properties":{},"geometry":{"type":"MultiPolygon","coordinates":[[[[999,40]]]]}}]}`)
+	f.Add(`{"type":"FeatureCollection","features":[{"type":"Feature","properties":{},"geometry":{"type":"Point","coordinates":[]}}]}`)
+	f.Add(`{"type":"Feature"}`)
+	f.Add(`{`)
+	f.Fuzz(func(t *testing.T, doc string) {
+		if len(doc) > 1<<16 {
+			return
+		}
+		fires, err := ReadGeoJSON(strings.NewReader(doc), testWorld)
+		if err != nil {
+			return
+		}
+		// Accepted documents must yield fully finite projected geometry —
+		// the coordinate guard runs before projection, so nothing
+		// non-finite may survive into a Fire.
+		for i := range fires {
+			fin := func(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+			if !fin(fires[i].Acres) {
+				t.Fatalf("fire %d: non-finite acres", i)
+			}
+			for _, poly := range fires[i].Perimeter {
+				for _, p := range poly.Exterior {
+					if !fin(p.X) || !fin(p.Y) {
+						t.Fatalf("fire %d: non-finite exterior vertex", i)
+					}
+				}
+				for _, h := range poly.Holes {
+					for _, p := range h {
+						if !fin(p.X) || !fin(p.Y) {
+							t.Fatalf("fire %d: non-finite hole vertex", i)
+						}
+					}
+				}
+			}
+		}
+		// And the writer must be able to serialize what the reader
+		// accepted (write-read-write closure).
+		out := Season{Year: 2000, Mapped: fires}
+		if err := out.WriteGeoJSON(&bytes.Buffer{}, testWorld); err != nil {
+			t.Fatalf("re-encode of accepted input failed: %v", err)
+		}
+	})
+}

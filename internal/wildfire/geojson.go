@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"fivealarms/internal/conus"
 	"fivealarms/internal/geom"
@@ -61,9 +62,24 @@ func (s *Season) WriteGeoJSON(w io.Writer, world *conus.World) error {
 	return nil
 }
 
+// maxGeoJSONVertices caps the total vertex count a FeatureCollection may
+// carry before projection. Real GeoMAC-style exports trace perimeters at
+// raster resolution — thousands of vertices per fire — so a million-plus
+// total marks a corrupt or hostile file, and rejecting it up front keeps
+// a small document from driving an arbitrarily large projection pass
+// (the same posture as cellnet.ReadBinary's record cap and
+// raster.ReadArcASCII's cell cap).
+const maxGeoJSONVertices = 1 << 20
+
 // ReadGeoJSON parses a perimeter FeatureCollection back into fires with
 // projected perimeters. Properties not produced by WriteGeoJSON are
 // ignored; missing names become "unknown".
+//
+// The reader is defensive, matching the binary and ArcASCII readers:
+// non-finite or out-of-range lon/lat coordinates are rejected, the total
+// vertex count is capped at maxGeoJSONVertices before any projection
+// work, and every geometry error names the feature, polygon and ring it
+// was found in.
 func ReadGeoJSON(r io.Reader, world *conus.World) ([]Fire, error) {
 	var fc gjFeatureCollection
 	dec := json.NewDecoder(r)
@@ -74,14 +90,26 @@ func ReadGeoJSON(r io.Reader, world *conus.World) ([]Fire, error) {
 		return nil, fmt.Errorf("wildfire: not a FeatureCollection: %q", fc.Type)
 	}
 	fires := make([]Fire, 0, len(fc.Features))
+	vertices := 0
 	for i, ft := range fc.Features {
 		if ft.Geometry.Type != "MultiPolygon" {
 			return nil, fmt.Errorf("wildfire: feature %d: unsupported geometry %q", i, ft.Geometry.Type)
 		}
 		var mp geom.MultiPolygon
-		for _, rings := range ft.Geometry.Coordinates {
+		for pi, rings := range ft.Geometry.Coordinates {
 			if len(rings) == 0 {
 				continue
+			}
+			for ri, ring := range rings {
+				vertices += len(ring)
+				if vertices > maxGeoJSONVertices {
+					return nil, fmt.Errorf("wildfire: feature %d polygon %d ring %d: total vertex count exceeds the %d limit", i, pi, ri, maxGeoJSONVertices)
+				}
+				for vi, c := range ring {
+					if err := checkLonLat(c[0], c[1]); err != nil {
+						return nil, fmt.Errorf("wildfire: feature %d polygon %d ring %d vertex %d: %w", i, pi, ri, vi, err)
+					}
+				}
 			}
 			poly := geom.Polygon{Exterior: lonLatToRing(rings[0], world)}
 			for _, h := range rings[1:] {
@@ -106,6 +134,16 @@ func ReadGeoJSON(r io.Reader, world *conus.World) ([]Fire, error) {
 		fires = append(fires, f)
 	}
 	return fires, nil
+}
+
+// checkLonLat rejects the coordinates ReadBinary's position guard
+// rejects: NaN, infinities, and values outside the geographic range.
+func checkLonLat(lon, lat float64) error {
+	if math.IsNaN(lon) || math.IsNaN(lat) || math.IsInf(lon, 0) || math.IsInf(lat, 0) ||
+		lon < -180 || lon > 180 || lat < -90 || lat > 90 {
+		return fmt.Errorf("coordinate (%v, %v) outside lon/lat range", lon, lat)
+	}
+	return nil
 }
 
 func ringToLonLat(r geom.Ring, world *conus.World) [][2]float64 {

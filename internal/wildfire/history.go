@@ -1,6 +1,8 @@
 package wildfire
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -44,6 +46,18 @@ func SimulateHistory(sim *Simulator, seed uint64, mappedPerSeason int) []*Season
 // construction, so the output is bit-identical to SimulateHistory
 // regardless of scheduling — only wall-clock time changes.
 func SimulateHistoryParallel(sim *Simulator, seed uint64, mappedPerSeason, workers int) []*Season {
+	// context.Background never cancels, so the error is unreachable.
+	out, _ := SimulateHistoryContext(context.Background(), sim, seed, mappedPerSeason, workers)
+	return out
+}
+
+// SimulateHistoryContext is SimulateHistoryParallel under a context,
+// honoring cancellation between seasons: a cancelled ctx stops workers
+// from claiming further seasons, the seasons already in flight run to
+// completion (a season is the cancellation granularity), and the call
+// returns a nil slice with an error wrapping ctx.Err() and the progress
+// made — partial histories never escape.
+func SimulateHistoryContext(ctx context.Context, sim *Simulator, seed uint64, mappedPerSeason, workers int) ([]*Season, error) {
 	cfgs := historyConfigs(seed, mappedPerSeason)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -58,7 +72,7 @@ func SimulateHistoryParallel(sim *Simulator, seed uint64, mappedPerSeason, worke
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for {
+			for ctx.Err() == nil {
 				i := int(next.Add(1)) - 1
 				if i >= len(cfgs) {
 					return
@@ -68,7 +82,20 @@ func SimulateHistoryParallel(sim *Simulator, seed uint64, mappedPerSeason, worke
 		}()
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		done := 0
+		for _, s := range out {
+			if s != nil {
+				done++
+			}
+		}
+		// A context that fired only after the last season completed did
+		// not cost us anything: the full history is valid.
+		if done != len(cfgs) {
+			return nil, fmt.Errorf("wildfire: history simulation cancelled after %d of %d seasons: %w", done, len(cfgs), err)
+		}
+	}
+	return out, nil
 }
 
 // Simulate2019 runs the held-out validation season: the named anchor

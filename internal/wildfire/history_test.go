@@ -1,6 +1,12 @@
 package wildfire
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+)
 
 // The parallel history must be bit-identical to the serial one: every
 // season draws from its own rng stream, so scheduling cannot leak into
@@ -40,6 +46,78 @@ func TestSimulateHistoryParallelWorkerBounds(t *testing.T) {
 	for i := range a {
 		if a[i].Year != b[i].Year || a[i].MappedAcres() != b[i].MappedAcres() {
 			t.Fatalf("season %d differs across worker counts", i)
+		}
+	}
+}
+
+// A pre-cancelled context simulates nothing and returns ctx.Err() with
+// the progress count; no partial history escapes.
+func TestSimulateHistoryContextCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	seasons, err := SimulateHistoryContext(ctx, testSim, 7, 2, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in chain", err)
+	}
+	if seasons != nil {
+		t.Fatal("cancelled history returned a partial season slice")
+	}
+	if !strings.Contains(err.Error(), "0 of 19") {
+		t.Errorf("error lacks progress info: %v", err)
+	}
+}
+
+// errAfterCalls is a context whose Err flips to Canceled after a fixed
+// number of polls. Workers poll once before claiming each season, so
+// with one worker the budget below deterministically allows exactly one
+// season before cancellation lands at the season boundary.
+type errAfterCalls struct {
+	context.Context
+	mu        sync.Mutex
+	remaining int
+}
+
+func (c *errAfterCalls) Err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining > 0 {
+		c.remaining--
+		return nil
+	}
+	return context.Canceled
+}
+
+// Cancellation between seasons: the first season completes, the second
+// is never claimed, and the partial count is reported — never a partial
+// slice.
+func TestSimulateHistoryContextCancelBetweenSeasons(t *testing.T) {
+	ctx := &errAfterCalls{Context: context.Background(), remaining: 1}
+	seasons, err := SimulateHistoryContext(ctx, testSim, 7, 2, 1)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if seasons != nil {
+		t.Fatal("cancelled history returned a partial season slice")
+	}
+	if !strings.Contains(err.Error(), "1 of 19") {
+		t.Errorf("error lacks season-boundary progress: %v", err)
+	}
+}
+
+// With an inert context the ctx-aware path is bit-identical to the
+// infallible wrapper.
+func TestSimulateHistoryContextMatchesParallel(t *testing.T) {
+	a := SimulateHistoryParallel(testSim, 11, 2, 4)
+	b, err := SimulateHistoryContext(context.Background(), testSim, 11, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Year != b[i].Year || a[i].MappedAcres() != b[i].MappedAcres() {
+			t.Fatalf("season %d differs", i)
 		}
 	}
 }

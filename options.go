@@ -1,9 +1,22 @@
 package fivealarms
 
+import "context"
+
 // Option mutates a Config under NewStudyWithOptions. Options compose
 // left to right; a later option overrides an earlier one for the same
 // field.
 type Option func(*Config)
+
+// WithContext attaches ctx to the study build. Cancelling it (or hitting
+// its deadline) stops the layer pipeline from scheduling new build tasks,
+// drains the tasks already in flight, and makes NewStudyWithOptions
+// return an error wrapping ctx.Err() together with how far the build
+// got. The context governs only the build: the returned Study never
+// retains it, and a Study that builds successfully is unaffected by a
+// later cancellation. WithConfig placed after this option clears it.
+func WithContext(ctx context.Context) Option {
+	return func(c *Config) { c.ctx = ctx }
+}
 
 // WithSeed sets the master random seed (Config.Seed).
 func WithSeed(seed uint64) Option {
@@ -47,7 +60,10 @@ func WithSerialPipeline() Option {
 // all layers through the parallel pipeline (see Config.PipelineSerial
 // for the serial escape hatch). Unlike NewStudy, it rejects malformed
 // configurations — negative or non-finite dimensions, absurd sizes —
-// instead of silently clamping them.
+// instead of silently clamping them, and it surfaces build-pipeline
+// failures (cancellation via WithContext, contained task panics) as
+// errors rather than crashing. On error the returned Study is nil:
+// partially built state never escapes.
 func NewStudyWithOptions(opts ...Option) (*Study, error) {
 	var cfg Config
 	for _, opt := range opts {
@@ -56,5 +72,5 @@ func NewStudyWithOptions(opts ...Option) (*Study, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return build(cfg.withDefaults()), nil
+	return build(cfg.withDefaults())
 }
