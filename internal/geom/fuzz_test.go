@@ -1,64 +1,17 @@
 package geom
 
 import (
-	"math"
-	"math/rand"
 	"testing"
 )
 
 // Fuzz targets run their seed corpus under plain `go test` and can be
 // expanded with `go test -fuzz=FuzzParseWKT ./internal/geom`.
-
-// distToSegment returns the distance from p to segment ab.
-func distToSegment(p, a, b Point) float64 {
-	d := b.Sub(a)
-	l2 := d.X*d.X + d.Y*d.Y
-	if l2 == 0 {
-		return p.Sub(a).Norm()
-	}
-	t := (p.Sub(a).X*d.X + p.Sub(a).Y*d.Y) / l2
-	t = math.Max(0, math.Min(1, t))
-	return p.Sub(a.Add(d.Scale(t))).Norm()
-}
-
-// FuzzPreparedRingContains asserts PreparedRing.Contains agrees with
-// Ring.ContainsPoint on fuzz-chosen rings and probe points. Points within
-// a small tolerance of the boundary are skipped: ContainsPoint documents
-// boundary behavior as unspecified, and the prepared multiply-form
-// crossing test may legitimately differ there by ulps on diagonal edges.
-func FuzzPreparedRingContains(f *testing.F) {
-	f.Add(int64(1), 3.0, 3.0, false)
-	f.Add(int64(2), 50.5, 49.5, true)
-	f.Add(int64(3), -10.0, 0.0, false)
-	f.Add(int64(99), 0.0, 0.0, true)
-	f.Fuzz(func(t *testing.T, seed int64, px, py float64, quantize bool) {
-		if math.IsNaN(px) || math.IsNaN(py) || math.IsInf(px, 0) || math.IsInf(py, 0) {
-			t.Skip("non-finite probe")
-		}
-		rng := rand.New(rand.NewSource(seed))
-		n := 3 + rng.Intn(40)
-		c := Point{rng.Float64() * 100, rng.Float64() * 100}
-		ring := randomRing(rng, c, n, quantize)
-		// Map the probe into the ring's neighborhood so fuzzing explores
-		// interesting cases instead of the bbox fast-reject.
-		bb := ring.BBox().Buffer(2)
-		p := Point{
-			bb.MinX + math.Mod(math.Abs(px), bb.Width()+1e-9),
-			bb.MinY + math.Mod(math.Abs(py), bb.Height()+1e-9),
-		}
-		const tol = 1e-9
-		for i := 0; i < len(ring); i++ {
-			if distToSegment(p, ring[i], ring[(i+1)%len(ring)]) < tol*(1+p.Norm()) {
-				t.Skip("boundary-near probe")
-			}
-		}
-		prep := PrepareRing(ring)
-		if got, want := prep.Contains(p), ring.ContainsPoint(p); got != want {
-			t.Fatalf("seed %d n %d quantize %v: prepared.Contains(%v) = %v, naive = %v",
-				seed, n, quantize, p, got, want)
-		}
-	})
-}
+//
+// The old white-box FuzzPreparedRingContains lives on, rewired, as
+// FuzzContainmentDiff in diff_conformance_test.go: it now drives the
+// differential suite (prepared vs naive vs refimpl twin) instead of a
+// single hand-rolled ring family. Only the WKT parser fuzzers remain
+// in-package, since they exercise unexported parser state.
 
 func FuzzParseWKTPoint(f *testing.F) {
 	f.Add("POINT (1 2)")

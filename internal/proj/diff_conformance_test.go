@@ -1,0 +1,45 @@
+package proj_test
+
+// External test package: the differential driver imports proj, so the
+// conformance tests run from outside to avoid the cycle.
+
+import (
+	"testing"
+
+	"fivealarms/internal/refimpl/diffcheck"
+)
+
+// TestAlbersConformance sweeps the cached Albers implementation against
+// the cache-free Snyder transcription in refimpl: forward and inverse
+// to <= 1 ulp per coordinate, plus round trips inside the cone's
+// unambiguous longitude range. Seeds alternate the paper's CONUS
+// parameters with random parallels, and probes include
+// antimeridian-adjacent longitudes and near-pole latitudes.
+func TestAlbersConformance(t *testing.T) {
+	if err := diffcheck.Sweep(300, diffcheck.CheckAlbers); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAlbersGoldens replays the fixture vertex sets — most importantly
+// the antimeridian fixture, whose Aleutian-style slivers sit at the edge
+// of the projection's valid domain.
+func TestAlbersGoldens(t *testing.T) {
+	for _, name := range diffcheck.FixtureNames() {
+		if err := diffcheck.CheckGoldenAlbers(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// FuzzAlbersDiff drives the projection twins from fuzz-chosen seeds.
+func FuzzAlbersDiff(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := diffcheck.CheckAlbers(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,67 @@
+package refimpl
+
+import (
+	"math"
+
+	"fivealarms/internal/geom"
+)
+
+// Albers is the reference spherical Albers Equal-Area Conic projection,
+// transcribed directly from Snyder (1987), "Map Projections — A Working
+// Manual", equations 14-1 through 14-11 (spherical form). Unlike
+// proj.Albers it caches nothing: every call recomputes the projection
+// constants n, C and rho0 from the defining parallels, so a bug in the
+// optimized constructor's caching cannot hide in the twin.
+type Albers struct {
+	// Phi1, Phi2 are the standard parallels, Phi0 the latitude of origin
+	// and Lon0 the central meridian, all in degrees.
+	Phi1, Phi2, Phi0, Lon0 float64
+}
+
+// constants returns n, C and rho0 per Snyder eq. 14-3, 14-5 and 14-6.
+func (a Albers) constants() (n, c, rho0 float64) {
+	r1 := geom.Deg2Rad(a.Phi1)
+	r2 := geom.Deg2Rad(a.Phi2)
+	n = (math.Sin(r1) + math.Sin(r2)) / 2
+	c = math.Cos(r1)*math.Cos(r1) + 2*n*math.Sin(r1)
+	rho0 = geom.EarthRadiusMeters * math.Sqrt(c-2*n*math.Sin(geom.Deg2Rad(a.Phi0))) / n
+	return n, c, rho0
+}
+
+// Forward projects geographic (lon, lat) degrees to planar meters
+// (Snyder eq. 14-1, 14-2, 14-4).
+func (a Albers) Forward(ll geom.Point) geom.Point {
+	n, c, rho0 := a.constants()
+	phi := geom.Deg2Rad(ll.Y)
+	lam := geom.Deg2Rad(ll.X)
+	rho := geom.EarthRadiusMeters * math.Sqrt(c-2*n*math.Sin(phi)) / n
+	theta := n * (lam - geom.Deg2Rad(a.Lon0))
+	return geom.Point{
+		X: rho * math.Sin(theta),
+		Y: rho0 - rho*math.Cos(theta),
+	}
+}
+
+// Inverse unprojects planar meters back to geographic degrees (Snyder
+// eq. 14-8 through 14-11), clamping the asin argument against rounding
+// exactly as the optimized implementation documents.
+func (a Albers) Inverse(xy geom.Point) geom.Point {
+	n, c, rho0 := a.constants()
+	dy := rho0 - xy.Y
+	rho := math.Hypot(xy.X, dy)
+	theta := math.Atan2(xy.X, dy)
+	if n < 0 {
+		rho = -rho
+		theta = math.Atan2(-xy.X, -dy)
+	}
+	sinPhi := (c - (rho*n/geom.EarthRadiusMeters)*(rho*n/geom.EarthRadiusMeters)) / (2 * n)
+	if sinPhi > 1 {
+		sinPhi = 1
+	} else if sinPhi < -1 {
+		sinPhi = -1
+	}
+	return geom.Point{
+		X: geom.Rad2Deg(geom.Deg2Rad(a.Lon0) + theta/n),
+		Y: geom.Rad2Deg(math.Asin(sinPhi)),
+	}
+}

@@ -1,0 +1,67 @@
+package refimpl
+
+import (
+	"math"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/rtree"
+)
+
+// SearchBoxes is the brute-force twin of rtree.Tree.Search: the IDs of
+// every item whose box intersects query, in input order. An empty query
+// matches nothing, mirroring the tree's early return.
+func SearchBoxes(items []rtree.Item, query geom.BBox) []int {
+	var out []int
+	if query.IsEmpty() {
+		return out
+	}
+	for _, it := range items {
+		if it.Box.Intersects(query) {
+			out = append(out, it.ID)
+		}
+	}
+	return out
+}
+
+// SearchPointBoxes is the brute-force twin of rtree.Tree.SearchPoint.
+func SearchPointBoxes(items []rtree.Item, p geom.Point) []int {
+	return SearchBoxes(items, geom.BBox{MinX: p.X, MinY: p.Y, MaxX: p.X, MaxY: p.Y})
+}
+
+// NearestBox is the brute-force twin of rtree.Tree.Nearest: the ID of the
+// item whose box is nearest to p and that distance, (-1, +Inf) when items
+// is empty. Ties keep the earliest item, but callers comparing against
+// the tree should compare distances, not IDs — the tree's traversal order
+// legitimately breaks ties differently.
+func NearestBox(items []rtree.Item, p geom.Point) (int, float64) {
+	bestID := -1
+	bestD := math.Inf(1)
+	for _, it := range items {
+		if d := BoxPointDistance(it.Box, p); d < bestD {
+			bestD = d
+			bestID = it.ID
+		}
+	}
+	return bestID, bestD
+}
+
+// BoxPointDistance is the planar distance from p to the box (0 inside),
+// +Inf for an empty box.
+func BoxPointDistance(b geom.BBox, p geom.Point) float64 {
+	if b.IsEmpty() {
+		return math.Inf(1)
+	}
+	dx := 0.0
+	if p.X < b.MinX {
+		dx = b.MinX - p.X
+	} else if p.X > b.MaxX {
+		dx = p.X - b.MaxX
+	}
+	dy := 0.0
+	if p.Y < b.MinY {
+		dy = b.MinY - p.Y
+	} else if p.Y > b.MaxY {
+		dy = p.Y - b.MaxY
+	}
+	return math.Hypot(dx, dy)
+}

@@ -1,0 +1,82 @@
+// Package diffcheck is the differential driver of the conformance suite:
+// it generates adversarial inputs from a seed, runs each optimized GIS
+// primitive next to its refimpl twin, and reports the first divergence
+// as an error that embeds the seed. Every failure message starts with
+// "diffcheck/<primitive> (seed N)" — rerunning the named Check function
+// with that seed reproduces the exact inputs, deterministically, with no
+// corpus file needed (see DESIGN.md §5, "Testing conventions").
+//
+// The drivers enforce the equivalence contract of package refimpl:
+// bit-identical booleans (with the repo-wide carve-out for probes within
+// floating-point noise of a non-axis-aligned boundary) and <= 1 ulp on
+// floats. Golden GeoJSON fixtures embedded under testdata/ complement
+// the generators with hand-authored worst cases: rectilinear perimeters
+// with holes and shared vertices, degenerate rings, and
+// antimeridian-adjacent geographies.
+package diffcheck
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// divergef builds the canonical divergence error: primitive name, seed,
+// then the free-form detail. Keep the prefix stable — DESIGN.md tells
+// readers to grep for it and replay the seed.
+func divergef(primitive string, seed int64, format string, args ...any) error {
+	return fmt.Errorf("diffcheck/%s (seed %d): %s", primitive, seed, fmt.Sprintf(format, args...))
+}
+
+// EqualUlp reports whether a and b are the same float to within maxUlp
+// units in the last place. NaNs are equal to each other (both sides
+// failed the same way); +0 and -0 are equal; numbers of opposite sign
+// are never equal otherwise.
+func EqualUlp(a, b float64, maxUlp uint64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	if a == b {
+		return true // covers ±0 and exact equality, including infinities
+	}
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return false
+	}
+	if math.Signbit(a) != math.Signbit(b) {
+		return false
+	}
+	ba, bb := math.Float64bits(a), math.Float64bits(b)
+	if ba > bb {
+		ba, bb = bb, ba
+	}
+	return bb-ba <= maxUlp
+}
+
+// Sweep runs check for seeds 0..n-1 and returns the first divergence.
+func Sweep(n int, check func(seed int64) error) error {
+	for seed := int64(0); seed < int64(n); seed++ {
+		if err := check(seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sortedEqual reports whether two index sets hold the same members,
+// destroying neither input. Result order is allowed to differ between an
+// index and its brute-force twin; membership is not.
+func sortedEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	ca := append([]int(nil), a...)
+	cb := append([]int(nil), b...)
+	sort.Ints(ca)
+	sort.Ints(cb)
+	for i := range ca {
+		if ca[i] != cb[i] {
+			return false
+		}
+	}
+	return true
+}

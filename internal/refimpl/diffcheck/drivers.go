@@ -1,0 +1,349 @@
+package diffcheck
+
+import (
+	"math"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/grid"
+	"fivealarms/internal/proj"
+	"fivealarms/internal/raster"
+	"fivealarms/internal/refimpl"
+	"fivealarms/internal/rtree"
+)
+
+// boundaryTol is the relative tolerance of the boundary carve-out: a
+// probe within tol*(1+scale) of an edge of a non-rectilinear ring is
+// exempt from bit-identity (both implementations document boundary
+// behavior as unspecified there).
+const boundaryTol = 1e-9
+
+// nearAnyEdge reports whether p lies within the carve-out distance of
+// any edge of any ring.
+func nearAnyEdge(rings []geom.Ring, p geom.Point, scale float64) bool {
+	tol := boundaryTol * (1 + scale)
+	for _, r := range rings {
+		n := len(r)
+		for i := 0; i < n; i++ {
+			if geom.DistancePointSegment(p, r[i], r[(i+1)%n]) <= tol {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func coordScale(rings []geom.Ring, p geom.Point) float64 {
+	s := math.Max(math.Abs(p.X), math.Abs(p.Y))
+	for _, r := range rings {
+		for _, v := range r {
+			s = math.Max(s, math.Max(math.Abs(v.X), math.Abs(v.Y)))
+		}
+	}
+	return s
+}
+
+func allRectilinear(rings []geom.Ring) bool {
+	for _, r := range rings {
+		if !Rectilinear(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckContainment runs one seeded containment scenario: the prepared
+// ring against both the naive geom predicate and the refimpl twin, then
+// a generated multipolygon against its prepared and refimpl forms.
+// Verdicts must be bit-identical; on non-rectilinear rings, probes
+// within floating-point noise of the boundary are exempt.
+func CheckContainment(seed int64) error {
+	c := GenContainmentCase(seed)
+	prep := geom.PrepareRing(c.Ring)
+	rect := Rectilinear(c.Ring)
+	rings := []geom.Ring{c.Ring}
+	for _, p := range c.Probes {
+		opt := prep.Contains(p)
+		naive := c.Ring.ContainsPoint(p)
+		ref := refimpl.RingContains(c.Ring, p)
+		if opt == naive && naive == ref {
+			continue
+		}
+		if !rect && nearAnyEdge(rings, p, coordScale(rings, p)) {
+			continue
+		}
+		return divergef("ring-contains", seed, "%s: probe %v: prepared=%v naive=%v refimpl=%v (ring %v)",
+			c.Desc, p, opt, naive, ref, c.Ring)
+	}
+	// Batch form must equal the scalar form exactly.
+	batch := prep.ContainsPoints(c.Probes, nil)
+	for i, p := range c.Probes {
+		if batch[i] != prep.Contains(p) {
+			return divergef("ring-contains-batch", seed, "%s: probe %v: batch=%v scalar=%v", c.Desc, p, batch[i], prep.Contains(p))
+		}
+	}
+	return checkMultiPolygonContainment(seed)
+}
+
+func checkMultiPolygonContainment(seed int64) error {
+	m, desc := GenMultiPolygon(seed)
+	prep := geom.PrepareMultiPolygon(m)
+	var rings []geom.Ring
+	for _, pg := range m {
+		rings = append(rings, pg.Exterior)
+		rings = append(rings, pg.Holes...)
+	}
+	rect := allRectilinear(rings)
+	rng := GenContainmentCase(seed) // reuse its probe battery shape
+	probes := rng.Probes
+	for _, r := range rings {
+		for i, v := range r {
+			probes = append(probes, v, geom.Point{
+				X: (v.X + r[(i+1)%len(r)].X) / 2,
+				Y: (v.Y + r[(i+1)%len(r)].Y) / 2,
+			})
+		}
+	}
+	bb := m.BBox()
+	if !bb.IsEmpty() {
+		probes = append(probes, bb.Center(), geom.Point{X: bb.MaxX + 1, Y: bb.MaxY + 1})
+	}
+	for _, p := range probes {
+		opt := prep.Contains(p)
+		ref := refimpl.MultiPolygonContains(m, p)
+		naive := m.ContainsPoint(p)
+		if opt == ref && ref == naive {
+			continue
+		}
+		if !rect && nearAnyEdge(rings, p, coordScale(rings, p)) {
+			continue
+		}
+		return divergef("multipolygon-contains", seed, "%s: probe %v: prepared=%v naive=%v refimpl=%v",
+			desc, p, opt, naive, ref)
+	}
+	// Per-member prepared polygons must agree with the refimpl polygon
+	// predicate too (holes included).
+	for pi := range m {
+		pp := geom.PreparePolygon(m[pi])
+		memberRings := append([]geom.Ring{m[pi].Exterior}, m[pi].Holes...)
+		memberRect := allRectilinear(memberRings)
+		for _, p := range probes[:min(len(probes), 120)] {
+			opt := pp.Contains(p)
+			ref := refimpl.PolygonContains(m[pi], p)
+			if opt == ref {
+				continue
+			}
+			if !memberRect && nearAnyEdge(memberRings, p, coordScale(memberRings, p)) {
+				continue
+			}
+			return divergef("polygon-contains", seed, "%s: member %d probe %v: prepared=%v refimpl=%v",
+				desc, pi, p, opt, ref)
+		}
+	}
+	return nil
+}
+
+// CheckFill runs one seeded rasterization scenario: the scanline fill
+// against the per-cell refimpl fill. Cell verdicts must be bit-identical
+// except for centers within floating-point noise of a ring edge.
+func CheckFill(seed int64) error {
+	c := GenFillCase(seed)
+	opt := raster.FillMultiPolygon(c.Geom, c.M)
+	ref := refimpl.FillMultiPolygon(c.Geom, c.M)
+	return compareMasks("fill", seed, c.Desc, c.Geom, opt, ref, c.M)
+}
+
+func compareMasks(primitive string, seed int64, desc string, g raster.Geometry, opt, ref *raster.BitGrid, m geom.MultiPolygon) error {
+	var rings []geom.Ring
+	for _, pg := range m {
+		rings = append(rings, pg.Exterior)
+		rings = append(rings, pg.Holes...)
+	}
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			a, b := opt.Get(cx, cy), ref.Get(cx, cy)
+			if a == b {
+				continue
+			}
+			center := g.Center(cx, cy)
+			if rings != nil && nearAnyEdge(rings, center, coordScale(rings, center)) {
+				continue
+			}
+			return divergef(primitive, seed, "%s: cell (%d,%d) center %v: optimized=%v refimpl=%v on %v",
+				desc, cx, cy, center, a, b, g)
+		}
+	}
+	return nil
+}
+
+// CheckDistance runs one seeded distance-transform scenario: the
+// two-pass Felzenszwalb-Huttenlocher transform against the brute-force
+// twin (bit-identical floats — both reduce to sqrt of the same exact
+// integer), then the derived dilation at several radii including exact
+// cell-multiple boundaries.
+func CheckDistance(seed int64) error {
+	mask, desc := GenMaskCase(seed)
+	opt := raster.DistanceTransform(mask)
+	ref := refimpl.DistanceTransform(mask)
+	g := mask.Geometry
+	for i := range opt.Data {
+		if opt.Data[i] == ref.Data[i] {
+			continue
+		}
+		if math.IsInf(opt.Data[i], 1) && math.IsInf(ref.Data[i], 1) {
+			continue
+		}
+		return divergef("distance-transform", seed, "%s: cell %d: optimized=%v refimpl=%v on %v",
+			desc, i, opt.Data[i], ref.Data[i], g)
+	}
+	for _, dist := range []float64{0, g.CellSize * 0.5, g.CellSize, g.CellSize * 1.5, math.Sqrt2 * g.CellSize, g.CellSize * 3} {
+		od := raster.DilateByDistance(mask, dist)
+		rd := refimpl.DilateByDistance(mask, dist)
+		for cy := 0; cy < g.NY; cy++ {
+			for cx := 0; cx < g.NX; cx++ {
+				if od.Get(cx, cy) != rd.Get(cx, cy) {
+					return divergef("dilate", seed, "%s: dist %v cell (%d,%d): optimized=%v refimpl=%v",
+						desc, dist, cx, cy, od.Get(cx, cy), rd.Get(cx, cy))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CheckBoxes runs one seeded R-tree scenario: bulk load at a generated
+// fanout, then range, point and nearest queries against the brute-force
+// twins. Result sets must hold the same members; nearest distances must
+// be equal exactly (both sides evaluate the identical clamp-then-hypot).
+func CheckBoxes(seed int64) error {
+	c := GenBoxesCase(seed)
+	tree := rtree.NewWithFanout(c.Items, c.Fanout)
+	if tree.Len() != len(c.Items) {
+		return divergef("rtree-len", seed, "%s: Len=%d want %d", c.Desc, tree.Len(), len(c.Items))
+	}
+	wantBounds := geom.EmptyBBox()
+	for _, it := range c.Items {
+		wantBounds = wantBounds.ExtendBBox(it.Box)
+	}
+	if got := tree.Bounds(); got != wantBounds && !(got.IsEmpty() && wantBounds.IsEmpty()) {
+		return divergef("rtree-bounds", seed, "%s: Bounds=%v want %v", c.Desc, got, wantBounds)
+	}
+	for _, q := range c.Queries {
+		got := tree.Search(q, nil)
+		want := refimpl.SearchBoxes(c.Items, q)
+		if !sortedEqual(got, want) {
+			return divergef("rtree-search", seed, "%s: fanout %d query %v: tree=%v brute=%v",
+				c.Desc, c.Fanout, q, got, want)
+		}
+		visited := 0
+		tree.Visit(q, func(rtree.Item) bool { visited++; return true })
+		if visited != len(want) {
+			return divergef("rtree-visit", seed, "%s: query %v: Visit saw %d, brute %d", c.Desc, q, visited, len(want))
+		}
+	}
+	for _, p := range c.Probes {
+		got := tree.SearchPoint(p, nil)
+		want := refimpl.SearchPointBoxes(c.Items, p)
+		if !sortedEqual(got, want) {
+			return divergef("rtree-searchpoint", seed, "%s: probe %v: tree=%v brute=%v", c.Desc, p, got, want)
+		}
+		gotID, gotD := tree.Nearest(p)
+		refID, refD := refimpl.NearestBox(c.Items, p)
+		if gotD != refD && !(math.IsInf(gotD, 1) && math.IsInf(refD, 1)) {
+			return divergef("rtree-nearest", seed, "%s: probe %v: tree dist %v (id %d), brute dist %v (id %d)",
+				c.Desc, p, gotD, gotID, refD, refID)
+		}
+		if gotID >= 0 {
+			// Ties may resolve to different items, but the winner must
+			// actually sit at the winning distance.
+			if d := refimpl.BoxPointDistance(c.Items[gotID].Box, p); d != gotD {
+				return divergef("rtree-nearest-id", seed, "%s: probe %v: id %d is at %v, reported %v",
+					c.Desc, p, gotID, d, gotD)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckPointIndex runs one seeded uniform-grid scenario: window, radius
+// and count queries against exhaustive scans. Membership must be
+// identical including points exactly on window edges and radius rims.
+func CheckPointIndex(seed int64) error {
+	c := GenPointsCase(seed)
+	idx := grid.New(c.Pts, c.CellSize)
+	if idx.Len() != len(c.Pts) {
+		return divergef("grid-len", seed, "%s: Len=%d want %d", c.Desc, idx.Len(), len(c.Pts))
+	}
+	for _, w := range c.Windows {
+		got := idx.Query(w, nil)
+		want := refimpl.RangeQuery(c.Pts, w)
+		if !sortedEqual(got, want) {
+			return divergef("grid-query", seed, "%s: cell %v window %v: index=%v brute=%v",
+				c.Desc, c.CellSize, w, got, want)
+		}
+	}
+	for i := range c.Centers {
+		center, r := c.Centers[i], c.Radii[i]
+		got := idx.QueryRadius(center, r, nil)
+		want := refimpl.RadiusQuery(c.Pts, center, r)
+		if !sortedEqual(got, want) {
+			return divergef("grid-radius", seed, "%s: center %v r %v: index=%v brute=%v",
+				c.Desc, center, r, got, want)
+		}
+		if n := idx.CountRadius(center, r); n != len(want) {
+			return divergef("grid-count", seed, "%s: center %v r %v: CountRadius=%d brute=%d",
+				c.Desc, center, r, n, len(want))
+		}
+	}
+	return nil
+}
+
+// CheckAlbers runs one seeded projection scenario: the cached proj.Albers
+// against the cache-free Snyder transcription, forward and inverse, to
+// <= 1 ulp per coordinate, plus the round-trip metamorphic property
+// within the projection's valid domain.
+func CheckAlbers(seed int64) error {
+	c := GenAlbersCase(seed)
+	opt := proj.NewAlbers(c.Phi1, c.Phi2, c.Phi0, c.Lon0)
+	ref := refimpl.Albers{Phi1: c.Phi1, Phi2: c.Phi2, Phi0: c.Phi0, Lon0: c.Lon0}
+	// Cone constant, for the round-trip domain guard below.
+	n := (math.Sin(geom.Deg2Rad(c.Phi1)) + math.Sin(geom.Deg2Rad(c.Phi2))) / 2
+	for _, ll := range c.LL {
+		of := opt.Forward(ll)
+		rf := ref.Forward(ll)
+		if !EqualUlp(of.X, rf.X, 1) || !EqualUlp(of.Y, rf.Y, 1) {
+			return divergef("albers-forward", seed, "%s: ll %v: optimized %v refimpl %v", c.Desc, ll, of, rf)
+		}
+		oi := opt.Inverse(of)
+		ri := ref.Inverse(rf)
+		if !EqualUlp(oi.X, ri.X, 1) || !EqualUlp(oi.Y, ri.Y, 1) {
+			return divergef("albers-inverse", seed, "%s: xy %v: optimized %v refimpl %v", c.Desc, of, oi, ri)
+		}
+		// Round trip, inside the cone's unambiguous longitude range and
+		// away from the parallels where the radical goes negative.
+		theta := n * geom.Deg2Rad(ll.X-c.Lon0)
+		if math.Abs(theta) >= math.Pi-1e-6 || !isFinitePt(of) {
+			continue
+		}
+		if math.Abs(oi.X-ll.X) > 1e-6 || math.Abs(oi.Y-ll.Y) > 1e-6 {
+			return divergef("albers-roundtrip", seed, "%s: ll %v round-trips to %v", c.Desc, ll, oi)
+		}
+	}
+	return nil
+}
+
+func isFinitePt(p geom.Point) bool {
+	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
+}
+
+// CheckAll runs every driver on one seed — the hook the rewired fuzz
+// targets and the study-level conformance test call.
+func CheckAll(seed int64) error {
+	for _, check := range []func(int64) error{
+		CheckContainment, CheckFill, CheckDistance, CheckBoxes, CheckPointIndex, CheckAlbers,
+	} {
+		if err := check(seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,461 @@
+package diffcheck
+
+import (
+	"math"
+	"math/rand"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/raster"
+	"fivealarms/internal/rtree"
+)
+
+// Generators: every adversarial input family the differential drivers
+// sweep. All of them are pure functions of the seed (math/rand with an
+// explicit source — never the global generator), so a divergence
+// reproduces from the seed alone.
+
+// ContainmentCase is one generated point-in-polygon scenario.
+type ContainmentCase struct {
+	Desc   string
+	Ring   geom.Ring
+	Probes []geom.Point
+}
+
+// Rectilinear reports whether every edge of r (including the closing
+// edge) is axis-aligned. On rectilinear rings both ray-cast forms are
+// exact, so even on-boundary probes must agree bit for bit; on anything
+// else the boundary carve-out applies.
+func Rectilinear(r geom.Ring) bool {
+	n := len(r)
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if a.X != b.X && a.Y != b.Y {
+			return false
+		}
+	}
+	return true
+}
+
+// starRing builds a simple star-shaped ring of n vertices around c with
+// random radii (angles strictly increase, so it never self-intersects).
+func starRing(rng *rand.Rand, c geom.Point, n int, scale float64) geom.Ring {
+	r := make(geom.Ring, 0, n)
+	for i := 0; i < n; i++ {
+		a := 2 * math.Pi * float64(i) / float64(n)
+		rad := (1 + 9*rng.Float64()) * scale
+		r = append(r, geom.Point{X: c.X + rad*math.Cos(a), Y: c.Y + rad*math.Sin(a)})
+	}
+	return r
+}
+
+// histogramRing builds a rectilinear simple polygon on the integer
+// lattice: k unit-width columns of random positive integer height,
+// traced counter-clockwise. Adjacent equal heights yield collinear
+// vertices; height-1 columns yield the staircase degeneracies the
+// scanline index has to survive.
+func histogramRing(rng *rand.Rand, k int, offset geom.Point) geom.Ring {
+	heights := make([]int, k)
+	for i := range heights {
+		heights[i] = 1 + rng.Intn(6)
+	}
+	r := geom.Ring{geom.Point{X: offset.X, Y: offset.Y}, geom.Point{X: offset.X + float64(k), Y: offset.Y}}
+	for i := k - 1; i >= 0; i-- {
+		top := offset.Y + float64(heights[i])
+		r = append(r, geom.Point{X: offset.X + float64(i+1), Y: top})
+		r = append(r, geom.Point{X: offset.X + float64(i), Y: top})
+	}
+	return r
+}
+
+// degenerateRing picks one of the shapes the naive predicate rejects or
+// barely tolerates: empty, single vertex, two vertices, all-collinear,
+// duplicated vertices, and a zero-area spike.
+func degenerateRing(rng *rand.Rand) (geom.Ring, string) {
+	switch rng.Intn(6) {
+	case 0:
+		return nil, "nil ring"
+	case 1:
+		return geom.Ring{geom.Pt(3, 4)}, "single vertex"
+	case 2:
+		return geom.Ring{geom.Pt(0, 0), geom.Pt(5, 5)}, "two vertices"
+	case 3:
+		return geom.Ring{geom.Pt(0, 0), geom.Pt(2, 2), geom.Pt(4, 4), geom.Pt(6, 6)}, "collinear"
+	case 4:
+		return geom.Ring{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4), geom.Pt(0, 4)}, "duplicate vertices"
+	default:
+		return geom.Ring{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(8, 0), geom.Pt(4, 0), geom.Pt(2, 3)}, "zero-area spike"
+	}
+}
+
+// sharedVertexRing pinches a hexagon so one vertex appears twice — the
+// shared-vertex topology GeoJSON perimeters produce when two lobes of a
+// burn meet at a point.
+func sharedVertexRing(c geom.Point, scale float64) geom.Ring {
+	p := func(x, y float64) geom.Point { return geom.Point{X: c.X + x*scale, Y: c.Y + y*scale} }
+	return geom.Ring{p(0, 0), p(2, 1), p(4, 0), p(4, 3), p(2, 1), p(0, 3)}
+}
+
+// containmentProbes builds the probe battery for a ring: uniform points
+// in the buffered bbox, every vertex, every edge midpoint, near-vertex
+// jitters and far-outside points.
+func containmentProbes(rng *rand.Rand, r geom.Ring, n int) []geom.Point {
+	bb := r.BBox()
+	if bb.IsEmpty() {
+		bb = geom.BBox{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1}
+	}
+	bb = bb.Buffer(1 + bb.Width()*0.2)
+	probes := make([]geom.Point, 0, n+3*len(r)+2)
+	for i := 0; i < n; i++ {
+		probes = append(probes, geom.Point{
+			X: bb.MinX + rng.Float64()*bb.Width(),
+			Y: bb.MinY + rng.Float64()*bb.Height(),
+		})
+	}
+	scale := 1 + math.Max(math.Abs(bb.MaxX), math.Abs(bb.MaxY))
+	for i, v := range r {
+		probes = append(probes, v) // exactly on a vertex
+		next := r[(i+1)%len(r)]
+		probes = append(probes, geom.Point{X: (v.X + next.X) / 2, Y: (v.Y + next.Y) / 2}) // on an edge
+		probes = append(probes, geom.Point{X: v.X + 1e-9*scale, Y: v.Y - 1e-9*scale})     // jittered
+	}
+	probes = append(probes,
+		geom.Point{X: bb.MaxX + 1000*scale, Y: bb.MaxY + 1000*scale},
+		geom.Point{X: bb.MinX - 1000*scale, Y: bb.MinY - 1000*scale})
+	return probes
+}
+
+// GenContainmentCase derives one containment scenario from the seed,
+// cycling through the ring families: smooth stars, rectilinear
+// histograms, degenerate shapes, shared-vertex pinches, huge-coordinate
+// and sub-epsilon rings.
+func GenContainmentCase(seed int64) ContainmentCase {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		ring geom.Ring
+		desc string
+	)
+	switch seed % 6 {
+	case 0:
+		ring = starRing(rng, geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}, 3+rng.Intn(50), 1)
+		desc = "star"
+	case 1:
+		ring = histogramRing(rng, 2+rng.Intn(12), geom.Point{X: float64(rng.Intn(20)), Y: float64(rng.Intn(20))})
+		desc = "rectilinear histogram"
+	case 2:
+		ring, desc = degenerateRing(rng)
+	case 3:
+		ring = sharedVertexRing(geom.Point{X: rng.Float64() * 10, Y: rng.Float64() * 10}, 1+rng.Float64()*4)
+		desc = "shared vertex"
+	case 4:
+		ring = starRing(rng, geom.Point{X: 1e7 + rng.Float64()*1e6, Y: -2e7 + rng.Float64()*1e6}, 3+rng.Intn(30), 1e5)
+		desc = "huge coordinates"
+	default:
+		ring = starRing(rng, geom.Point{X: rng.Float64(), Y: rng.Float64()}, 3+rng.Intn(20), 1e-9)
+		desc = "sub-epsilon ring"
+	}
+	return ContainmentCase{
+		Desc:   desc,
+		Ring:   ring,
+		Probes: containmentProbes(rng, ring, 150),
+	}
+}
+
+// GenMultiPolygon derives a multipolygon from the seed: one to four
+// members (smooth or rectilinear, optionally holed, possibly
+// overlapping), with dedicated seeds for the empty multipolygon and a
+// single huge member that swallows everything else.
+func GenMultiPolygon(seed int64) (geom.MultiPolygon, string) {
+	rng := rand.New(rand.NewSource(seed ^ 0x5ca1ab1e))
+	switch seed % 8 {
+	case 6:
+		return nil, "empty multipolygon"
+	case 7:
+		return geom.MultiPolygon{{Exterior: starRing(rng, geom.Point{X: 0, Y: 0}, 24, 1e6)}}, "huge polygon"
+	}
+	n := 1 + rng.Intn(4)
+	m := make(geom.MultiPolygon, 0, n)
+	for i := 0; i < n; i++ {
+		c := geom.Point{X: rng.Float64() * 60, Y: rng.Float64() * 60}
+		var pg geom.Polygon
+		if rng.Intn(2) == 0 {
+			pg.Exterior = starRing(rng, c, 6+rng.Intn(20), 1+rng.Float64()*2)
+		} else {
+			pg.Exterior = histogramRing(rng, 2+rng.Intn(8), geom.Point{X: math.Floor(c.X), Y: math.Floor(c.Y)})
+		}
+		if rng.Intn(3) == 0 {
+			// A hole strictly inside: shrink toward the centroid.
+			cen := pg.Exterior.Centroid()
+			hole := make(geom.Ring, len(pg.Exterior))
+			for j, v := range pg.Exterior {
+				hole[j] = geom.Point{X: cen.X + (v.X-cen.X)*0.4, Y: cen.Y + (v.Y-cen.Y)*0.4}
+			}
+			pg.Holes = []geom.Ring{hole}
+		}
+		m = append(m, pg)
+	}
+	return m, "mixed members"
+}
+
+// FillCase is one rasterization scenario: a small grid whose origin is
+// offset so no cell center can land exactly on a lattice-aligned edge,
+// plus a generated multipolygon scaled into the grid.
+type FillCase struct {
+	Desc string
+	Geom raster.Geometry
+	M    geom.MultiPolygon
+}
+
+// GenFillCase derives one rasterization scenario from the seed.
+func GenFillCase(seed int64) FillCase {
+	rng := rand.New(rand.NewSource(seed ^ 0x0f111ca5e))
+	m, desc := GenMultiPolygon(seed)
+	bb := m.BBox()
+	if bb.IsEmpty() {
+		bb = geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	}
+	nx := 4 + rng.Intn(40)
+	ny := 4 + rng.Intn(40)
+	cell := bb.Width() / float64(nx)
+	if cell <= 0 || math.IsNaN(cell) {
+		cell = 1
+	}
+	// The 0.137 fractional offset keeps cell centers off the integer
+	// lattice that rectilinear generators draw their edges on.
+	g := raster.Geometry{
+		MinX:     bb.MinX - cell*0.137,
+		MinY:     bb.MinY - cell*0.137,
+		CellSize: cell,
+		NX:       nx,
+		NY:       ny,
+	}
+	return FillCase{Desc: desc, Geom: g, M: m}
+}
+
+// GenMaskCase derives one distance-transform mask from the seed: random
+// densities plus the structured worst cases — empty, full, single cell,
+// and set cells confined to edge rows/columns (the off-by-one territory
+// of the two-pass transform).
+func GenMaskCase(seed int64) (*raster.BitGrid, string) {
+	rng := rand.New(rand.NewSource(seed ^ 0x0d157a9ce))
+	g := raster.Geometry{
+		MinX:     rng.Float64() * 100,
+		MinY:     rng.Float64() * 100,
+		CellSize: []float64{1, 30, 270}[rng.Intn(3)],
+		NX:       1 + rng.Intn(24),
+		NY:       1 + rng.Intn(24),
+	}
+	mask := raster.NewBitGrid(g)
+	switch seed % 6 {
+	case 0:
+		return mask, "empty mask"
+	case 1:
+		for cy := 0; cy < g.NY; cy++ {
+			for cx := 0; cx < g.NX; cx++ {
+				mask.Set(cx, cy, true)
+			}
+		}
+		return mask, "full mask"
+	case 2:
+		mask.Set(rng.Intn(g.NX), rng.Intn(g.NY), true)
+		return mask, "single cell"
+	case 3:
+		// Edge rows and columns only.
+		for cx := 0; cx < g.NX; cx++ {
+			if rng.Intn(2) == 0 {
+				mask.Set(cx, 0, true)
+			}
+			if rng.Intn(2) == 0 {
+				mask.Set(cx, g.NY-1, true)
+			}
+		}
+		for cy := 0; cy < g.NY; cy++ {
+			if rng.Intn(2) == 0 {
+				mask.Set(0, cy, true)
+			}
+			if rng.Intn(2) == 0 {
+				mask.Set(g.NX-1, cy, true)
+			}
+		}
+		return mask, "edge rows/cols"
+	default:
+		density := rng.Float64() * 0.5
+		for cy := 0; cy < g.NY; cy++ {
+			for cx := 0; cx < g.NX; cx++ {
+				if rng.Float64() < density {
+					mask.Set(cx, cy, true)
+				}
+			}
+		}
+		return mask, "random density"
+	}
+}
+
+// BoxesCase is one R-tree scenario: an item set (with the bulk-load
+// degeneracies: duplicates, colinear centers, zero-area boxes, nesting),
+// a fanout, and query boxes plus probe points.
+type BoxesCase struct {
+	Desc    string
+	Items   []rtree.Item
+	Fanout  int
+	Queries []geom.BBox
+	Probes  []geom.Point
+}
+
+// GenBoxesCase derives one R-tree scenario from the seed.
+func GenBoxesCase(seed int64) BoxesCase {
+	rng := rand.New(rand.NewSource(seed ^ 0x0b0c5ca5e))
+	var items []rtree.Item
+	var desc string
+	n := rng.Intn(200)
+	mk := func(i int, b geom.BBox) rtree.Item { return rtree.Item{Box: b, ID: i} }
+	switch seed % 5 {
+	case 0:
+		desc = "random boxes"
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*1000, rng.Float64()*1000
+			items = append(items, mk(i, geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*50, MaxY: y + rng.Float64()*50}))
+		}
+	case 1:
+		desc = "all duplicates"
+		b := geom.BBox{MinX: 10, MinY: 10, MaxX: 20, MaxY: 20}
+		for i := 0; i < 1+n; i++ {
+			items = append(items, mk(i, b))
+		}
+	case 2:
+		desc = "colinear centers"
+		for i := 0; i < 1+n; i++ {
+			x := float64(i) * 3
+			items = append(items, mk(i, geom.BBox{MinX: x, MinY: 50, MaxX: x + 2, MaxY: 52}))
+		}
+	case 3:
+		desc = "zero-area boxes"
+		for i := 0; i < n; i++ {
+			x, y := rng.Float64()*100, rng.Float64()*100
+			items = append(items, mk(i, geom.BBox{MinX: x, MinY: y, MaxX: x, MaxY: y}))
+		}
+	default:
+		desc = "nested boxes"
+		for i := 0; i < 1+n%40; i++ {
+			d := float64(i)
+			items = append(items, mk(i, geom.BBox{MinX: d, MinY: d, MaxX: 100 - d, MaxY: 100 - d}))
+		}
+	}
+	c := BoxesCase{Desc: desc, Items: items, Fanout: 2 + rng.Intn(16)}
+	for q := 0; q < 12; q++ {
+		x, y := rng.Float64()*1000-100, rng.Float64()*1000-100
+		c.Queries = append(c.Queries, geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*200, MaxY: y + rng.Float64()*200})
+		c.Probes = append(c.Probes, geom.Point{X: x, Y: y})
+	}
+	c.Queries = append(c.Queries, geom.EmptyBBox())
+	if len(items) > 0 {
+		// Exact-boundary queries: an item's own box and its corner point.
+		b := items[rng.Intn(len(items))].Box
+		c.Queries = append(c.Queries, b)
+		c.Probes = append(c.Probes, geom.Point{X: b.MinX, Y: b.MinY}, geom.Point{X: b.MaxX, Y: b.MaxY})
+	}
+	return c
+}
+
+// PointsCase is one point-index scenario: a point set (duplicates,
+// collinear runs, identical points) plus window and radius queries,
+// including radii that land exactly on a point distance.
+type PointsCase struct {
+	Desc     string
+	Pts      []geom.Point
+	CellSize float64
+	Windows  []geom.BBox
+	Centers  []geom.Point
+	Radii    []float64
+}
+
+// GenPointsCase derives one point-index scenario from the seed.
+func GenPointsCase(seed int64) PointsCase {
+	rng := rand.New(rand.NewSource(seed ^ 0x9017175ca5e))
+	var pts []geom.Point
+	var desc string
+	n := rng.Intn(400)
+	switch seed % 5 {
+	case 0:
+		desc = "uniform points"
+		for i := 0; i < n; i++ {
+			pts = append(pts, geom.Point{X: rng.Float64() * 1000, Y: rng.Float64() * 1000})
+		}
+	case 1:
+		desc = "duplicates"
+		p := geom.Point{X: 5, Y: 5}
+		for i := 0; i < 1+n; i++ {
+			pts = append(pts, p)
+		}
+	case 2:
+		desc = "collinear"
+		for i := 0; i < 1+n; i++ {
+			pts = append(pts, geom.Point{X: float64(i), Y: 7})
+		}
+	case 3:
+		desc = "two clusters far apart"
+		for i := 0; i < 1+n; i++ {
+			c := geom.Point{X: 0, Y: 0}
+			if i%2 == 0 {
+				c = geom.Point{X: 1e6, Y: 1e6}
+			}
+			pts = append(pts, geom.Point{X: c.X + rng.Float64(), Y: c.Y + rng.Float64()})
+		}
+	default:
+		desc = "single point"
+		pts = append(pts, geom.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100})
+	}
+	c := PointsCase{Desc: desc, Pts: pts, CellSize: []float64{0, 0.5, 10, 1e5}[rng.Intn(4)]}
+	for q := 0; q < 10; q++ {
+		x, y := rng.Float64()*1100-50, rng.Float64()*1100-50
+		c.Windows = append(c.Windows, geom.BBox{MinX: x, MinY: y, MaxX: x + rng.Float64()*300, MaxY: y + rng.Float64()*300})
+		c.Centers = append(c.Centers, geom.Point{X: x, Y: y})
+		c.Radii = append(c.Radii, rng.Float64()*300)
+	}
+	if len(pts) > 1 {
+		// A window whose edges pass exactly through a point, and a radius
+		// exactly equal to a point distance (boundary inclusivity).
+		p := pts[rng.Intn(len(pts))]
+		c.Windows = append(c.Windows, geom.BBox{MinX: p.X, MinY: p.Y, MaxX: p.X + 10, MaxY: p.Y + 10})
+		q := pts[rng.Intn(len(pts))]
+		c.Centers = append(c.Centers, q)
+		c.Radii = append(c.Radii, p.DistanceTo(q))
+	}
+	c.Centers = append(c.Centers, geom.Point{X: -1e9, Y: -1e9})
+	c.Radii = append(c.Radii, -1)
+	return c
+}
+
+// AlbersCase is one projection scenario: the projection parameters plus
+// geographic probe points, including antimeridian-adjacent longitudes
+// and near-polar latitudes.
+type AlbersCase struct {
+	Desc                   string
+	Phi1, Phi2, Phi0, Lon0 float64
+	LL                     []geom.Point
+}
+
+// GenAlbersCase derives one projection scenario from the seed. The
+// standard parallels are kept at least five degrees apart and on the
+// same side of the equator often enough that the cone constant n stays
+// away from zero, where the Albers formulas are singular by definition.
+func GenAlbersCase(seed int64) AlbersCase {
+	rng := rand.New(rand.NewSource(seed ^ 0xa1be125))
+	c := AlbersCase{Desc: "conus", Phi1: 29.5, Phi2: 45.5, Phi0: 23, Lon0: -96}
+	if seed%3 != 0 {
+		c.Desc = "random parallels"
+		c.Phi1 = -55 + rng.Float64()*110
+		c.Phi2 = c.Phi1 + 5 + rng.Float64()*20
+		c.Phi0 = c.Phi1 - 10 + rng.Float64()*20
+		c.Lon0 = -180 + rng.Float64()*360
+	}
+	for i := 0; i < 60; i++ {
+		c.LL = append(c.LL, geom.Point{X: -180 + rng.Float64()*360, Y: -85 + rng.Float64()*170})
+	}
+	// Antimeridian-adjacent and extreme probes.
+	c.LL = append(c.LL,
+		geom.Point{X: 179.999999, Y: 30}, geom.Point{X: -179.999999, Y: 30},
+		geom.Point{X: 180, Y: -45}, geom.Point{X: -180, Y: 45},
+		geom.Point{X: c.Lon0, Y: c.Phi0},
+		geom.Point{X: c.Lon0 + 179, Y: 89}, geom.Point{X: c.Lon0 - 179, Y: -89})
+	return c
+}

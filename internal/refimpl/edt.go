@@ -1,0 +1,65 @@
+package refimpl
+
+import (
+	"math"
+
+	"fivealarms/internal/raster"
+)
+
+// DistanceTransform is the brute-force twin of raster.DistanceTransform:
+// for every cell, scan every set cell and keep the smallest center-to-
+// center Euclidean distance in meters; set cells get 0, an empty mask
+// gets +Inf everywhere. O(cells * set-cells) — test grids only.
+//
+// The squared offsets are exact small integers in float64 and the final
+// sqrt-and-scale is the same expression the optimized two-pass transform
+// evaluates, so the two are bit-identical, not merely close.
+func DistanceTransform(mask *raster.BitGrid) *raster.FloatGrid {
+	g := mask.Geometry
+	out := raster.NewFloatGrid(g)
+	var set [][2]int
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			if mask.Get(cx, cy) {
+				set = append(set, [2]int{cx, cy})
+			}
+		}
+	}
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := 0; cx < g.NX; cx++ {
+			best := math.Inf(1)
+			for _, s := range set {
+				dx := cx - s[0]
+				dy := cy - s[1]
+				if d2 := float64(dx*dx + dy*dy); d2 < best {
+					best = d2
+				}
+			}
+			if !math.IsInf(best, 1) {
+				best = math.Sqrt(best) * g.CellSize
+			}
+			out.Set(cx, cy, best)
+		}
+	}
+	return out
+}
+
+// DilateByDistance is the brute-force twin of raster.DilateByDistance
+// (the buffering path behind the §3.8 half-mile extension): a cell is set
+// when its center lies within dist meters of some set cell's center.
+// dist <= 0 returns a clone, matching the optimized fast path.
+func DilateByDistance(mask *raster.BitGrid, dist float64) *raster.BitGrid {
+	if dist <= 0 {
+		return mask.Clone()
+	}
+	dt := DistanceTransform(mask)
+	out := raster.NewBitGrid(mask.Geometry)
+	for cy := 0; cy < mask.NY; cy++ {
+		for cx := 0; cx < mask.NX; cx++ {
+			if dt.At(cx, cy) <= dist {
+				out.Set(cx, cy, true)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package refimpl
+
+import (
+	"math"
+	"testing"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/raster"
+	"fivealarms/internal/rtree"
+)
+
+// The reference implementations are the ground truth of the differential
+// suite, so they get their own hand-computed sanity tests: if a twin
+// drifted, every diff test downstream would chase a phantom.
+
+func unitSquare() geom.Ring {
+	return geom.Ring{geom.Pt(0, 0), geom.Pt(4, 0), geom.Pt(4, 4), geom.Pt(0, 4)}
+}
+
+func TestRingContainsHandCases(t *testing.T) {
+	sq := unitSquare()
+	cases := []struct {
+		p    geom.Point
+		want bool
+	}{
+		{geom.Pt(2, 2), true},
+		{geom.Pt(-1, 2), false},
+		{geom.Pt(5, 2), false},
+		{geom.Pt(2, -1), false},
+		{geom.Pt(2, 5), false},
+		{geom.Pt(0.001, 0.001), true},
+		{geom.Pt(3.999, 3.999), true},
+	}
+	for _, c := range cases {
+		if got := RingContains(sq, c.p); got != c.want {
+			t.Errorf("RingContains(square, %v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+	if RingContains(geom.Ring{geom.Pt(0, 0), geom.Pt(1, 1)}, geom.Pt(0.5, 0.5)) {
+		t.Error("two-vertex ring must contain nothing")
+	}
+	if RingContains(nil, geom.Pt(0, 0)) {
+		t.Error("nil ring must contain nothing")
+	}
+}
+
+func TestPolygonContainsRespectsHoles(t *testing.T) {
+	pg := geom.Polygon{
+		Exterior: unitSquare(),
+		Holes:    []geom.Ring{{geom.Pt(1, 1), geom.Pt(3, 1), geom.Pt(3, 3), geom.Pt(1, 3)}},
+	}
+	if !PolygonContains(pg, geom.Pt(0.5, 0.5)) {
+		t.Error("point between exterior and hole must be inside")
+	}
+	if PolygonContains(pg, geom.Pt(2, 2)) {
+		t.Error("point inside hole must be outside")
+	}
+	m := geom.MultiPolygon{pg, {Exterior: geom.Ring{geom.Pt(10, 10), geom.Pt(12, 10), geom.Pt(12, 12), geom.Pt(10, 12)}}}
+	if !MultiPolygonContains(m, geom.Pt(11, 11)) {
+		t.Error("point in second member must be inside")
+	}
+	if MultiPolygonContains(m, geom.Pt(7, 7)) {
+		t.Error("point between members must be outside")
+	}
+}
+
+func TestSearchAndNearestBoxes(t *testing.T) {
+	items := []rtree.Item{
+		{Box: geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}, ID: 0},
+		{Box: geom.BBox{MinX: 2, MinY: 2, MaxX: 3, MaxY: 3}, ID: 1},
+		{Box: geom.BBox{MinX: 0.5, MinY: 0.5, MaxX: 2.5, MaxY: 2.5}, ID: 2},
+	}
+	got := SearchBoxes(items, geom.BBox{MinX: 0.6, MinY: 0.6, MaxX: 0.9, MaxY: 0.9})
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("SearchBoxes = %v, want [0 2]", got)
+	}
+	if got := SearchBoxes(items, geom.EmptyBBox()); got != nil {
+		t.Errorf("empty query must match nothing, got %v", got)
+	}
+	id, d := NearestBox(items, geom.Pt(5, 3))
+	if id != 1 || d != 2 {
+		t.Errorf("NearestBox = (%d, %g), want (1, 2)", id, d)
+	}
+	if id, d := NearestBox(nil, geom.Pt(0, 0)); id != -1 || !math.IsInf(d, 1) {
+		t.Errorf("NearestBox(empty) = (%d, %g), want (-1, +Inf)", id, d)
+	}
+	if d := BoxPointDistance(geom.EmptyBBox(), geom.Pt(0, 0)); !math.IsInf(d, 1) {
+		t.Errorf("distance to empty box = %g, want +Inf", d)
+	}
+	if got := SearchPointBoxes(items, geom.Pt(0.75, 0.75)); len(got) != 2 {
+		t.Errorf("SearchPointBoxes = %v, want two hits", got)
+	}
+}
+
+func TestFillMultiPolygonHandCase(t *testing.T) {
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 1, NX: 4, NY: 4}
+	// Square covering cell centers (0.5..2.5)² → the 3x3 lower-left block.
+	m := geom.MultiPolygon{{Exterior: geom.Ring{geom.Pt(0, 0), geom.Pt(2.9, 0), geom.Pt(2.9, 2.9), geom.Pt(0, 2.9)}}}
+	mask := FillMultiPolygon(g, m)
+	if got := mask.Count(); got != 9 {
+		t.Fatalf("filled %d cells, want 9", got)
+	}
+	if mask.Get(3, 0) || mask.Get(0, 3) {
+		t.Error("cells beyond the square must stay clear")
+	}
+	// Union semantics: filling again into the same mask changes nothing.
+	FillMultiPolygonInto(mask, m)
+	if got := mask.Count(); got != 9 {
+		t.Errorf("refill changed count to %d", got)
+	}
+}
+
+func TestDistanceTransformHandCase(t *testing.T) {
+	g := raster.Geometry{MinX: 0, MinY: 0, CellSize: 10, NX: 3, NY: 3}
+	mask := raster.NewBitGrid(g)
+	mask.Set(0, 0, true)
+	dt := DistanceTransform(mask)
+	if dt.At(0, 0) != 0 {
+		t.Errorf("set cell distance = %g, want 0", dt.At(0, 0))
+	}
+	if dt.At(2, 0) != 20 {
+		t.Errorf("(2,0) distance = %g, want 20", dt.At(2, 0))
+	}
+	if want := math.Sqrt(8) * 10; dt.At(2, 2) != want {
+		t.Errorf("(2,2) distance = %g, want %g", dt.At(2, 2), want)
+	}
+	empty := DistanceTransform(raster.NewBitGrid(g))
+	if !math.IsInf(empty.At(1, 1), 1) {
+		t.Error("empty mask must transform to +Inf")
+	}
+	grown := DilateByDistance(mask, 10)
+	if grown.Count() != 3 { // (0,0), (1,0), (0,1); diagonal is sqrt(2)*10 > 10
+		t.Errorf("dilate by one cell = %d cells, want 3", grown.Count())
+	}
+	if clone := DilateByDistance(mask, 0); clone.Count() != 1 {
+		t.Error("dist<=0 must clone")
+	}
+}
+
+func TestPointQueries(t *testing.T) {
+	pts := []geom.Point{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 0, Y: 1}, {X: 5, Y: 5}, {X: 1, Y: 0}}
+	got := RangeQuery(pts, geom.BBox{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1})
+	if len(got) != 4 {
+		t.Errorf("RangeQuery = %v, want the four unit-box points (duplicates included)", got)
+	}
+	if got := RadiusQuery(pts, geom.Pt(0, 0), 1); len(got) != 4 {
+		t.Errorf("RadiusQuery r=1 = %v, want 4 hits (boundary inclusive, duplicates included)", got)
+	}
+	if got := RadiusQuery(pts, geom.Pt(0, 0), -1); got != nil {
+		t.Errorf("negative radius must match nothing, got %v", got)
+	}
+}
+
+func TestAlbersSelfConsistency(t *testing.T) {
+	a := Albers{Phi1: 29.5, Phi2: 45.5, Phi0: 23, Lon0: -96}
+	// The origin maps to (0, 0) by construction.
+	at := a.Forward(geom.Pt(-96, 23))
+	if math.Abs(at.X) > 1e-6 || math.Abs(at.Y) > 1e-6 {
+		t.Errorf("origin maps to %v, want (0,0)", at)
+	}
+	for _, ll := range []geom.Point{{X: -120, Y: 39}, {X: -75, Y: 41}, {X: -96, Y: 23}, {X: -179.9, Y: 30}} {
+		rt := a.Inverse(a.Forward(ll))
+		if math.Abs(rt.X-ll.X) > 1e-9 || math.Abs(rt.Y-ll.Y) > 1e-9 {
+			t.Errorf("round trip of %v = %v", ll, rt)
+		}
+	}
+}

@@ -1,0 +1,130 @@
+package rtree_test
+
+// External test package: the differential driver imports rtree, so the
+// conformance tests run from outside to avoid the cycle.
+
+import (
+	"testing"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/refimpl"
+	"fivealarms/internal/refimpl/diffcheck"
+	"fivealarms/internal/rtree"
+)
+
+// TestRTreeConformance sweeps STR bulk loads at generated fanouts
+// against the brute-force twins: range, point and nearest queries over
+// duplicate, colinear, zero-area and nested box batteries.
+func TestRTreeConformance(t *testing.T) {
+	if err := diffcheck.Sweep(200, diffcheck.CheckBoxes); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRTreeGoldens loads the ring boxes of every fixture at several
+// fanouts and replays the query battery.
+func TestRTreeGoldens(t *testing.T) {
+	for _, name := range diffcheck.FixtureNames() {
+		if err := diffcheck.CheckGoldenBoxes(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBulkLoadDuplicateBoxes pins STR packing when every input box is
+// identical — the degenerate sort order where tile boundaries carry no
+// information. All duplicates must remain individually reachable.
+func TestBulkLoadDuplicateBoxes(t *testing.T) {
+	box := geom.BBox{MinX: 3, MinY: 3, MaxX: 5, MaxY: 5}
+	for _, n := range []int{1, 2, 17, 100} {
+		items := make([]rtree.Item, n)
+		for i := range items {
+			items[i] = rtree.Item{Box: box, ID: i}
+		}
+		for _, fanout := range []int{2, 3, 16} {
+			tree := rtree.NewWithFanout(items, fanout)
+			if tree.Len() != n {
+				t.Fatalf("n=%d fanout=%d: Len=%d", n, fanout, tree.Len())
+			}
+			got := tree.Search(box, nil)
+			if len(got) != n {
+				t.Fatalf("n=%d fanout=%d: query over duplicates returned %d of %d", n, fanout, len(got), n)
+			}
+			if hits := tree.SearchPoint(geom.Pt(4, 4), nil); len(hits) != n {
+				t.Fatalf("n=%d fanout=%d: point query returned %d of %d", n, fanout, len(hits), n)
+			}
+			id, d := tree.Nearest(geom.Pt(10, 4))
+			if id < 0 || id >= n || d != 5 {
+				t.Fatalf("n=%d fanout=%d: Nearest = (%d, %v), want any id at distance 5", n, fanout, id, d)
+			}
+		}
+	}
+}
+
+// TestBulkLoadColinearBoxes pins STR packing when all boxes line up on
+// one axis, so the vertical slicing does all the work and horizontal
+// tiles are trivial (and vice versa after transposing).
+func TestBulkLoadColinearBoxes(t *testing.T) {
+	for _, transpose := range []bool{false, true} {
+		items := make([]rtree.Item, 60)
+		for i := range items {
+			x := float64(i * 2)
+			b := geom.BBox{MinX: x, MinY: 0, MaxX: x + 1, MaxY: 1}
+			if transpose {
+				b = geom.BBox{MinX: 0, MinY: x, MaxX: 1, MaxY: x + 1}
+			}
+			items[i] = rtree.Item{Box: b, ID: i}
+		}
+		tree := rtree.NewWithFanout(items, 4)
+		for i := range items {
+			got := tree.Search(items[i].Box, nil)
+			want := refimpl.SearchBoxes(items, items[i].Box)
+			if len(got) != len(want) {
+				t.Fatalf("transpose=%v item %d: %d hits, brute force %d", transpose, i, len(got), len(want))
+			}
+		}
+		// A probe far off-axis still finds the true nearest strip.
+		probe := geom.Pt(59, 500)
+		if transpose {
+			probe = geom.Pt(500, 59)
+		}
+		_, d := tree.Nearest(probe)
+		_, want := refimpl.NearestBox(items, probe)
+		if d != want {
+			t.Fatalf("transpose=%v: nearest distance %v, brute force %v", transpose, d, want)
+		}
+	}
+}
+
+// TestNearestTieReporting pins the tie contract: when several boxes sit
+// at the same distance the reported id may be any of them, but the
+// reported distance must be exact and the id must actually sit there.
+func TestNearestTieReporting(t *testing.T) {
+	items := []rtree.Item{
+		{Box: geom.BBox{MinX: -3, MinY: -1, MaxX: -2, MaxY: 1}, ID: 0},
+		{Box: geom.BBox{MinX: 2, MinY: -1, MaxX: 3, MaxY: 1}, ID: 1},
+	}
+	tree := rtree.New(items)
+	id, d := tree.Nearest(geom.Pt(0, 0))
+	if d != 2 {
+		t.Fatalf("tie distance = %v, want 2", d)
+	}
+	if got := refimpl.BoxPointDistance(items[id].Box, geom.Pt(0, 0)); got != d {
+		t.Fatalf("winner %d is at %v, reported %v", id, got, d)
+	}
+	if id, d := tree.Nearest(geom.Pt(2.5, 0)); id != 1 || d != 0 {
+		t.Fatalf("interior probe = (%d, %v), want (1, 0)", id, d)
+	}
+}
+
+// FuzzRTreeDiff drives the R-tree twins from fuzz-chosen seeds.
+func FuzzRTreeDiff(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := diffcheck.CheckBoxes(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,72 @@
+package whp
+
+import (
+	"math"
+	"testing"
+)
+
+// Class-boundary reclassification: the cut points use strict h < th[i],
+// so a hazard exactly at a threshold lands in the class ABOVE it. These
+// tests pin that contract — a reimplementation that flips to <= would
+// silently move every boundary cell down one class and shift the Table
+// 4 histograms.
+
+func TestClassifyExactThresholds(t *testing.T) {
+	th := [4]float64{0.12, 0.26, 0.42, 0.60}
+	cases := []struct {
+		h    float64
+		want Class
+	}{
+		{0, VeryLow},
+		{math.Nextafter(0.12, 0), VeryLow}, // one ulp below the cut
+		{0.12, Low},                        // exactly at the cut: upper class
+		{math.Nextafter(0.12, 1), Low},
+		{math.Nextafter(0.26, 0), Low},
+		{0.26, Moderate},
+		{math.Nextafter(0.42, 0), Moderate},
+		{0.42, High},
+		{math.Nextafter(0.60, 0), High},
+		{0.60, VeryHigh},
+		{0.999, VeryHigh},
+	}
+	for _, c := range cases {
+		if got := classify(c.h, th); got != c.want {
+			t.Errorf("classify(%v) = %v, want %v", c.h, got, c.want)
+		}
+	}
+}
+
+// TestClassifyDegenerateThresholds pins behavior when neighboring cut
+// points coincide: the squeezed class becomes unreachable rather than
+// swallowing its neighbor.
+func TestClassifyDegenerateThresholds(t *testing.T) {
+	th := [4]float64{0.2, 0.2, 0.5, 0.5}
+	if got := classify(0.19, th); got != VeryLow {
+		t.Errorf("below both low cuts: %v, want very-low", got)
+	}
+	if got := classify(0.2, th); got != Moderate {
+		t.Errorf("at the coincident low cuts: %v, want moderate (Low squeezed out)", got)
+	}
+	if got := classify(0.5, th); got != VeryHigh {
+		t.Errorf("at the coincident high cuts: %v, want very-high (High squeezed out)", got)
+	}
+}
+
+// TestClassifyMonotone sweeps a fine hazard ladder and asserts the class
+// never decreases as hazard increases — the property every downstream
+// ordering test (nesting, at-risk fractions) quietly depends on.
+func TestClassifyMonotone(t *testing.T) {
+	th := [4]float64{0.12, 0.26, 0.42, 0.60}
+	prev := VeryLow
+	for i := 0; i <= 10000; i++ {
+		h := float64(i) / 10000
+		c := classify(h, th)
+		if c < prev {
+			t.Fatalf("classify(%v) = %v dropped below %v", h, c, prev)
+		}
+		prev = c
+	}
+	if prev != VeryHigh {
+		t.Fatalf("ladder topped out at %v, want very-high", prev)
+	}
+}
