@@ -1,0 +1,101 @@
+package grid_test
+
+// External test package: the differential driver imports grid, so the
+// conformance tests run from outside to avoid the cycle.
+
+import (
+	"math"
+	"testing"
+
+	"fivealarms/internal/geom"
+	"fivealarms/internal/grid"
+	"fivealarms/internal/refimpl"
+	"fivealarms/internal/refimpl/diffcheck"
+)
+
+// TestPointIndexConformance sweeps window, radius and count queries
+// against exhaustive scans over seeded point batteries: duplicates,
+// collinear sets, clusters a million units apart, boundary-exact
+// windows and rim-exact radii.
+func TestPointIndexConformance(t *testing.T) {
+	if err := diffcheck.Sweep(200, diffcheck.CheckPointIndex); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPointIndexGoldens queries the vertex sets of the hand-authored
+// fixtures through the index and the brute-force twin.
+func TestPointIndexGoldens(t *testing.T) {
+	for _, name := range diffcheck.FixtureNames() {
+		if err := diffcheck.CheckGoldenPoints(name); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestSparseClustersBoundedCells is the regression test for the
+// allocation pathology the differential suite flagged: two small
+// clusters a million units apart with a 0.5-unit requested cell used to
+// make New allocate extent²/cell² buckets (tens of millions of cells
+// for sixty points). The bucket count must now be bounded by the point
+// count, not the coordinate span, while every query stays exact.
+func TestSparseClustersBoundedCells(t *testing.T) {
+	var pts []geom.Point
+	for i := 0; i < 30; i++ {
+		f := float64(i)
+		pts = append(pts, geom.Pt(f*0.25, f*0.125))
+		pts = append(pts, geom.Pt(1e6+f*0.25, 1e6+f*0.125))
+	}
+	idx := grid.New(pts, 0.5)
+	b := idx.Bounds()
+	nx := int(math.Floor(b.Width()/idx.CellSize())) + 1
+	ny := int(math.Floor(b.Height()/idx.CellSize())) + 1
+	if maxCells := 64 * len(pts); nx*ny > maxCells {
+		t.Fatalf("index grew %d cells for %d points (cell %v), want <= %d",
+			nx*ny, len(pts), idx.CellSize(), maxCells)
+	}
+	// The coarser effective cell must not change any answer.
+	windows := []geom.BBox{
+		{MinX: -1, MinY: -1, MaxX: 8, MaxY: 4},
+		{MinX: 1e6, MinY: 1e6, MaxX: 1e6 + 4, MaxY: 1e6 + 2},
+		{MinX: 0, MinY: 0, MaxX: 2e6, MaxY: 2e6},
+	}
+	for _, w := range windows {
+		got := idx.Query(w, nil)
+		want := refimpl.RangeQuery(pts, w)
+		if len(got) != len(want) {
+			t.Fatalf("window %v: index %d hits, brute force %d", w, len(got), len(want))
+		}
+	}
+	for _, r := range []float64{0, 1, 1e6} {
+		if got, want := idx.CountRadius(geom.Pt(0, 0), r), len(refimpl.RadiusQuery(pts, geom.Pt(0, 0), r)); got != want {
+			t.Fatalf("radius %v: index %d, brute force %d", r, got, want)
+		}
+	}
+}
+
+// TestTinyPointSetFloorCells pins the other side of the clamp: small
+// point sets keep the 1024-cell floor so a requested fine cell is
+// honored when it is harmless.
+func TestTinyPointSetFloorCells(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0, 0), geom.Pt(10, 10)}
+	idx := grid.New(pts, 0.5)
+	if idx.CellSize() != 0.5 {
+		t.Fatalf("cell grew to %v for a 2-point set; 21x21 cells fit the floor", idx.CellSize())
+	}
+	if got := idx.Query(geom.BBox{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}, nil); len(got) != 2 {
+		t.Fatalf("query lost points: %v", got)
+	}
+}
+
+// FuzzGridIndexDiff drives the point-index twins from fuzz-chosen seeds.
+func FuzzGridIndexDiff(f *testing.F) {
+	for seed := int64(0); seed < 16; seed++ {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		if err := diffcheck.CheckPointIndex(seed); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -47,8 +47,20 @@ func New(pts []geom.Point, cellSize float64) *Index {
 	idx.minY = b.MinY
 	idx.nx = int(math.Floor(b.Width()/cellSize)) + 1
 	idx.ny = int(math.Floor(b.Height()/cellSize)) + 1
-	// Clamp pathological grids (degenerate extents).
-	const maxCells = 1 << 26
+	// Clamp pathological grids: degenerate extents, or sparse point sets
+	// spread over a huge domain with a small requested cell, must not
+	// allocate extent²/cell² buckets. Bounding the cell count by the
+	// point count (~64 buckets per point, floor 1024) keeps the memory
+	// footprint proportional to the data while leaving dense realistic
+	// layouts untouched; the requested cellSize is a hint, not a contract
+	// (see CellSize for the effective value).
+	maxCells := 64 * len(pts)
+	if maxCells < 1024 {
+		maxCells = 1024
+	}
+	if maxCells > 1<<26 {
+		maxCells = 1 << 26
+	}
 	for idx.nx*idx.ny > maxCells {
 		idx.cell *= 2
 		idx.nx = int(math.Floor(b.Width()/idx.cell)) + 1
