@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos bench bench-pipeline bench-geom fuzz experiments maps clean
+.PHONY: all build test vet race chaos diffcheck cover bench bench-pipeline bench-geom fuzz experiments maps clean
 
 all: vet test build
 
@@ -33,12 +33,34 @@ bench-geom:
 	$(GO) test -run '^$$' -bench 'BenchmarkPreparedContains|BenchmarkHistoricalOverlay|BenchmarkTable1$$' \
 		-benchmem -json . ./internal/geom ./internal/risk > BENCH_geom.json
 
+# Run the differential conformance kernel: refimpl self-tests, the
+# seeded diffcheck sweeps and golden fixtures, the per-package
+# conformance suites, and the study-layer cross-checks. A failure prints
+# "diffcheck/<primitive> (seed N)"; rerun that Check function with the
+# seed to reproduce (DESIGN.md §5, "Testing conventions").
+diffcheck:
+	$(GO) test -count=1 ./internal/refimpl/... \
+		-run 'Sweep|Golden|Fixture|EqualUlp|Divergence'
+	$(GO) test -count=1 ./internal/geom ./internal/raster ./internal/rtree \
+		./internal/grid ./internal/proj -run 'Conformance|Golden'
+	$(GO) test -count=1 ./internal/risk -run 'CrossCheck'
+	$(GO) test -count=1 . -run 'SeedDeterminism|Metamorphic'
+
+# Enforce the per-package coverage floors (COVERAGE_FLOOR.txt); pass a
+# path to keep the merged profile, e.g. `make cover PROFILE=coverage.out`.
+cover:
+	./scripts/check_coverage.sh $(PROFILE)
+
 # Run each fuzz target briefly (10s apiece).
 fuzz:
 	$(GO) test -fuzz=FuzzParseWKTPoint -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzParseWKTPolygon -fuzztime=10s ./internal/geom
 	$(GO) test -fuzz=FuzzParseWKTMultiPolygon -fuzztime=10s ./internal/geom
-	$(GO) test -fuzz=FuzzPreparedRingContains -fuzztime=10s ./internal/geom
+	$(GO) test -fuzz=FuzzContainmentDiff -fuzztime=10s ./internal/geom
+	$(GO) test -fuzz=FuzzRasterDiff -fuzztime=10s ./internal/raster
+	$(GO) test -fuzz=FuzzRTreeDiff -fuzztime=10s ./internal/rtree
+	$(GO) test -fuzz=FuzzGridIndexDiff -fuzztime=10s ./internal/grid
+	$(GO) test -fuzz=FuzzAlbersDiff -fuzztime=10s ./internal/proj
 	$(GO) test -fuzz=FuzzReadArcASCII -fuzztime=10s ./internal/raster
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/cellnet
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dirs

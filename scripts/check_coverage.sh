@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# check_coverage.sh — run the full suite with coverage and enforce the
+# per-package floors in COVERAGE_FLOOR.txt.
+#
+# Usage: scripts/check_coverage.sh [profile.out]
+#
+# With an argument, also writes the merged coverage profile there (the
+# CI coverage job uploads it as an artifact). Exit codes: 0 all floors
+# hold, 1 a package regressed or a floored package produced no coverage
+# line (deleted tests count as regressions).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+profile="${1:-}"
+
+args=(test -count=1 -cover ./...)
+if [[ -n "$profile" ]]; then
+  args=(test -count=1 -coverprofile="$profile" ./...)
+fi
+
+out="$(go "${args[@]}")" || { echo "$out"; echo "check_coverage: tests failed" >&2; exit 1; }
+echo "$out"
+
+fail=0
+while read -r pkg floor; do
+  [[ -z "$pkg" || "$pkg" == \#* ]] && continue
+  line="$(echo "$out" | awk -v p="$pkg" '$1 == "ok" && $2 == p')"
+  pct="$(echo "$line" | grep -o 'coverage: [0-9.]*%' | grep -o '[0-9.]*' || true)"
+  if [[ -z "$pct" ]]; then
+    echo "check_coverage: no coverage reported for $pkg (floor $floor%)" >&2
+    fail=1
+    continue
+  fi
+  if awk -v got="$pct" -v want="$floor" 'BEGIN { exit !(got < want) }'; then
+    echo "check_coverage: $pkg at ${pct}% is below its ${floor}% floor" >&2
+    fail=1
+  fi
+done < COVERAGE_FLOOR.txt
+
+if [[ "$fail" -ne 0 ]]; then
+  echo "check_coverage: coverage regressed; add tests (or dead-code-delete), never lower a floor" >&2
+  exit 1
+fi
+echo "check_coverage: all floors hold"
