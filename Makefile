@@ -2,21 +2,30 @@
 
 GO ?= go
 
-.PHONY: all build test vet race chaos diffcheck cover bench bench-pipeline bench-geom fuzz experiments maps clean
+.PHONY: all build test vet lint race chaos diffcheck cover bench bench-pipeline bench-geom fuzz experiments maps clean
 
-all: vet test build
+all: vet lint test build
 
 build:
 	$(GO) build ./...
 
+# -shuffle=on randomizes test order so accidental inter-test state
+# dependence surfaces in CI instead of lurking.
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 vet:
 	$(GO) vet ./...
 
+# Run the fivealarms static-analysis suite (internal/lint): the
+# determinism, failure-model, float-equality, context-flow,
+# copy-safety, and test-only-import contracts. Nonzero exit on any
+# unsuppressed finding; see DESIGN.md §6 for the annotation grammar.
+lint:
+	$(GO) run ./cmd/fivealarmsvet ./...
+
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test -bench=. -benchmem ./...

@@ -1,0 +1,155 @@
+// Command fivealarmsvet runs the fivealarms static-analysis suite
+// (internal/lint) over the module: the determinism, failure-model,
+// float-equality, context-flow, copy-safety, and test-only-import
+// contracts the reproduction's numbers depend on.
+//
+// Usage:
+//
+//	fivealarmsvet [-json] [-rules] [packages]
+//
+// With no arguments (or "./...") the whole module is checked. Explicit
+// package directories ("./internal/geom") restrict the run. The exit
+// code is 0 when clean, 1 when findings are reported, and 2 when a
+// package fails to load. Findings are suppressed only by annotated
+// //fivealarms:allow(<rule>) <reason> comments; see DESIGN.md §6.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fivealarms/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("fivealarmsvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	listRules := fs.Bool("rules", false, "print the rule inventory and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range lint.Rules() {
+			fmt.Fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		return 2
+	}
+	_, all, err := lint.DiscoverModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		return 2
+	}
+	targets, err := selectTargets(all, fs.Args(), root, cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		return 2
+	}
+
+	loader := lint.NewLoader()
+	rules := lint.Rules()
+	var diags []lint.Diagnostic
+	loadFailed := false
+	for _, t := range targets {
+		pkg, err := loader.Load(t[0], t[1])
+		if err != nil {
+			fmt.Fprintln(stderr, "fivealarmsvet:", err)
+			loadFailed = true
+			continue
+		}
+		diags = append(diags, lint.Check(pkg, rules)...)
+	}
+
+	// Render file names relative to the working directory so findings
+	// are clickable from the invocation site.
+	for i := range diags {
+		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+			diags[i].Pos.Filename = rel
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "fivealarmsvet:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	switch {
+	case loadFailed:
+		return 2
+	case len(diags) > 0:
+		return 1
+	}
+	return 0
+}
+
+// selectTargets filters the discovered (dir, importPath) pairs by the
+// command-line patterns. Supported patterns: none for the whole
+// module, "dir/..." for a subtree ("./..." is the subtree at the
+// working directory, i.e. the whole module when run from the root),
+// and plain directories.
+func selectTargets(all [][2]string, patterns []string, root, cwd string) ([][2]string, error) {
+	if len(patterns) == 0 {
+		return all, nil
+	}
+	var out [][2]string
+	seen := map[string]bool{}
+	for _, pat := range patterns {
+		if pat == "..." {
+			return all, nil
+		}
+		subtree := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			subtree = true
+			pat = rest
+			if pat == "." && cwd == root {
+				return all, nil
+			}
+		}
+		abs := pat
+		if !filepath.IsAbs(abs) {
+			abs = filepath.Join(cwd, pat)
+		}
+		matched := false
+		for _, t := range all {
+			if t[0] == abs || (subtree && strings.HasPrefix(t[0], abs+string(filepath.Separator))) {
+				if !seen[t[1]] {
+					seen[t[1]] = true
+					out = append(out, t)
+				}
+				matched = true
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("pattern %q matches no packages under %s", pat, root)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"fivealarms/internal/lint"
+)
+
+// capture runs fn with stdout and stderr redirected to temp files and
+// returns what was written.
+func capture(t *testing.T, fn func(stdout, stderr *os.File)) (string, string) {
+	t.Helper()
+	mk := func(name string) *os.File {
+		f, err := os.CreateTemp(t.TempDir(), name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	so, se := mk("stdout"), mk("stderr")
+	defer so.Close()
+	defer se.Close()
+	fn(so, se)
+	read := func(f *os.File) string {
+		data, err := os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(data)
+	}
+	return read(so), read(se)
+}
+
+func TestRulesFlagListsSuite(t *testing.T) {
+	var code int
+	stdout, _ := capture(t, func(so, se *os.File) { code = run([]string{"-rules"}, so, se) })
+	if code != 0 {
+		t.Fatalf("-rules exit = %d, want 0", code)
+	}
+	for _, r := range lint.Rules() {
+		if !strings.Contains(stdout, r.Name) {
+			t.Errorf("-rules output is missing %q:\n%s", r.Name, stdout)
+		}
+	}
+}
+
+func TestJSONOutputOnCleanPackage(t *testing.T) {
+	var code int
+	stdout, stderr := capture(t, func(so, se *os.File) {
+		code = run([]string{"-json", "../../internal/rng"}, so, se)
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var diags []lint.Diagnostic
+	if err := json.Unmarshal([]byte(stdout), &diags); err != nil {
+		t.Fatalf("-json output is not a diagnostics array: %v\n%s", err, stdout)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/rng must be lint-clean, got %v", diags)
+	}
+}
+
+func TestUnknownPatternFails(t *testing.T) {
+	var code int
+	_, stderr := capture(t, func(so, se *os.File) {
+		code = run([]string{"./no/such/dir"}, so, se)
+	})
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2 for a pattern matching nothing", code)
+	}
+	if !strings.Contains(stderr, "matches no packages") {
+		t.Errorf("stderr should name the failure: %s", stderr)
+	}
+}
+
+func TestSubtreePattern(t *testing.T) {
+	var code int
+	stdout, stderr := capture(t, func(so, se *os.File) {
+		code = run([]string{"../../internal/refimpl/..."}, so, se)
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s, stdout: %s)", code, stderr, stdout)
+	}
+}

@@ -7,6 +7,8 @@ import (
 
 // SegmentsIntersect reports whether segments ab and cd share at least one
 // point, including collinear overlap and endpoint touching.
+//
+//fivealarms:allow(floateq) orient()==0 is the exact collinearity predicate; an epsilon would disagree with the refimpl twin
 func SegmentsIntersect(a, b, c, d Point) bool {
 	d1 := orient(c, d, a)
 	d2 := orient(c, d, b)
@@ -74,7 +76,7 @@ func ConvexHull(pts []Point) Ring {
 	ps := make([]Point, len(pts))
 	copy(ps, pts)
 	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].X != ps[j].X {
+		if ps[i].X != ps[j].X { //fivealarms:allow(floateq) sort tie-break on raw coordinates; exactness keeps the hull order deterministic
 			return ps[i].X < ps[j].X
 		}
 		return ps[i].Y < ps[j].Y

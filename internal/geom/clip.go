@@ -34,7 +34,7 @@ func ClipRingToBBox(r Ring, b BBox) Ring {
 		cur = next
 	}
 	out := NewRing(cur...)
-	if !out.Valid() || out.Area() == 0 {
+	if !out.Valid() || out.Area() == 0 { //fivealarms:allow(floateq) exact-zero area marks a fully clipped-away ring, a discrete outcome
 		return nil
 	}
 	return out

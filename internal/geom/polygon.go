@@ -33,7 +33,7 @@ func (p Polygon) Area() float64 {
 // Centroid returns the area-weighted centroid accounting for holes.
 func (p Polygon) Centroid() Point {
 	aExt := p.Exterior.Area()
-	if aExt == 0 {
+	if aExt == 0 { //fivealarms:allow(floateq) degenerate-polygon guard before dividing by the area
 		return p.Exterior.Centroid()
 	}
 	c := p.Exterior.Centroid().Scale(aExt)
@@ -43,7 +43,7 @@ func (p Polygon) Centroid() Point {
 		c = c.Sub(h.Centroid().Scale(ha))
 		total -= ha
 	}
-	if total == 0 {
+	if total == 0 { //fivealarms:allow(floateq) degenerate-polygon guard before dividing by the area
 		return p.Exterior.Centroid()
 	}
 	return c.Scale(1 / total)
@@ -117,7 +117,7 @@ func (m MultiPolygon) Centroid() Point {
 		c = c.Add(p.Centroid().Scale(a))
 		total += a
 	}
-	if total == 0 {
+	if total == 0 { //fivealarms:allow(floateq) degenerate-multipolygon guard before dividing by the area
 		if len(m) > 0 {
 			return m[0].Centroid()
 		}

@@ -28,7 +28,7 @@ func (l Polyline) PointAt(d float64) Point {
 	for i := 1; i < len(l); i++ {
 		seg := l[i-1].DistanceTo(l[i])
 		if d <= seg {
-			if seg == 0 {
+			if seg == 0 { //fivealarms:allow(floateq) zero-length-segment guard before dividing by seg
 				return l[i]
 			}
 			return l[i-1].Add(l[i].Sub(l[i-1]).Scale(d / seg))

@@ -92,7 +92,7 @@ func countEdges(r Ring) int {
 	}
 	n, c := len(r), 0
 	for i, j := 0, n-1; i < n; j, i = i, i+1 {
-		if r[j].Y != r[i].Y {
+		if r[j].Y != r[i].Y { //fivealarms:allow(floateq) exact horizontal-edge test, the same predicate the crossing rule uses
 			c++
 		}
 	}
@@ -123,7 +123,7 @@ func prepareRingInto(p *PreparedRing, r Ring, pool []prepEdge) []prepEdge {
 	start := len(pool)
 	for i, j := 0, n-1; i < n; j, i = i, i+1 {
 		a, b := r[j], r[i]
-		if a.Y == b.Y {
+		if a.Y == b.Y { //fivealarms:allow(floateq) exact horizontal-edge drop; (ay > y) != (by > y) can never hold for these
 			continue
 		}
 		pool = append(pool, prepEdge{ax: a.X, ay: a.Y, bx: b.X, by: b.Y})
@@ -318,7 +318,7 @@ func segmentIntersectsBBox(a, b Point, box BBox) bool {
 	t0, t1 := 0.0, 1.0
 	// clip narrows [t0, t1] to the feasible range of p*t <= q.
 	clip := func(p, q float64) bool {
-		if p == 0 {
+		if p == 0 { //fivealarms:allow(floateq) Liang-Barsky axis-parallel case; guards the division by p
 			return q >= 0
 		}
 		t := q / p

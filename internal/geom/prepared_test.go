@@ -59,9 +59,9 @@ func TestPreparedRingDegenerate(t *testing.T) {
 		{},
 		{Pt(0, 0)},
 		{Pt(0, 0), Pt(1, 1)},
-		{Pt(0, 0), Pt(1, 0), Pt(2, 0)},   // flat: zero height
-		{Pt(0, 0), Pt(0, 1), Pt(0, 2)},   // flat: zero width
-		{Pt(1, 1), Pt(1, 1), Pt(1, 1)},   // all coincident
+		{Pt(0, 0), Pt(1, 0), Pt(2, 0)}, // flat: zero height
+		{Pt(0, 0), Pt(0, 1), Pt(0, 2)}, // flat: zero width
+		{Pt(1, 1), Pt(1, 1), Pt(1, 1)}, // all coincident
 		{Pt(0, 0), Pt(4, 0), Pt(4, 4), Pt(0, 4)},
 	}
 	probes := []Point{{0.5, 0.5}, {2, 2}, {1, 0}, {0, 0}, {5, 5}, {-1, 2}}

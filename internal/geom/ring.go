@@ -66,7 +66,7 @@ func (r Ring) Reverse() Ring {
 // vertex mean is returned.
 func (r Ring) Centroid() Point {
 	a := r.SignedArea()
-	if a == 0 {
+	if a == 0 { //fivealarms:allow(floateq) degenerate-ring guard before dividing by the area
 		var c Point
 		if len(r) == 0 {
 			return c
@@ -152,7 +152,7 @@ func (r Ring) Clone() Ring {
 func DistancePointSegment(p, a, b Point) float64 {
 	ab := b.Sub(a)
 	l2 := ab.Dot(ab)
-	if l2 == 0 {
+	if l2 == 0 { //fivealarms:allow(floateq) coincident-endpoints guard before dividing by l2
 		return p.DistanceTo(a)
 	}
 	t := p.Sub(a).Dot(ab) / l2

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path (module-relative for repo packages)
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Loader parses and type-checks packages with the stdlib source
+// importer. One Loader shares a FileSet and an importer across loads,
+// so dependencies are type-checked once and positions stay coherent.
+type Loader struct {
+	fset *token.FileSet
+	imp  types.ImporterFrom
+}
+
+// NewLoader returns a Loader backed by importer.ForCompiler's "source"
+// mode — the only stdlib importer that works without compiled export
+// data, keeping the tool zero-dependency. It panics if the source
+// importer ever stops implementing types.ImporterFrom; that is a
+// stdlib regression, i.e. a programming-error report per the failure
+// model, not a runtime condition callers could handle.
+func NewLoader() *Loader {
+	fset := token.NewFileSet()
+	imp, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		// The source importer has implemented ImporterFrom since it
+		// shipped; this is unreachable short of a stdlib regression.
+		panic("lint: source importer does not implement types.ImporterFrom")
+	}
+	return &Loader{fset: fset, imp: imp}
+}
+
+// Load parses every non-test .go file in dir and type-checks the
+// result as a package imported as path. Test files are skipped: every
+// rule's contract exempts _test.go sources, and external test packages
+// (package foo_test) cannot share a type-checker universe with their
+// subject anyway.
+func (l *Loader) Load(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: reading %s: %w", dir, err)
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+	cfg := types.Config{Importer: l.imp}
+	pkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{Path: path, Dir: dir, Fset: l.fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// DiscoverModule walks the module rooted at root (the directory
+// holding go.mod) and returns its module path plus every directory
+// containing non-test Go sources, as (dir, importPath) pairs in
+// deterministic order. testdata, vendor, and hidden directories are
+// skipped — the same pruning `go list ./...` applies.
+func DiscoverModule(root string) (modPath string, pkgs [][2]string, err error) {
+	modPath, err = modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", nil, err
+	}
+	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if p != root && (name == "testdata" || name == "vendor" ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") ||
+			strings.HasPrefix(d.Name(), ".") {
+			return nil
+		}
+		dir := filepath.Dir(p)
+		if len(pkgs) > 0 && pkgs[len(pkgs)-1][0] == dir {
+			return nil
+		}
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return err
+		}
+		ip := modPath
+		if rel != "." {
+			ip = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkgs = append(pkgs, [2]string{dir, ip})
+		return nil
+	})
+	if err != nil {
+		return "", nil, err
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i][1] < pkgs[j][1] })
+	return modPath, pkgs, nil
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: %w", err)
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("lint: no module directive in %s", gomod)
+}
+
+// FindModuleRoot walks up from dir to the nearest directory containing
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

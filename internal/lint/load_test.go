@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestFindModuleRootAndDiscover(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	modPath, pkgs, err := DiscoverModule(root)
+	if err != nil {
+		t.Fatalf("DiscoverModule: %v", err)
+	}
+	if modPath != "fivealarms" {
+		t.Errorf("module path = %q, want fivealarms", modPath)
+	}
+	paths := map[string]string{}
+	for _, p := range pkgs {
+		paths[p[1]] = p[0]
+		if strings.Contains(p[0], "testdata") {
+			t.Errorf("discovery must skip testdata trees, found %q", p[0])
+		}
+	}
+	for _, want := range []string{"fivealarms", "fivealarms/internal/lint", "fivealarms/cmd/fivealarmsvet"} {
+		if paths[want] == "" {
+			t.Errorf("discovery missed package %q", want)
+		}
+	}
+}
+
+func TestDiscoverModuleRequiresGoMod(t *testing.T) {
+	if _, _, err := DiscoverModule(t.TempDir()); err == nil {
+		t.Fatalf("DiscoverModule outside a module must fail")
+	}
+}
+
+func TestFindModuleRootFailsOutsideModules(t *testing.T) {
+	if _, err := FindModuleRoot(t.TempDir()); err == nil {
+		t.Skip("a go.mod above the temp dir shadows this case")
+	}
+}
+
+func TestModulePath(t *testing.T) {
+	dir := t.TempDir()
+	gomod := filepath.Join(dir, "go.mod")
+	if err := os.WriteFile(gomod, []byte("// a comment\nmodule  example.com/mod \n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := modulePath(gomod)
+	if err != nil {
+		t.Fatalf("modulePath: %v", err)
+	}
+	if got != "example.com/mod" {
+		t.Errorf("modulePath = %q, want example.com/mod", got)
+	}
+	if err := os.WriteFile(gomod, []byte("go 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := modulePath(gomod); err == nil {
+		t.Errorf("modulePath must reject a go.mod without a module directive")
+	}
+}
+
+func TestLoadRejectsEmptyAndBrokenDirs(t *testing.T) {
+	loader := NewLoader()
+	if _, err := loader.Load(t.TempDir(), "example.com/empty"); err == nil {
+		t.Errorf("loading a directory without Go files must fail")
+	}
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "bad.go"), []byte("package broken\nfunc ("), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loader.Load(dir, "example.com/broken"); err == nil {
+		t.Errorf("loading an unparsable package must fail")
+	}
+}
+
+// TestRepositoryIsLintClean runs the entire rule suite over the whole
+// module — the same check `make lint` and the CI Lint job gate on.
+// Every finding in the tree must be fixed or carry an annotated allow,
+// so a green run here is the acceptance criterion that the tree
+// honors its own contracts.
+func TestRepositoryIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-module type-check is slow; run without -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatalf("FindModuleRoot: %v", err)
+	}
+	_, pkgs, err := DiscoverModule(root)
+	if err != nil {
+		t.Fatalf("DiscoverModule: %v", err)
+	}
+	loader := NewLoader()
+	rules := Rules()
+	for _, p := range pkgs {
+		pkg, err := loader.Load(p[0], p[1])
+		if err != nil {
+			t.Errorf("loading %s: %v", p[1], err)
+			continue
+		}
+		for _, d := range Check(pkg, rules) {
+			t.Errorf("%v", d)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ctxThreadScope lists the packages whose exported blocking entry
+// points must thread a caller context: the pipeline executor and the
+// fire-history simulator, the two subsystems PR 3 made cancellable.
+// In them, an exported function that accepts a context.Context must
+// take it as the first parameter, so call sites read ctx-first and
+// the cancel path stays obvious.
+var ctxThreadScope = map[string]bool{
+	"fivealarms/internal/pipeline": true,
+	"fivealarms/internal/wildfire": true,
+}
+
+func ruleCtxFlow() Rule {
+	return Rule{
+		Name: "ctxflow",
+		Doc:  "functions receiving a ctx must not mint context.Background/TODO; pipeline/wildfire entry points take ctx first",
+		Run:  runCtxFlow,
+	}
+}
+
+func runCtxFlow(p *Pass) {
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok {
+				checkExportedCtxFirst(p, fd)
+				if fd.Body != nil {
+					walkCtx(p, fd.Body, hasCtxParam(p, fd.Type))
+				}
+				continue
+			}
+			// Function literals in var initializers start outside any
+			// ctx scope; walkCtx's FuncLit case handles scope entry.
+			walkCtx(p, decl, false)
+		}
+	}
+}
+
+// walkCtx reports context.Background/TODO calls lexically inside a
+// function that already receives a context.Context — minting a fresh
+// root there severs the cancel chain the caller paid to thread.
+func walkCtx(p *Pass, n ast.Node, inCtx bool) {
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			walkCtx(p, m.Body, inCtx || hasCtxParam(p, m.Type))
+			return false
+		case *ast.CallExpr:
+			if inCtx && isCtxMint(p, m) {
+				p.Reportf(m.Pos(), "ctxflow",
+					"context.%s inside a function that already receives a ctx severs the caller's cancel chain; thread the parameter instead",
+					calleeFunc(p, m).Name())
+			}
+		}
+		return true
+	})
+}
+
+// checkExportedCtxFirst flags exported entry points in the cancellable
+// packages whose context parameter is not first.
+func checkExportedCtxFirst(p *Pass, fd *ast.FuncDecl) {
+	if !ctxThreadScope[p.Path] || !fd.Name.IsExported() || fd.Type.Params == nil {
+		return
+	}
+	idx := 0
+	for _, field := range fd.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1 // unnamed parameter still occupies a position
+		}
+		if isCtxType(p, field.Type) && idx != 0 {
+			p.Reportf(field.Pos(), "ctxflow",
+				"%s is an exported entry point of a cancellable package; its context.Context must be the first parameter", fd.Name.Name)
+			return
+		}
+		idx += n
+	}
+}
+
+// hasCtxParam reports whether the function type declares a
+// context.Context parameter.
+func hasCtxParam(p *Pass, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if isCtxType(p, field.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// isCtxType reports whether the expression denotes context.Context.
+func isCtxType(p *Pass, e ast.Expr) bool {
+	named, ok := p.Info.TypeOf(e).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isCtxMint reports whether call is context.Background() or
+// context.TODO().
+func isCtxMint(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+		(fn.Name() == "Background" || fn.Name() == "TODO")
+}

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// seededRandExempt lists the only packages allowed to touch unseeded
+// randomness or the wall clock: the deterministic PRNG itself and the
+// diffcheck generators (whose math/rand use is a pure function of an
+// explicit seed). Everything else must draw randomness through
+// internal/rng so a study's numbers are a function of its seed — the
+// determinism contract CI's diffcheck job gates on.
+var seededRandExempt = map[string]bool{
+	"fivealarms/internal/rng":               true,
+	"fivealarms/internal/refimpl/diffcheck": true,
+}
+
+func ruleSeededRand() Rule {
+	return Rule{
+		Name: "seededrand",
+		Doc:  "math/rand imports and time.Now calls only inside internal/rng and internal/refimpl/diffcheck",
+		Run:  runSeededRand,
+	}
+}
+
+func runSeededRand(p *Pass) {
+	if seededRandExempt[p.Path] {
+		return
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				p.Reportf(imp.Pos(), "seededrand",
+					"import of %s outside internal/rng breaks the seed-determinism contract; draw randomness through internal/rng", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := calleeFunc(p, call); fn != nil &&
+				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+				p.Reportf(call.Pos(), "seededrand",
+					"time.Now makes results depend on the wall clock; thread an explicit timestamp or seed instead")
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves the called function object, following selector
+// and plain identifier callees.
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// pathIsUnder reports whether path equals prefix or is a subpackage of
+// it.
+func pathIsUnder(path, prefix string) bool {
+	return path == prefix || strings.HasPrefix(path, prefix+"/")
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"strconv"
+)
+
+// testOnlyPkgs are the packages that exist to check the production
+// code, not to run inside it: the deliberately naive reference twins,
+// the diffcheck drivers, and the chaos injector. A production import
+// would ship the slow refimpl paths (or worse, the fault injector)
+// into study builds; they are reachable only from _test.go files,
+// which the loader never scans, and from each other.
+var testOnlyPkgs = []string{
+	"fivealarms/internal/refimpl",
+	"fivealarms/internal/faults",
+}
+
+func ruleTestOnlyImport() Rule {
+	return Rule{
+		Name: "testonlyimport",
+		Doc:  "production packages must not import internal/refimpl, internal/refimpl/diffcheck, or internal/faults",
+		Run:  runTestOnlyImport,
+	}
+}
+
+func runTestOnlyImport(p *Pass) {
+	for _, banned := range testOnlyPkgs {
+		if pathIsUnder(p.Path, banned) {
+			return // the test-only family may import itself
+		}
+	}
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			for _, banned := range testOnlyPkgs {
+				if pathIsUnder(path, banned) {
+					p.Reportf(imp.Pos(), "testonlyimport",
+						"%s is test-only (reference twins / fault injection); import it from _test.go files or a documented injection seam, not production code", path)
+				}
+			}
+		}
+	}
+}

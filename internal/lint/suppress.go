@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// allowPrefix is the annotation namespace. The full grammar is
+//
+//	//fivealarms:allow(<rule>) <one-line reason>
+//
+// A well-formed annotation suppresses findings of <rule> on the line
+// it trails, on the next code line when it stands alone, or anywhere
+// inside the enclosing top-level declaration when it appears in that
+// declaration's doc comment. The reason is mandatory and unknown rule
+// names are rejected — both violations surface as rule "suppression"
+// findings, which are never themselves suppressible.
+const allowPrefix = "//fivealarms:"
+
+// allowSet indexes parsed annotations for one package.
+type allowSet struct {
+	// line maps filename → line → rules allowed on that line.
+	line map[string]map[int]map[string]bool
+	// span holds declaration-scoped allows as [start, end] line ranges.
+	span map[string][]allowSpan
+}
+
+type allowSpan struct {
+	startLine, endLine int
+	rule               string
+}
+
+// covers reports whether d is suppressed by an annotation.
+func (s *allowSet) covers(d Diagnostic) bool {
+	if s.line[d.Pos.Filename][d.Pos.Line][d.Rule] {
+		return true
+	}
+	for _, sp := range s.span[d.Pos.Filename] {
+		if sp.rule == d.Rule && d.Pos.Line >= sp.startLine && d.Pos.Line <= sp.endLine {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *allowSet) add(file string, line int, rule string) {
+	if s.line[file] == nil {
+		s.line[file] = map[int]map[string]bool{}
+	}
+	if s.line[file][line] == nil {
+		s.line[file][line] = map[string]bool{}
+	}
+	s.line[file][line][rule] = true
+}
+
+// parseAllows scans every comment in the package for fivealarms:
+// annotations, returning the index of well-formed allows plus a
+// diagnostic for each malformed one.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (*allowSet, []Diagnostic) {
+	set := &allowSet{
+		line: map[string]map[int]map[string]bool{},
+		span: map[string][]allowSpan{},
+	}
+	var bad []Diagnostic
+	for _, f := range files {
+		code := codeLines(fset, f)
+		docSpans := declDocSpans(fset, f)
+
+		// Collect the file's annotations first so standalone ones can
+		// slide past each other onto the next code line.
+		type ann struct {
+			line int
+			rule string
+			doc  *[2]int // non-nil when part of a declaration doc comment
+		}
+		var anns []ann
+		annLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			declRange, isDoc := docSpans[cg]
+			for _, c := range cg.List {
+				rule, diag := parseAllowComment(fset, c, known)
+				if diag != nil {
+					bad = append(bad, *diag)
+					continue
+				}
+				if rule == "" {
+					continue // not a fivealarms: annotation
+				}
+				line := fset.Position(c.Pos()).Line
+				a := ann{line: line, rule: rule}
+				if isDoc {
+					r := declRange
+					a.doc = &r
+				} else if !code[line] {
+					annLines[line] = true
+				}
+				anns = append(anns, a)
+			}
+		}
+		sort.Slice(anns, func(i, j int) bool { return anns[i].line < anns[j].line })
+		fname := fset.Position(f.Package).Filename
+		for _, a := range anns {
+			switch {
+			case a.doc != nil:
+				set.span[fname] = append(set.span[fname], allowSpan{a.doc[0], a.doc[1], a.rule})
+			case code[a.line]:
+				// Trailing annotation: guards its own line.
+				set.add(fname, a.line, a.rule)
+			default:
+				// Standalone annotation: guards the next code line,
+				// sliding past any stacked annotations in between.
+				target := a.line + 1
+				for annLines[target] {
+					target++
+				}
+				set.add(fname, target, a.rule)
+			}
+		}
+	}
+	return set, bad
+}
+
+// parseAllowComment returns the allowed rule name for a well-formed
+// annotation, "" for comments outside the fivealarms: namespace, or a
+// diagnostic for malformed annotations.
+func parseAllowComment(fset *token.FileSet, c *ast.Comment, known map[string]bool) (string, *Diagnostic) {
+	if !strings.HasPrefix(c.Text, allowPrefix) {
+		return "", nil
+	}
+	fail := func(msg string) (string, *Diagnostic) {
+		return "", &Diagnostic{Pos: fset.Position(c.Pos()), Rule: "suppression", Message: msg}
+	}
+	rest := strings.TrimPrefix(c.Text, allowPrefix)
+	if !strings.HasPrefix(rest, "allow(") {
+		return fail("malformed fivealarms: annotation; want //fivealarms:allow(<rule>) <reason>")
+	}
+	rest = strings.TrimPrefix(rest, "allow(")
+	end := strings.IndexByte(rest, ')')
+	if end < 0 {
+		return fail("unclosed rule name in fivealarms:allow annotation")
+	}
+	rule := strings.TrimSpace(rest[:end])
+	if !known[rule] {
+		return fail("fivealarms:allow names unknown rule \"" + rule + "\"")
+	}
+	if reason := strings.TrimSpace(rest[end+1:]); reason == "" {
+		return fail("fivealarms:allow(" + rule + ") needs a one-line reason; bare suppressions are forbidden")
+	}
+	return rule, nil
+}
+
+// codeLines returns the set of lines in f that contain code: the start
+// or end line of any non-comment AST node. Interior lines of spanning
+// constructs are claimed by their own child nodes, so a comment alone
+// on a line is never marked.
+func codeLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n.(type) {
+		case nil, *ast.Comment, *ast.CommentGroup, *ast.File:
+			return n != nil
+		}
+		lines[fset.Position(n.Pos()).Line] = true
+		lines[fset.Position(n.End()).Line] = true
+		return true
+	})
+	return lines
+}
+
+// declDocSpans maps each top-level declaration's doc comment group to
+// the [start, end] line range the declaration covers.
+func declDocSpans(fset *token.FileSet, f *ast.File) map[*ast.CommentGroup][2]int {
+	spans := map[*ast.CommentGroup][2]int{}
+	for _, decl := range f.Decls {
+		var doc *ast.CommentGroup
+		switch d := decl.(type) {
+		case *ast.FuncDecl:
+			doc = d.Doc
+		case *ast.GenDecl:
+			doc = d.Doc
+		}
+		if doc != nil {
+			spans[doc] = [2]int{
+				fset.Position(decl.Pos()).Line,
+				fset.Position(decl.End()).Line,
+			}
+		}
+	}
+	return spans
+}

@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses one synthetic file and returns its allow index plus
+// the malformed-annotation diagnostics.
+func parseSrc(t *testing.T, src string) (*allowSet, []Diagnostic) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fixture.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	known := map[string]bool{"floateq": true, "nakedpanic": true}
+	set, bad := parseAllows(fset, []*ast.File{f}, known)
+	return set, bad
+}
+
+// diag fabricates a finding at fixture.go:line for matching tests.
+func diag(rule string, line int) Diagnostic {
+	return Diagnostic{
+		Pos:  token.Position{Filename: "fixture.go", Line: line, Column: 9},
+		Rule: rule,
+	}
+}
+
+func TestAllowOnFlaggedLine(t *testing.T) {
+	set, bad := parseSrc(t, `package p
+
+func f(a, b float64) bool {
+	return a == b //fivealarms:allow(floateq) sentinel comparison, assigned verbatim
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected suppression diagnostics: %v", bad)
+	}
+	if !set.covers(diag("floateq", 4)) {
+		t.Errorf("trailing annotation must cover its own line")
+	}
+	if set.covers(diag("nakedpanic", 4)) {
+		t.Errorf("annotation must only cover its named rule")
+	}
+	if set.covers(diag("floateq", 3)) || set.covers(diag("floateq", 5)) {
+		t.Errorf("trailing annotation must not leak to neighboring lines")
+	}
+}
+
+func TestAllowStandaloneGuardsNextCodeLine(t *testing.T) {
+	set, bad := parseSrc(t, `package p
+
+func f(a, b float64) bool {
+	//fivealarms:allow(floateq) exact-degeneracy test on unmodified inputs
+	return a == b
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected suppression diagnostics: %v", bad)
+	}
+	if !set.covers(diag("floateq", 5)) {
+		t.Errorf("standalone annotation must cover the next code line")
+	}
+	if set.covers(diag("floateq", 3)) {
+		t.Errorf("standalone annotation must not cover preceding lines")
+	}
+}
+
+func TestAllowStackedStandalone(t *testing.T) {
+	set, bad := parseSrc(t, `package p
+
+func f(a, b float64) bool {
+	//fivealarms:allow(floateq) exact sentinel comparison
+	//fivealarms:allow(nakedpanic) degenerate input is a programming error
+	return a == b
+}
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected suppression diagnostics: %v", bad)
+	}
+	if !set.covers(diag("floateq", 6)) || !set.covers(diag("nakedpanic", 6)) {
+		t.Errorf("stacked standalone annotations must both slide to the code line")
+	}
+}
+
+func TestAllowOnEnclosingDeclaration(t *testing.T) {
+	set, bad := parseSrc(t, `package p
+
+// f compares raster sentinels.
+//
+//fivealarms:allow(floateq) every comparison in f is against an assigned sentinel
+func f(a, b, c float64) bool {
+	if a == b {
+		return true
+	}
+	return b == c
+}
+
+func g(a, b float64) bool { return a == b }
+`)
+	if len(bad) != 0 {
+		t.Fatalf("unexpected suppression diagnostics: %v", bad)
+	}
+	for _, line := range []int{7, 10} {
+		if !set.covers(diag("floateq", line)) {
+			t.Errorf("doc-comment annotation must cover line %d of the declaration", line)
+		}
+	}
+	if set.covers(diag("floateq", 13)) {
+		t.Errorf("doc-comment annotation must not leak past its declaration")
+	}
+}
+
+func TestAllowUnknownRuleRejected(t *testing.T) {
+	_, bad := parseSrc(t, `package p
+
+var x = 1 //fivealarms:allow(notarule) this rule does not exist
+`)
+	if len(bad) != 1 {
+		t.Fatalf("want one suppression diagnostic, got %v", bad)
+	}
+	if bad[0].Rule != "suppression" || !strings.Contains(bad[0].Message, "notarule") {
+		t.Errorf("unknown rule must be named in the finding: %v", bad[0])
+	}
+}
+
+func TestAllowReasonRequired(t *testing.T) {
+	_, bad := parseSrc(t, `package p
+
+var x = 1 //fivealarms:allow(floateq)
+`)
+	if len(bad) != 1 {
+		t.Fatalf("want one suppression diagnostic, got %v", bad)
+	}
+	if !strings.Contains(bad[0].Message, "reason") {
+		t.Errorf("bare suppression must demand a reason: %v", bad[0])
+	}
+}
+
+func TestAllowMalformedVariants(t *testing.T) {
+	for _, src := range []string{
+		"package p\n\nvar x = 1 //fivealarms:allow floateq missing parens\n",
+		"package p\n\nvar x = 1 //fivealarms:allow(floateq unclosed reason\n",
+		"package p\n\nvar x = 1 //fivealarms:deny(floateq) unknown verb\n",
+	} {
+		set, bad := parseSrc(t, src)
+		if len(bad) != 1 {
+			t.Errorf("source %q: want one suppression diagnostic, got %v", src, bad)
+		}
+		if set.covers(diag("floateq", 3)) {
+			t.Errorf("source %q: malformed annotation must not suppress anything", src)
+		}
+	}
+}
+
+func TestOrdinaryCommentsIgnored(t *testing.T) {
+	set, bad := parseSrc(t, `package p
+
+// fivealarms:allow(floateq) not a directive: leading space disqualifies it
+var x = 1 // plain trailing comment
+`)
+	if len(bad) != 0 {
+		t.Fatalf("ordinary comments must not be diagnosed: %v", bad)
+	}
+	if set.covers(diag("floateq", 4)) {
+		t.Errorf("non-directive comments must not suppress")
+	}
+}
+
+func TestSuppressionFindingsAreNotSuppressible(t *testing.T) {
+	// An allow annotation for rule "suppression" is itself an unknown
+	// rule (only real rules are registered), so laundering a malformed
+	// annotation through another allow cannot work by construction.
+	if RuleNames()["suppression"] {
+		t.Fatalf("\"suppression\" must not be a registered, allowable rule")
+	}
+}

@@ -1,0 +1,19 @@
+package fixture
+
+import "context"
+
+// RunThreaded threads the caller's ctx all the way down.
+func RunThreaded(ctx context.Context, f func(context.Context) error) error {
+	return f(ctx)
+}
+
+// Root has no ctx parameter; the non-ctx convenience wrapper is the
+// one place a fresh Background root is legitimate.
+func Root(f func(context.Context) error) error {
+	return f(context.Background())
+}
+
+// helper is unexported, so parameter order is style, not contract.
+func helper(name string, ctx context.Context) error {
+	return ctx.Err()
+}

@@ -1,0 +1,27 @@
+package fixture
+
+import "context"
+
+// Run receives a ctx but mints a fresh root for its callee, severing
+// the caller's cancel chain.
+func Run(ctx context.Context, f func(context.Context) error) error {
+	_ = ctx
+	return f(context.Background())
+}
+
+// Drain nests the violation inside a function literal: the literal has
+// no ctx parameter of its own, but one is lexically in scope.
+func Drain(ctx context.Context, work []func(context.Context)) {
+	for _, w := range work {
+		func() {
+			w(context.TODO())
+		}()
+	}
+	_ = ctx
+}
+
+// RunNamed is an exported entry point of a cancellable package, so its
+// context must come first.
+func RunNamed(name string, ctx context.Context) error {
+	return ctx.Err()
+}

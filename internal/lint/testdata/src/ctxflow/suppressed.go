@@ -1,0 +1,9 @@
+package fixture
+
+import "context"
+
+// Detach starts deliberately unscoped background work.
+func Detach(ctx context.Context, f func(context.Context)) {
+	_ = ctx
+	go f(context.Background()) //fivealarms:allow(ctxflow) fixture: detached job must outlive the request ctx
+}

@@ -1,0 +1,19 @@
+package fixture
+
+// Pt is comparable as a whole value; struct identity comparison is out
+// of the rule's scope even though the fields are floats.
+type Pt struct{ X, Y float64 }
+
+// SameCell compares ints and whole structs — no float operands.
+func SameCell(a, b Pt, ia, ib int) bool {
+	return ia == ib && a == b
+}
+
+// Near is the blessed alternative: epsilon comparison.
+func Near(a, b, eps float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= eps
+}

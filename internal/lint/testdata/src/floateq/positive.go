@@ -1,0 +1,10 @@
+package fixture
+
+// Collinear compares cross products exactly — the kind of ad-hoc float
+// equality the rule exists to catch.
+func Collinear(ax, ay, bx, by float64) bool {
+	if ax*by == ay*bx {
+		return true
+	}
+	return ax != bx
+}

@@ -1,0 +1,13 @@
+package fixture
+
+// IsSentinel checks a sentinel that is assigned, never computed, so
+// exact equality is the intended semantics.
+func IsSentinel(v, nodata float64) bool {
+	return v == nodata //fivealarms:allow(floateq) fixture: sentinel is assigned verbatim, never computed
+}
+
+// DegenerateSpan shows a standalone annotation guarding the next line.
+func DegenerateSpan(lo, hi float64) bool {
+	//fivealarms:allow(floateq) fixture: exact-degeneracy test on unmodified inputs
+	return lo == hi
+}

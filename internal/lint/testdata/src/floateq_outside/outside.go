@@ -1,0 +1,7 @@
+package fixture
+
+// Equal may compare floats exactly: this fixture is loaded under a
+// package path outside the GIS-kernel scope.
+func Equal(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,21 @@
+package fixture
+
+import "errors"
+
+// MustDecode is Decode for static inputs. It panics when the header is
+// short — a programming error in the caller's literal, per the failure
+// model.
+func MustDecode(b []byte) int {
+	if len(b) < 4 {
+		panic("short header")
+	}
+	return int(b[0])
+}
+
+// DecodeErr reports failure the right way for runtime inputs.
+func DecodeErr(b []byte) (int, error) {
+	if len(b) < 4 {
+		return 0, errors.New("short header")
+	}
+	return int(b[0]), nil
+}

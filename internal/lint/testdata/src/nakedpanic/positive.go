@@ -1,0 +1,16 @@
+package fixture
+
+import "fmt"
+
+// Decode parses a header but aborts instead of returning an error,
+// with no contract stated in this comment.
+func Decode(b []byte) int {
+	if len(b) < 4 {
+		panic("short header")
+	}
+	return int(b[0])
+}
+
+var hook = func() {
+	panic(fmt.Errorf("hooks have no documented contract"))
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// rethrow re-raises a contained failure value.
+func rethrow(v any) {
+	if v != nil {
+		panic(v) //fivealarms:allow(nakedpanic) fixture: re-raising a contained panic, not originating one
+	}
+}

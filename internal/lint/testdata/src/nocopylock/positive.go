@@ -1,0 +1,33 @@
+package fixture
+
+import "sync"
+
+// Cache embeds its guard by value, so Cache values must never be
+// copied.
+type Cache struct {
+	mu   sync.Mutex
+	hits int
+}
+
+// prep mirrors the wildfire firePrep shape: a Once guarding a build.
+type prep struct {
+	once sync.Once
+	v    int
+}
+
+// Snapshot copies the cache four ways: assignment, dereference,
+// call-by-value parameter, and range.
+func Snapshot(c *Cache, all []Cache, use func(Cache) int) int {
+	dup := *c
+	n := use(dup)
+	for _, e := range all {
+		n += e.hits
+	}
+	return n
+}
+
+// rearm copies a prep, silently re-arming its Once.
+func rearm(p *prep) prep {
+	q := *p
+	return q
+}

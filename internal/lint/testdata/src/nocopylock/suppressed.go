@@ -1,0 +1,7 @@
+package fixture
+
+// Clone copies a quiescent cache during single-threaded setup.
+func Clone(c *Cache) Cache {
+	dup := *c //fivealarms:allow(nocopylock) fixture: setup-time copy before any goroutine can hold the lock
+	return dup
+}

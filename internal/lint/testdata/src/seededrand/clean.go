@@ -1,0 +1,9 @@
+package fixture
+
+import "time"
+
+// Elapsed threads an explicit timestamp instead of reading the clock,
+// and time.Since-free arithmetic keeps results a function of inputs.
+func Elapsed(start, now time.Time) time.Duration {
+	return now.Sub(start)
+}

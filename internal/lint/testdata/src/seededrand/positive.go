@@ -1,0 +1,12 @@
+package fixture
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Roll draws unseeded randomness and reads the wall clock — both
+// violations of the determinism contract outside internal/rng.
+func Roll() (int, time.Time) {
+	return rand.Int(), time.Now()
+}

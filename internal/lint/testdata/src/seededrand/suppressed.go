@@ -1,0 +1,8 @@
+package fixture
+
+import "time"
+
+// Stamp is a log decoration, not an analysis input.
+func Stamp() time.Time {
+	return time.Now() //fivealarms:allow(seededrand) fixture: log decoration only, never feeds results
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "math/rand"
+
+// Shuffle may use math/rand freely: this fixture is loaded under the
+// blessed internal/rng import path.
+func Shuffle(n int) []int {
+	return rand.Perm(n)
+}

@@ -1,0 +1,9 @@
+package fixture
+
+import "fivealarms/internal/rng"
+
+// Draw uses the deterministic PRNG — the production-legal randomness
+// source.
+func Draw(seed uint64) float64 {
+	return rng.New(seed).Float64()
+}

@@ -1,0 +1,4 @@
+package fixture
+
+// The fault injector must never link into production binaries.
+import _ "fivealarms/internal/faults"

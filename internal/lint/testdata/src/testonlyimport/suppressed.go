@@ -1,0 +1,5 @@
+package fixture
+
+// A documented injection seam may link the injector behind a build-
+// time switch.
+import _ "fivealarms/internal/refimpl" //fivealarms:allow(testonlyimport) fixture: documented injection seam, wired only by chaos tests

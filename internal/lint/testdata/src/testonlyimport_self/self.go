@@ -1,0 +1,5 @@
+package fixture
+
+// The test-only family may import itself: this fixture is loaded under
+// the diffcheck import path.
+import _ "fivealarms/internal/refimpl"

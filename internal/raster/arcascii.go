@@ -130,7 +130,7 @@ func ReadArcASCII(r io.Reader) (*FloatGrid, *BitGrid, error) {
 			if err != nil {
 				return nil, nil, fmt.Errorf("raster: ArcASCII row %d col %d: %w", ry, cx, err)
 			}
-			if hasNodata && v == nodata {
+			if hasNodata && v == nodata { //fivealarms:allow(floateq) NODATA is a sentinel parsed verbatim from the header, never computed
 				continue
 			}
 			out.Set(cx, cy, v)

@@ -207,7 +207,7 @@ func compressCollinear(r geom.Ring) geom.Ring {
 		next := r[(i+1)%n]
 		v1 := cur.Sub(prev)
 		v2 := next.Sub(cur)
-		if v1.Cross(v2) != 0 {
+		if v1.Cross(v2) != 0 { //fivealarms:allow(floateq) exact collinearity test; marching-squares vertices are grid-exact
 			out = append(out, cur)
 		}
 	}

@@ -256,7 +256,7 @@ func boxDist(b geom.BBox, p geom.Point) float64 {
 	} else if p.Y > b.MaxY {
 		dy = p.Y - b.MaxY
 	}
-	if dx == 0 && dy == 0 {
+	if dx == 0 && dy == 0 { //fivealarms:allow(floateq) inside-box fast path; dx/dy are exactly zero by construction above
 		return 0
 	}
 	return geom.Point{X: dx, Y: dy}.Norm()
