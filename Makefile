@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos diffcheck cover bench bench-pipeline bench-geom fuzz experiments maps clean
+.PHONY: all build test vet lint race chaos diffcheck cover bench bench-pipeline bench-geom bench-serve serve-smoke fuzz experiments maps clean
 
 all: vet lint test build
 
@@ -41,6 +41,21 @@ bench-pipeline:
 bench-geom:
 	$(GO) test -run '^$$' -bench 'BenchmarkPreparedContains|BenchmarkHistoricalOverlay|BenchmarkTable1$$' \
 		-benchmem -json . ./internal/geom ./internal/risk > BENCH_geom.json
+
+# End-to-end smoke test of the risk-query server: boot fivealarmsd on
+# a random port at test scale, probe healthz and one risk query via
+# fivealarmsload -smoke, then require a clean SIGTERM drain.
+serve-smoke:
+	./scripts/serve_smoke.sh
+
+# Regenerate the serving baseline: fivealarmsload self-hosts an
+# in-process server at bench scale, warms it, and records sustained
+# qps plus latency quantiles in BENCH_serve.json. The repo's serving
+# budget is p99 < 50 ms warm at this scale.
+bench-serve:
+	$(GO) run ./cmd/fivealarmsload -dur 5s -workers 4 \
+		-seed 7 -cell 20000 -transceivers 60000 -fires 12 \
+		-out BENCH_serve.json
 
 # Run the differential conformance kernel: refimpl self-tests, the
 # seeded diffcheck sweeps and golden fixtures, the per-package

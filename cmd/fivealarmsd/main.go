@@ -1,0 +1,98 @@
+// Command fivealarmsd serves the fivealarms study over HTTP: the v1
+// JSON risk-query API (see internal/serve/api for the wire contract).
+//
+// Usage:
+//
+//	fivealarmsd [flags]
+//
+// The server builds its first study lazily on first request; studies
+// for other seeds (?seed=N) are built on demand and held in a bounded
+// LRU. SIGINT/SIGTERM triggers a graceful drain: the listener closes,
+// in-flight requests finish (up to -grace), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fivealarms"
+	"fivealarms/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:8417", "listen address (host:port; port 0 picks a free port)")
+		seed    = flag.Uint64("seed", 7, "default master random seed")
+		cell    = flag.Float64("cell", 10000, "world raster cell size in meters")
+		tx      = flag.Int("transceivers", 150000, "synthetic OpenCelliD snapshot size")
+		fires   = flag.Int("fires", 60, "mapped fires per simulated season")
+		studies = flag.Int("studies", 4, "max studies resident in the LRU cache")
+		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown drain budget")
+		warm    = flag.Bool("warm", false, "build the default study before accepting connections")
+	)
+	flag.Parse()
+	if err := run(*addr, fivealarms.Config{
+		Seed:                 *seed,
+		CellSizeM:            *cell,
+		Transceivers:         *tx,
+		MappedFiresPerSeason: *fires,
+	}, *studies, *grace, *warm); err != nil {
+		fmt.Fprintln(os.Stderr, "fivealarmsd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg fivealarms.Config, maxStudies int, grace time.Duration, warm bool) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	srv, err := serve.New(ctx, serve.Options{Config: cfg, MaxStudies: maxStudies})
+	if err != nil {
+		return err
+	}
+	if warm {
+		fmt.Fprintln(os.Stderr, "fivealarmsd: warming default study")
+		if err := srv.Warm(ctx); err != nil {
+			return err
+		}
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	// Deliberately no BaseContext tied to the signal context: Shutdown
+	// below drains in-flight requests instead of aborting them.
+	hs := &http.Server{Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	fmt.Printf("listening on http://%s\n", ln.Addr())
+
+	select {
+	case err := <-errc:
+		return err // listener failed before any shutdown signal
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second ^C kills hard
+	fmt.Fprintln(os.Stderr, "fivealarmsd: draining")
+
+	dctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := hs.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "fivealarmsd: drained, bye")
+	return nil
+}

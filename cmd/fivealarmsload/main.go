@@ -1,0 +1,294 @@
+// Command fivealarmsload drives the v1 risk-query API with a mixed
+// read workload and reports sustained throughput and latency
+// quantiles. Two modes:
+//
+//	fivealarmsload -smoke -addr http://HOST:PORT
+//	    One probe of /v1/healthz and /v1/risk/point, exit nonzero on
+//	    any failure. Used by `make serve-smoke`.
+//
+//	fivealarmsload [-addr http://HOST:PORT] [flags]
+//	    Timed load run. With -addr empty the generator self-hosts an
+//	    in-process server (httptest-style, no network flakiness) at the
+//	    scale given by the study flags, warms it, then measures. The
+//	    JSON summary goes to stdout and, with -out, to a file.
+//
+// The query mix is deterministic per -loadseed (internal/rng), so two
+// runs against the same server issue the identical request sequence.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"time"
+
+	"fivealarms"
+	"fivealarms/internal/rng"
+	"fivealarms/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "", "server base URL; empty self-hosts an in-process server")
+		smoke    = flag.Bool("smoke", false, "single healthz + risk probe instead of a timed run")
+		dur      = flag.Duration("dur", 5*time.Second, "measurement duration")
+		workers  = flag.Int("workers", 4, "concurrent request loops")
+		loadseed = flag.Uint64("loadseed", 1, "seed for the deterministic query mix")
+		out      = flag.String("out", "", "also write the JSON summary to this file")
+
+		seed  = flag.Uint64("seed", 7, "self-hosted study: master random seed")
+		cell  = flag.Float64("cell", 20000, "self-hosted study: raster cell size in meters")
+		tx    = flag.Int("transceivers", 60000, "self-hosted study: snapshot size")
+		fires = flag.Int("fires", 12, "self-hosted study: mapped fires per season")
+	)
+	flag.Parse()
+	if err := run(runConfig{
+		addr: *addr, smoke: *smoke, dur: *dur, workers: *workers,
+		loadseed: *loadseed, out: *out,
+		study: fivealarms.Config{Seed: *seed, CellSizeM: *cell,
+			Transceivers: *tx, MappedFiresPerSeason: *fires},
+	}); err != nil {
+		fmt.Fprintln(os.Stderr, "fivealarmsload:", err)
+		os.Exit(1)
+	}
+}
+
+type runConfig struct {
+	addr     string
+	smoke    bool
+	dur      time.Duration
+	workers  int
+	loadseed uint64
+	out      string
+	study    fivealarms.Config
+}
+
+// summary is the BENCH_serve.json shape.
+type summary struct {
+	Mode       string  `json:"mode"` // "self-hosted" or "remote"
+	DurationS  float64 `json:"duration_s"`
+	Workers    int     `json:"workers"`
+	Requests   int     `json:"requests"`
+	Errors     int     `json:"errors"`
+	QPS        float64 `json:"qps"`
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+	StudyScale string  `json:"study_scale,omitempty"`
+}
+
+func run(rc runConfig) error {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	base := rc.addr
+	mode := "remote"
+	if base == "" {
+		if rc.smoke {
+			return fmt.Errorf("-smoke needs -addr (probe an already-running server)")
+		}
+		srv, err := serve.New(ctx, serve.Options{Config: rc.study})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(os.Stderr, "fivealarmsload: building study (warm-up, unmeasured)")
+		if err := srv.Warm(ctx); err != nil {
+			return err
+		}
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		base = ts.URL
+		mode = "self-hosted"
+	}
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	if rc.smoke {
+		return probe(client, base)
+	}
+
+	// One warm pass over every endpoint in the mix, so the timed window
+	// measures steady-state serving, not first-touch memoization.
+	warmSrc := rng.New(rc.loadseed ^ 0x5eed)
+	for i := 0; i < len(queryMix); i++ {
+		if _, _, err := queryMix[i](client, base, warmSrc); err != nil {
+			return fmt.Errorf("warm-up %d: %w", i, err)
+		}
+	}
+
+	type sample struct {
+		ms  float64
+		err bool
+	}
+	results := make([][]sample, rc.workers)
+	errc := make(chan error, rc.workers)
+	start := now()
+	deadline := start.Add(rc.dur)
+	for w := 0; w < rc.workers; w++ {
+		w := w
+		go func() {
+			src := rng.NewStream(rc.loadseed, uint64(w))
+			var buf []sample
+			for now().Before(deadline) {
+				q := queryMix[src.Intn(len(queryMix))]
+				t0 := now()
+				status, _, err := q(client, base, src)
+				buf = append(buf, sample{
+					ms:  float64(time.Since(t0).Nanoseconds()) / 1e6,
+					err: err != nil || status >= 400,
+				})
+			}
+			results[w] = buf
+			errc <- nil
+		}()
+	}
+	for w := 0; w < rc.workers; w++ {
+		if err := <-errc; err != nil {
+			return err
+		}
+	}
+	elapsed := time.Since(start)
+
+	var lats []float64
+	errs := 0
+	for _, buf := range results {
+		for _, s := range buf {
+			lats = append(lats, s.ms)
+			if s.err {
+				errs++
+			}
+		}
+	}
+	if len(lats) == 0 {
+		return fmt.Errorf("no requests completed in %v", rc.dur)
+	}
+	sort.Float64s(lats)
+	sum := summary{
+		Mode:      mode,
+		DurationS: elapsed.Seconds(),
+		Workers:   rc.workers,
+		Requests:  len(lats),
+		Errors:    errs,
+		QPS:       float64(len(lats)) / elapsed.Seconds(),
+		P50Ms:     quantile(lats, 0.50),
+		P99Ms:     quantile(lats, 0.99),
+		MaxMs:     lats[len(lats)-1],
+	}
+	if mode == "self-hosted" {
+		sum.StudyScale = fmt.Sprintf("seed=%d cell=%gm tx=%d fires=%d",
+			rc.study.Seed, rc.study.CellSizeM, rc.study.Transceivers, rc.study.MappedFiresPerSeason)
+	}
+	body, err := json.MarshalIndent(sum, "", "  ")
+	if err != nil {
+		return err
+	}
+	body = append(body, '\n')
+	os.Stdout.Write(body)
+	if rc.out != "" {
+		if err := os.WriteFile(rc.out, body, 0o644); err != nil {
+			return err
+		}
+	}
+	if errs > 0 {
+		return fmt.Errorf("%d of %d requests failed", errs, len(lats))
+	}
+	return nil
+}
+
+// now is the load generator's wall clock. Latency measurement is
+// inherently wall-clock; the deterministic part of this tool (the
+// query sequence) comes from internal/rng, never from time.
+func now() time.Time {
+	return time.Now() //fivealarms:allow(seededrand) load generation measures real wall-clock latency
+}
+
+// queryMix is the workload: mostly point lookups (the hot path), some
+// bbox scans, occasional table/overlay reads. Extend and validate are
+// excluded — they are one-shot memoized analyses, not serving load.
+var queryMix = []func(c *http.Client, base string, src *rng.Source) (int, []byte, error){
+	riskPoint, riskPoint, riskPoint, riskPoint, // 4/8 point queries
+	riskBBox, riskBBox, // 2/8 bbox scans
+	table, overlay, // 1/8 each
+}
+
+// get issues one GET and drains the body (keep-alive reuse).
+func get(c *http.Client, url string) (int, []byte, error) {
+	resp, err := c.Get(url)
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, body, err
+}
+
+// conusLonLat draws a point roughly inside CONUS.
+func conusLonLat(src *rng.Source) (lon, lat float64) {
+	return src.Range(-124, -67), src.Range(25, 49)
+}
+
+func riskPoint(c *http.Client, base string, src *rng.Source) (int, []byte, error) {
+	lon, lat := conusLonLat(src)
+	return get(c, fmt.Sprintf("%s/v1/risk/point?lon=%.4f&lat=%.4f", base, lon, lat))
+}
+
+func riskBBox(c *http.Client, base string, src *rng.Source) (int, []byte, error) {
+	lon, lat := conusLonLat(src)
+	dl := src.Range(0.5, 3)
+	return get(c, fmt.Sprintf("%s/v1/risk/bbox?min_lon=%.4f&min_lat=%.4f&max_lon=%.4f&max_lat=%.4f",
+		base, lon, lat, lon+dl, lat+dl/2))
+}
+
+func table(c *http.Client, base string, src *rng.Source) (int, []byte, error) {
+	return get(c, fmt.Sprintf("%s/v1/tables/%d", base, 1+src.Intn(3)))
+}
+
+func overlay(c *http.Client, base string, _ *rng.Source) (int, []byte, error) {
+	return get(c, base+"/v1/overlay/whp")
+}
+
+// quantile reads the q'th quantile from sorted latencies.
+func quantile(sorted []float64, q float64) float64 {
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// probe is the smoke mode: healthz must answer ok, one risk query must
+// decode with the v1 version stamp.
+func probe(c *http.Client, base string) error {
+	status, body, err := get(c, base+"/v1/healthz")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("healthz: status %d, err %v", status, err)
+	}
+	if !bytes.Contains(body, []byte(`"status": "ok"`)) {
+		return fmt.Errorf("healthz: unexpected body %s", body)
+	}
+	status, body, err = get(c, base+"/v1/risk/point?lon=-120.5&lat=38.5")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("risk/point: status %d, err %v", status, err)
+	}
+	var pt struct {
+		Version     string `json:"version"`
+		HazardClass string `json:"hazard_class"`
+	}
+	if err := json.Unmarshal(body, &pt); err != nil {
+		return fmt.Errorf("risk/point: %v (body %s)", err, body)
+	}
+	if pt.Version != "v1" || pt.HazardClass == "" {
+		return fmt.Errorf("risk/point: want v1 + hazard class, got %s", body)
+	}
+	fmt.Println("smoke ok:", base)
+	return nil
+}

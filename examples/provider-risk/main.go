@@ -14,6 +14,7 @@ import (
 
 	"fivealarms"
 	"fivealarms/internal/report"
+	"fivealarms/internal/serve/api"
 )
 
 func main() {
@@ -30,10 +31,10 @@ func main() {
 	// Table 2: per-provider exposure. The engine resolves each
 	// transceiver's provider from its MCC/MNC pair — the same
 	// many-codes-per-carrier problem the paper describes.
-	fmt.Println(report.Table2(study.Table2()))
+	fmt.Println(report.Table2(api.Table2From(study.Table2())))
 
 	// Table 3: per-technology exposure.
-	fmt.Println(report.Table3(study.Table3()))
+	fmt.Println(report.Table3(api.Table3From(study.Table3())))
 
 	// The long tail: regional carriers with at-risk infrastructure (the
 	// paper's footnote counts 46).
@@ -54,7 +55,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer f.Close()
-	if err := report.Table2(study.Table2()).WriteCSV(f); err != nil {
+	if err := report.Table2(api.Table2From(study.Table2())).WriteCSV(f); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}

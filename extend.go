@@ -52,7 +52,7 @@ type ExtendReport struct {
 func (s *Study) ExtendWith(opts ExtendOptions) *ExtendReport {
 	coarseCell := s.World.Grid.CellSize
 	if opts.CellSizeM > 0 && opts.CellSizeM < coarseCell {
-		res := s.ExtendFine(opts.CellSizeM, opts.DistM)
+		res := s.extendFine(opts.CellSizeM, opts.DistM)
 		return &ExtendReport{
 			Fine:              true,
 			CellSizeM:         res.CellSize,
@@ -71,7 +71,7 @@ func (s *Study) ExtendWith(opts ExtendOptions) *ExtendReport {
 			dist = coarseCell
 		}
 	}
-	res := s.Extend(dist)
+	res := s.extendCoarse(dist)
 	return &ExtendReport{
 		CellSizeM:         coarseCell,
 		DistM:             res.DistM,

@@ -39,6 +39,7 @@ package fivealarms
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -111,35 +112,38 @@ const (
 // Validate rejects configurations that withDefaults would otherwise
 // accept silently: NaN/Inf or negative dimensions, and absurd sizes that
 // would exhaust memory or degenerate the analysis. Zero values are valid
-// (they select the documented defaults). NewStudyWithOptions and the
-// command-line binaries surface these errors; NewStudy retains the
-// legacy lenient behavior for compatibility.
+// (they select the documented defaults). Every offending field is
+// reported — the returned error joins one error per violation
+// (errors.Join), so a caller fixing a rejected configuration sees the
+// whole list at once instead of one field per attempt.
+// NewStudyWithOptions and the command-line binaries surface these
+// errors; NewStudy retains the legacy lenient behavior for
+// compatibility.
 func (c Config) Validate() error {
-	if math.IsNaN(c.CellSizeM) || math.IsInf(c.CellSizeM, 0) {
-		return fmt.Errorf("fivealarms: CellSizeM must be finite, got %v", c.CellSizeM)
+	var errs []error
+	switch {
+	case math.IsNaN(c.CellSizeM) || math.IsInf(c.CellSizeM, 0):
+		errs = append(errs, fmt.Errorf("fivealarms: CellSizeM must be finite, got %v", c.CellSizeM))
+	case c.CellSizeM < 0:
+		errs = append(errs, fmt.Errorf("fivealarms: CellSizeM must be >= 0, got %v", c.CellSizeM))
+	case c.CellSizeM > 0 && c.CellSizeM < minCellSizeM:
+		errs = append(errs, fmt.Errorf("fivealarms: CellSizeM %v below the %v m national-raster minimum (use ExtendWith / metro windows for finer analysis)", c.CellSizeM, float64(minCellSizeM)))
+	case c.CellSizeM > maxCellSizeM:
+		errs = append(errs, fmt.Errorf("fivealarms: CellSizeM %v above the %v m maximum", c.CellSizeM, float64(maxCellSizeM)))
 	}
-	if c.CellSizeM < 0 {
-		return fmt.Errorf("fivealarms: CellSizeM must be >= 0, got %v", c.CellSizeM)
+	switch {
+	case c.Transceivers < 0:
+		errs = append(errs, fmt.Errorf("fivealarms: Transceivers must be >= 0, got %d", c.Transceivers))
+	case c.Transceivers > maxTransceivers:
+		errs = append(errs, fmt.Errorf("fivealarms: Transceivers %d above the %d maximum", c.Transceivers, maxTransceivers))
 	}
-	if c.CellSizeM > 0 && c.CellSizeM < minCellSizeM {
-		return fmt.Errorf("fivealarms: CellSizeM %v below the %v m national-raster minimum (use ExtendWith / metro windows for finer analysis)", c.CellSizeM, float64(minCellSizeM))
+	switch {
+	case c.MappedFiresPerSeason < 0:
+		errs = append(errs, fmt.Errorf("fivealarms: MappedFiresPerSeason must be >= 0, got %d", c.MappedFiresPerSeason))
+	case c.MappedFiresPerSeason > maxMappedFires:
+		errs = append(errs, fmt.Errorf("fivealarms: MappedFiresPerSeason %d above the %d maximum", c.MappedFiresPerSeason, maxMappedFires))
 	}
-	if c.CellSizeM > maxCellSizeM {
-		return fmt.Errorf("fivealarms: CellSizeM %v above the %v m maximum", c.CellSizeM, float64(maxCellSizeM))
-	}
-	if c.Transceivers < 0 {
-		return fmt.Errorf("fivealarms: Transceivers must be >= 0, got %d", c.Transceivers)
-	}
-	if c.Transceivers > maxTransceivers {
-		return fmt.Errorf("fivealarms: Transceivers %d above the %d maximum", c.Transceivers, maxTransceivers)
-	}
-	if c.MappedFiresPerSeason < 0 {
-		return fmt.Errorf("fivealarms: MappedFiresPerSeason must be >= 0, got %d", c.MappedFiresPerSeason)
-	}
-	if c.MappedFiresPerSeason > maxMappedFires {
-		return fmt.Errorf("fivealarms: MappedFiresPerSeason %d above the %d maximum", c.MappedFiresPerSeason, maxMappedFires)
-	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // PaperScale returns the configuration approximating the paper's actual
@@ -351,19 +355,44 @@ func (s *Study) Validate() *risk.ValidationResult {
 }
 
 // Extend runs the §3.8 very-high extension experiment with the given
-// buffer distance in meters (the paper uses 0.5 mi = 804.67 m; coarse
-// rasters need at least one cell size to grow). Memoized per distance.
+// buffer distance in meters on the coarse national raster.
+//
+// Deprecated: use ExtendWith, the unified entry point for both the
+// coarse and fine extension paths — ExtendWith(ExtendOptions{DistM: d})
+// is the equivalent call (and additionally resolves d <= 0 to the
+// paper's half mile). Extend remains as a thin delegating shim; both
+// entry points share the same per-distance memo, so mixing them never
+// recomputes.
 func (s *Study) Extend(distM float64) *risk.ExtensionResult {
+	return s.extendCoarse(distM)
+}
+
+// ExtendFine runs the §3.8 experiment at sub-kilometer resolution over
+// the California window.
+//
+// Deprecated: use ExtendWith, the unified entry point —
+// ExtendWith(ExtendOptions{CellSizeM: cellSize, DistM: distM}) is the
+// equivalent call when cellSize is finer than the national raster.
+// ExtendFine remains as a thin delegating shim over the same
+// per-parameter memo.
+func (s *Study) ExtendFine(cellSize, distM float64) *risk.FineExtension {
+	return s.extendFine(cellSize, distM)
+}
+
+// extendCoarse is the memoized coarse-path extension shared by
+// ExtendWith and the deprecated Extend shim. distM passes through to
+// the analyzer unresolved: callers own defaulting.
+func (s *Study) extendCoarse(distM float64) *risk.ExtensionResult {
 	return s.mem.extend.Get(distM, func() *risk.ExtensionResult {
 		return s.Analyzer.ExtendAndValidate(s.Season2019(), distM)
 	})
 }
 
-// ExtendFine runs the §3.8 experiment at sub-kilometer resolution over
-// the California window with the paper's true half-mile buffer
-// (cellSize 0 -> 800 m, distM 0 -> 804.67 m). Memoized per
-// (cellSize, distM) pair.
-func (s *Study) ExtendFine(cellSize, distM float64) *risk.FineExtension {
+// extendFine is the memoized fine-path extension shared by ExtendWith
+// and the deprecated ExtendFine shim (cellSize 0 -> 800 m, distM 0 ->
+// 804.67 m, resolved by the analyzer). Memoized per (cellSize, distM)
+// pair as passed.
+func (s *Study) extendFine(cellSize, distM float64) *risk.FineExtension {
 	return s.mem.extendFine.Get([2]float64{cellSize, distM}, func() *risk.FineExtension {
 		return s.Analyzer.ExtendAndValidateFine(s.Season2019(), cellSize, distM)
 	})

@@ -12,6 +12,7 @@ import (
 	"fivealarms"
 	"fivealarms/internal/report"
 	"fivealarms/internal/risk"
+	"fivealarms/internal/serve/api"
 )
 
 // Experiments lists the runnable experiment names (excluding "all"), in
@@ -54,16 +55,16 @@ func Run(study *fivealarms.Study, exp string) ([]*report.Table, error) {
 	one := func(t *report.Table) []*report.Table { return []*report.Table{t} }
 	switch strings.ToLower(exp) {
 	case "table1":
-		return one(report.Table1(study.Table1())), nil
+		return one(report.Table1(api.Table1From(study.Table1()))), nil
 	case "table2":
-		return one(report.Table2(study.Table2())), nil
+		return one(report.Table2(api.Table2From(study.Table2()))), nil
 	case "table3":
-		return one(report.Table3(study.Table3())), nil
+		return one(report.Table3(api.Table3From(study.Table3()))), nil
 	case "fig5", "casestudy":
 		cs := study.CaseStudy()
 		return []*report.Table{report.CaseStudy(cs), report.Fig5(cs.Series)}, nil
 	case "fig7":
-		return one(report.Fig7(study.WHPOverlay())), nil
+		return one(report.Fig7(api.WHPOverlayFrom(study.WHPOverlay()))), nil
 	case "fig8":
 		return one(report.Fig8(study.WHPOverlay(), 10)), nil
 	case "fig9":
@@ -75,11 +76,11 @@ func Run(study *fivealarms.Study, exp string) ([]*report.Table, error) {
 	case "fig14":
 		return one(report.Fig14(study.Future())), nil
 	case "validate":
-		return one(report.Validation(study.Validate())), nil
+		return one(report.Validation(api.ValidationFrom(study.Validate()))), nil
 	case "extend":
 		// The coarse path of the unified entry point buffers by
 		// max(0.5 mi, one cell) so coarse rasters can grow.
-		return one(report.Extension(study.ExtendWith(fivealarms.ExtendOptions{}).Coarse)), nil
+		return one(report.Extension(api.ExtendFrom(study.ExtendWith(fivealarms.ExtendOptions{})))), nil
 	case "extendfine":
 		return one(extendFineTable(study)), nil
 	case "coverage":
@@ -114,18 +115,18 @@ func extendFineTable(study *fivealarms.Study) *report.Table {
 	// Pick the window cell size relative to the study scale: the paper's
 	// 270 m WHP supports the 804 m buffer directly; a laptop study uses
 	// 800 m cells.
-	res := study.ExtendWith(fivealarms.ExtendOptions{CellSizeM: 800}).Window
+	res := api.ExtendFrom(study.ExtendWith(fivealarms.ExtendOptions{CellSizeM: 800}))
 	t := &report.Table{
 		Title:  "Fine-resolution half-mile extension over the CA window (section 3.8)",
 		Header: []string{"Metric", "Measured", "Paper"},
 	}
-	t.AddRow("window cell size (m)", report.F1(res.CellSize), "270")
+	t.AddRow("window cell size (m)", report.F1(res.CellSizeM), "270")
 	t.AddRow("buffer distance (m)", report.F1(res.DistM), "804.67")
 	t.AddRow("window transceivers", report.Itoa(res.WindowTransceivers), "-")
 	t.AddRow("in 2019 perimeters", report.Itoa(res.InPerimeter), "656 (national)")
 	t.AddRow("very-high before -> after", report.Itoa(res.VHBefore)+" -> "+report.Itoa(res.VHAfter), "26,307 -> 176,275")
-	t.AddRow("accuracy before", report.Pct(res.AccuracyBeforePct()), "46%")
-	t.AddRow("accuracy after", report.Pct(res.AccuracyAfterPct()), "62%")
+	t.AddRow("accuracy before", report.Pct(res.AccuracyBeforePct), "46%")
+	t.AddRow("accuracy after", report.Pct(res.AccuracyAfterPct), "62%")
 	return t
 }
 

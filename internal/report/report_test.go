@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fivealarms/internal/risk"
+	"fivealarms/internal/serve/api"
 )
 
 func TestTableString(t *testing.T) {
@@ -138,10 +139,10 @@ func TestBarChartZeroValues(t *testing.T) {
 
 func TestTable1Rendering(t *testing.T) {
 	// HistoricalOverlay produces oldest-first; Table1 prints newest-first.
-	rows := []risk.YearOverlay{
+	rows := api.Table1From([]risk.YearOverlay{
 		{Year: 2017, Fires: 71499, AcresBurned: 10.026e6, TransceiversIn: 10, PerMillionAcres: 1.0},
 		{Year: 2018, Fires: 58083, AcresBurned: 8.767e6, TransceiversIn: 42, PerMillionAcres: 4.8},
-	}
+	})
 	s := Table1(rows).String()
 	if !strings.Contains(s, "2018") || !strings.Contains(s, "58,083") {
 		t.Errorf("Table1 missing data: %s", s)
@@ -157,7 +158,7 @@ func TestTable1Rendering(t *testing.T) {
 }
 
 func TestValidationRendering(t *testing.T) {
-	v := &risk.ValidationResult{InPerimeter: 100, Predicted: 46, MissesInRoadFires: 40, RoadFireTotal: 50}
+	v := api.ValidationFrom(&risk.ValidationResult{InPerimeter: 100, Predicted: 46, MissesInRoadFires: 40, RoadFireTotal: 50})
 	s := Validation(v).String()
 	if !strings.Contains(s, "46.0%") {
 		t.Errorf("accuracy missing: %s", s)

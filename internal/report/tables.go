@@ -6,12 +6,18 @@ import (
 	"fivealarms/internal/dirs"
 	"fivealarms/internal/geodata"
 	"fivealarms/internal/risk"
+	"fivealarms/internal/serve/api"
 	"fivealarms/internal/whp"
 )
 
+// The paper-table renderers consume the v1 DTO types
+// (internal/serve/api) rather than raw risk-engine structs: the CLI
+// and the HTTP server present the same numbers through the same
+// contract, so the two outputs cannot drift apart.
+
 // Table1 renders the historical overlay in the paper's Table 1 layout,
 // with the paper's own numbers alongside for comparison.
-func Table1(rows []risk.YearOverlay) *Table {
+func Table1(tbl api.Table1) *Table {
 	t := &Table{
 		Title: "Table 1: Historical wildfire statistics for the US (measured vs paper)",
 		Header: []string{
@@ -19,9 +25,9 @@ func Table1(rows []risk.YearOverlay) *Table {
 			"paper Tx", "paper Tx/M-acre",
 		},
 	}
-	// Newest first, like the paper.
-	for i := len(rows) - 1; i >= 0; i-- {
-		r := rows[i]
+	// Newest first, like the paper (the DTO carries oldest first).
+	for i := len(tbl.Rows) - 1; i >= 0; i-- {
+		r := tbl.Rows[i]
 		paperTx, paperRate := "-", "-"
 		if p, ok := geodata.PaperTable1ByYear(r.Year); ok {
 			paperTx = Itoa(p.TransceiversIn)
@@ -42,7 +48,7 @@ func Table1(rows []risk.YearOverlay) *Table {
 
 // Table2 renders the provider risk breakdown with the paper's Table 2
 // percentages alongside.
-func Table2(rows []risk.ProviderRow) *Table {
+func Table2(tbl api.Table2) *Table {
 	t := &Table{
 		Title: "Table 2: Cellular service provider risk (measured vs paper %)",
 		Header: []string{
@@ -54,20 +60,20 @@ func Table2(rows []risk.ProviderRow) *Table {
 	for _, p := range geodata.PaperTable2 {
 		paper[p.Provider] = p
 	}
-	for _, r := range rows {
+	for _, r := range tbl.Rows {
 		pm, ph, pvh := "-", "-", "-"
 		if p, ok := paper[r.Provider]; ok {
 			pm, ph, pvh = F2(p.PctM), F2(p.PctH), F2(p.PctVH)
 		}
 		t.AddRow(r.Provider,
-			Itoa(r.Moderate), Itoa(r.High), Itoa(r.VHigh),
-			F2(r.PctM), F2(r.PctH), F2(r.PctVH), pm, ph, pvh)
+			Itoa(r.Moderate), Itoa(r.High), Itoa(r.VeryHigh),
+			F2(r.PctModerate), F2(r.PctHigh), F2(r.PctVeryHigh), pm, ph, pvh)
 	}
 	return t
 }
 
 // Table3 renders the radio-technology risk breakdown.
-func Table3(rows []risk.RadioRow) *Table {
+func Table3(tbl api.Table3) *Table {
 	t := &Table{
 		Title:  "Table 3: Cell transceiver types at risk (measured vs paper total)",
 		Header: []string{"Type", "WHP VH", "WHP H", "WHP M", "Total", "paper Total"},
@@ -76,12 +82,12 @@ func Table3(rows []risk.RadioRow) *Table {
 	for _, p := range geodata.PaperTable3 {
 		paper[p.Radio] = p
 	}
-	for _, r := range rows {
+	for _, r := range tbl.Rows {
 		pt := "-"
-		if p, ok := paper[r.Radio.String()]; ok {
+		if p, ok := paper[r.Radio]; ok {
 			pt = Itoa(p.Total)
 		}
-		t.AddRow(r.Radio.String(), Itoa(r.VHigh), Itoa(r.High), Itoa(r.Moderate),
+		t.AddRow(r.Radio, Itoa(r.VeryHigh), Itoa(r.High), Itoa(r.Moderate),
 			Itoa(r.Total), pt)
 	}
 	return t
@@ -101,7 +107,7 @@ func Fig5(s *dirs.Series) *Table {
 }
 
 // Fig7 renders the national WHP class totals.
-func Fig7(res *risk.WHPResult) *Table {
+func Fig7(res api.WHPOverlay) *Table {
 	t := &Table{
 		Title:  "Figure 7: Transceivers per WHP class (measured vs paper)",
 		Header: []string{"Class", "Transceivers", "paper"},
@@ -112,9 +118,9 @@ func Fig7(res *risk.WHPResult) *Table {
 		whp.VeryHigh: geodata.PaperWHPVeryHigh,
 	}
 	for _, c := range []whp.Class{whp.Moderate, whp.High, whp.VeryHigh} {
-		t.AddRow(c.String(), Itoa(res.ByClass[c]), Itoa(paper[c]))
+		t.AddRow(c.String(), Itoa(res.ByClass[c.String()]), Itoa(paper[c]))
 	}
-	t.AddRow("total at risk", Itoa(res.AtRisk()), Itoa(geodata.PaperWHPTotal))
+	t.AddRow("total at risk", Itoa(res.AtRisk), Itoa(geodata.PaperWHPTotal))
 	return t
 }
 
@@ -214,21 +220,22 @@ func Fig14(res *risk.FutureResult) *Table {
 }
 
 // Validation renders the §3.4 validation summary.
-func Validation(v *risk.ValidationResult) *Table {
+func Validation(v api.Validation) *Table {
 	t := &Table{
 		Title:  "Validation (2019 hold-out season, paper section 3.4)",
 		Header: []string{"Metric", "Measured", "Paper"},
 	}
 	t.AddRow("transceivers in 2019 perimeters", Itoa(v.InPerimeter), Itoa(geodata.PaperValidation2019InPerimeter))
 	t.AddRow("predicted by WHP (moderate+)", Itoa(v.Predicted), Itoa(geodata.PaperValidation2019Predicted))
-	t.AddRow("accuracy", Pct(v.AccuracyPct()), fmt.Sprintf("%d%%", geodata.PaperValidationAccuracyPct))
+	t.AddRow("accuracy", Pct(v.AccuracyPct), fmt.Sprintf("%d%%", geodata.PaperValidationAccuracyPct))
 	t.AddRow("misses inside road-corridor fires", Itoa(v.MissesInRoadFires), Itoa(geodata.PaperValidation2019RoadFires))
-	t.AddRow("accuracy excluding road fires", Pct(v.AccuracyExclRoadPct()), fmt.Sprintf("%d%%", geodata.PaperValidationExclRoadPct))
+	t.AddRow("accuracy excluding road fires", Pct(v.AccuracyExclRoadPct), fmt.Sprintf("%d%%", geodata.PaperValidationExclRoadPct))
 	return t
 }
 
-// Extension renders the §3.8 very-high buffer extension summary.
-func Extension(e *risk.ExtensionResult) *Table {
+// Extension renders the §3.8 very-high buffer extension summary (the
+// coarse national-raster path of the Extend DTO).
+func Extension(e api.Extend) *Table {
 	t := &Table{
 		Title:  "Extension of very-high WHP areas (paper section 3.8)",
 		Header: []string{"Metric", "Measured", "Paper"},
@@ -236,10 +243,10 @@ func Extension(e *risk.ExtensionResult) *Table {
 	t.AddRow("buffer distance (m)", fmt.Sprintf("%.0f", e.DistM), "804.67 (0.5 mi)")
 	t.AddRow("very-high before", Itoa(e.VHBefore), Itoa(geodata.PaperWHPVeryHigh))
 	t.AddRow("very-high after", Itoa(e.VHAfter), Itoa(geodata.PaperExtendedVHCount))
-	t.AddRow("total at-risk before", Itoa(e.TotalBefore), Itoa(geodata.PaperWHPTotal))
-	t.AddRow("total at-risk after", Itoa(e.TotalAfter), Itoa(geodata.PaperExtendedTotal))
-	t.AddRow("accuracy before", Pct(e.Before.AccuracyPct()), fmt.Sprintf("%d%%", geodata.PaperValidationAccuracyPct))
-	t.AddRow("accuracy after", Pct(e.After.AccuracyPct()), fmt.Sprintf("%d%%", geodata.PaperExtendedAccuracyPct))
+	t.AddRow("total at-risk before", Itoa(e.TotalAtRiskBefore), Itoa(geodata.PaperWHPTotal))
+	t.AddRow("total at-risk after", Itoa(e.TotalAtRiskAfter), Itoa(geodata.PaperExtendedTotal))
+	t.AddRow("accuracy before", Pct(e.AccuracyBeforePct), fmt.Sprintf("%d%%", geodata.PaperValidationAccuracyPct))
+	t.AddRow("accuracy after", Pct(e.AccuracyAfterPct), fmt.Sprintf("%d%%", geodata.PaperExtendedAccuracyPct))
 	return t
 }
 

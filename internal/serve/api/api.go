@@ -1,0 +1,238 @@
+// Package api defines the v1 JSON wire contract of the fivealarms
+// risk-query service: versioned response DTO types with explicit,
+// stable field names, plus the converters that build them from the
+// risk-engine result structs.
+//
+// Every byte the server emits — and every table the CLI renders for
+// the corresponding experiments — passes through these types, so the
+// HTTP layer, the rendered reports and the library results can never
+// drift apart. The contract and its compatibility policy are
+// documented in DESIGN.md §7; the golden fixtures under testdata/
+// pin the exact encoding.
+//
+// Compatibility policy (v1): field names and JSON types are frozen.
+// New fields may be added; existing fields are never renamed, removed
+// or retyped within a version. Breaking changes get a new Version and
+// a new /v<N>/ URL prefix, served alongside the old one.
+package api
+
+// Version is the wire-contract version every response carries. Bump
+// only for breaking changes (see the package comment).
+const Version = "v1"
+
+// Meta is the envelope every top-level response embeds.
+type Meta struct {
+	Version string `json:"version"`
+}
+
+// NewMeta returns the envelope for the current contract version.
+func NewMeta() Meta { return Meta{Version: Version} }
+
+// Error is the uniform error body: every non-2xx response carries one.
+type Error struct {
+	Meta
+	// Status echoes the HTTP status code.
+	Status int `json:"status"`
+	// Message is a human-readable description of the failure.
+	Message string `json:"error"`
+}
+
+// Health is the GET /v1/healthz body.
+type Health struct {
+	Meta
+	// Status is "ok" while the server accepts queries.
+	Status string `json:"status"`
+	// StudiesCached is the number of studies resident in the cache.
+	StudiesCached int `json:"studies_cached"`
+	// DefaultSeed is the seed used when a request does not override it.
+	DefaultSeed uint64 `json:"default_seed"`
+}
+
+// EndpointMetrics is one endpoint's row in the GET /v1/metrics body.
+// P50Ms and P99Ms are upper bounds of the fixed histogram bucket
+// containing the quantile (see DESIGN.md §7); -1 when no requests have
+// been observed.
+type EndpointMetrics struct {
+	Endpoint string  `json:"endpoint"`
+	Requests uint64  `json:"requests"`
+	Errors   uint64  `json:"errors"`
+	P50Ms    float64 `json:"p50_ms"`
+	P99Ms    float64 `json:"p99_ms"`
+}
+
+// Metrics is the GET /v1/metrics body.
+type Metrics struct {
+	Meta
+	Endpoints []EndpointMetrics `json:"endpoints"`
+}
+
+// PointRisk is the GET /v1/risk/point body: the hazard situation at
+// one geographic coordinate.
+type PointRisk struct {
+	Meta
+	// Lon and Lat echo the queried coordinate (degrees).
+	Lon float64 `json:"lon"`
+	Lat float64 `json:"lat"`
+	// XM and YM are the projected (CONUS Albers) coordinates in meters.
+	XM float64 `json:"x_m"`
+	YM float64 `json:"y_m"`
+	// OnConus reports whether the point falls inside the CONUS outline.
+	OnConus bool `json:"on_conus"`
+	// State is the two-letter state abbreviation, empty off-CONUS.
+	State string `json:"state,omitempty"`
+	// HazardClass is the WHP class name at the point ("water",
+	// "non-burnable", "very-low", "low", "moderate", "high", "very-high").
+	HazardClass string `json:"hazard_class"`
+	// HazardValue is the continuous WHP hazard at the point (0..1).
+	HazardValue float64 `json:"hazard_value"`
+	// AtRisk reports whether the class is moderate or higher — the
+	// paper's at-risk criterion.
+	AtRisk bool `json:"at_risk"`
+	// InHistoricalPerimeter reports whether the point's raster cell
+	// falls inside the union of the 2000-2018 fire perimeters.
+	InHistoricalPerimeter bool `json:"in_historical_perimeter"`
+	// NearestFireDistM is the distance in meters from the point's cell
+	// to the nearest 2000-2018 perimeter cell (0 inside one); -1 when
+	// the point is off the raster or no fires were mapped.
+	NearestFireDistM float64 `json:"nearest_fire_dist_m"`
+}
+
+// BBoxRisk is the GET /v1/risk/bbox body: the exposure summary of the
+// transceivers inside a geographic bounding box.
+type BBoxRisk struct {
+	Meta
+	// The queried box (degrees). The box is evaluated in projected
+	// space as the bounding box of its four projected corners.
+	MinLon float64 `json:"min_lon"`
+	MinLat float64 `json:"min_lat"`
+	MaxLon float64 `json:"max_lon"`
+	MaxLat float64 `json:"max_lat"`
+	// Transceivers counts the transceivers inside the box.
+	Transceivers int `json:"transceivers"`
+	// AtRisk counts those in moderate or higher WHP classes.
+	AtRisk int `json:"at_risk"`
+	// ByClass counts transceivers per WHP class name; classes with no
+	// transceivers in the box are omitted.
+	ByClass map[string]int `json:"by_class"`
+	// InHistoricalPerimeter counts transceivers whose cells fall inside
+	// the 2000-2018 perimeter union.
+	InHistoricalPerimeter int `json:"in_historical_perimeter"`
+}
+
+// Table1Row is one year of the historical overlay (paper Table 1).
+type Table1Row struct {
+	Year            int     `json:"year"`
+	Fires           int     `json:"fires"`
+	AcresBurned     float64 `json:"acres_burned"`
+	TransceiversIn  int     `json:"transceivers_in_perimeters"`
+	PerMillionAcres float64 `json:"transceivers_per_million_acres"`
+}
+
+// Table1 is the GET /v1/tables/1 body. Rows are ordered oldest year
+// first, as the risk engine produces them.
+type Table1 struct {
+	Meta
+	Rows []Table1Row `json:"rows"`
+	// TotalInPerimeters sums the per-year counts (the paper's ">27,000").
+	TotalInPerimeters int `json:"total_in_perimeters"`
+}
+
+// Table2Row is one provider group's row (paper Table 2).
+type Table2Row struct {
+	Provider    string  `json:"provider"`
+	Fleet       int     `json:"fleet"`
+	Moderate    int     `json:"moderate"`
+	High        int     `json:"high"`
+	VeryHigh    int     `json:"very_high"`
+	PctModerate float64 `json:"pct_moderate"`
+	PctHigh     float64 `json:"pct_high"`
+	PctVeryHigh float64 `json:"pct_very_high"`
+}
+
+// Table2 is the GET /v1/tables/2 body. Rows are in the paper's order:
+// the four national carriers, then the Others aggregate.
+type Table2 struct {
+	Meta
+	Rows []Table2Row `json:"rows"`
+}
+
+// Table3Row is one radio technology's row (paper Table 3).
+type Table3Row struct {
+	Radio    string `json:"radio"`
+	VeryHigh int    `json:"very_high"`
+	High     int    `json:"high"`
+	Moderate int    `json:"moderate"`
+	Total    int    `json:"total"`
+}
+
+// Table3 is the GET /v1/tables/3 body, ordered CDMA, GSM, LTE, UMTS
+// as the paper prints it.
+type Table3 struct {
+	Meta
+	Rows []Table3Row `json:"rows"`
+}
+
+// StateClassCounts is one state's at-risk breakdown in WHPOverlay.
+type StateClassCounts struct {
+	State    string `json:"state"`
+	Moderate int    `json:"moderate"`
+	High     int    `json:"high"`
+	VeryHigh int    `json:"very_high"`
+}
+
+// WHPOverlay is the GET /v1/overlay/whp body: the §3.3 class overlay
+// behind Figures 7-9.
+type WHPOverlay struct {
+	Meta
+	// Total is the fleet size.
+	Total int `json:"total"`
+	// AtRisk is the moderate+high+very-high total (the paper's 430,844
+	// analog).
+	AtRisk int `json:"at_risk"`
+	// ByClass counts transceivers per WHP class name; empty classes are
+	// omitted.
+	ByClass map[string]int `json:"by_class"`
+	// States lists the per-state at-risk breakdown, ordered by state
+	// abbreviation; states with no at-risk transceivers are omitted.
+	States []StateClassCounts `json:"states"`
+}
+
+// Validation is the GET /v1/validate body: the §3.4 hold-out season
+// validation.
+type Validation struct {
+	Meta
+	InPerimeter         int     `json:"in_perimeter"`
+	Predicted           int     `json:"predicted"`
+	MissesInRoadFires   int     `json:"misses_in_road_fires"`
+	RoadFireTotal       int     `json:"road_fire_total"`
+	AccuracyPct         float64 `json:"accuracy_pct"`
+	AccuracyExclRoadPct float64 `json:"accuracy_excl_road_pct"`
+}
+
+// Extend is the POST /v1/extend body: the §3.8 very-high extension
+// experiment through the unified ExtendWith entry point.
+type Extend struct {
+	Meta
+	// Fine reports which path ran: the fine California window (true) or
+	// the coarse national raster (false).
+	Fine bool `json:"fine"`
+	// CellSizeM and DistM echo the resolved analysis parameters.
+	CellSizeM float64 `json:"cell_size_m"`
+	DistM     float64 `json:"dist_m"`
+	// VHBefore and VHAfter count very-high transceivers before and
+	// after the dilation (window-scoped on the fine path).
+	VHBefore int `json:"vh_before"`
+	VHAfter  int `json:"vh_after"`
+	// TotalAtRiskBefore/After are the moderate+ totals (coarse path
+	// only; omitted on the fine path).
+	TotalAtRiskBefore int `json:"total_at_risk_before,omitempty"`
+	TotalAtRiskAfter  int `json:"total_at_risk_after,omitempty"`
+	// WindowTransceivers and InPerimeter describe the California window
+	// (fine path only; omitted on the coarse path).
+	WindowTransceivers int `json:"window_transceivers,omitempty"`
+	InPerimeter        int `json:"in_perimeter,omitempty"`
+	// AccuracyBeforePct and AccuracyAfterPct are the validation hit
+	// rates against the 2019 hold-out season.
+	AccuracyBeforePct float64 `json:"accuracy_before_pct"`
+	AccuracyAfterPct  float64 `json:"accuracy_after_pct"`
+}

@@ -1,0 +1,168 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"fivealarms"
+	"fivealarms/internal/pipeline"
+	"fivealarms/internal/raster"
+)
+
+// studyKey identifies one immutable study snapshot: the seed plus a
+// hash of every other Config field. Two requests with the same key see
+// the same Study pointer.
+type studyKey struct {
+	seed uint64
+	hash uint64
+}
+
+// keyOf derives the cache key from a configuration. The hash covers
+// every exported Config field except Seed (which keys separately, so
+// operators can read it in logs); the unexported build context never
+// participates.
+func keyOf(cfg fivealarms.Config) studyKey {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%g|%d|%d|%t",
+		cfg.CellSizeM, cfg.Transceivers, cfg.MappedFiresPerSeason, cfg.PipelineSerial)
+	return studyKey{seed: cfg.Seed, hash: h.Sum64()}
+}
+
+// studyEntry is one cached study plus its server-side derived layers.
+// ready closes exactly once, after which study/err are immutable.
+type studyEntry struct {
+	ready chan struct{}
+	study *fivealarms.Study
+	err   error
+
+	// fireDist memoizes the distance transform of the 2000-2018
+	// perimeter union (the nearest-fire-distance layer of /v1/risk/point).
+	fireDist pipeline.Cell[*raster.FloatGrid]
+}
+
+// FireDist returns the memoized nearest-fire distance grid.
+func (e *studyEntry) FireDist() *raster.FloatGrid {
+	return e.fireDist.Get(func() *raster.FloatGrid {
+		return raster.DistanceTransform(e.study.HistoryUnionMask())
+	})
+}
+
+// studyCache is a singleflight LRU of built studies keyed by
+// (seed, config-hash). Concurrent first requests for a key share one
+// build; later requests are cache hits. Builds run on the cache's base
+// context (the server's lifetime), not the triggering request's, so a
+// canceled request never aborts a build other requests are waiting on
+// — the waiter detaches with the request context's error instead.
+// Failed builds are evicted so the next request retries.
+type studyCache struct {
+	baseCtx context.Context
+	build   func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error)
+
+	mu      sync.Mutex
+	max     int
+	entries map[studyKey]*studyEntry
+	order   []studyKey // MRU first
+}
+
+// newStudyCache returns a cache holding at most max studies (min 1).
+// baseCtx bounds every build's lifetime; build constructs a study for
+// a validated configuration.
+func newStudyCache(baseCtx context.Context, max int,
+	build func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error)) *studyCache {
+	if max < 1 {
+		max = 1
+	}
+	return &studyCache{
+		baseCtx: baseCtx,
+		build:   build,
+		max:     max,
+		entries: make(map[studyKey]*studyEntry),
+	}
+}
+
+// Len reports the number of resident entries (including in-flight
+// builds).
+func (c *studyCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// Get returns the entry for cfg, building the study on first use.
+// Waiting respects ctx: a canceled request returns ctx.Err() while the
+// shared build keeps running for the other waiters.
+func (c *studyCache) Get(ctx context.Context, cfg fivealarms.Config) (*studyEntry, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	key := keyOf(cfg)
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &studyEntry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.touchLocked(key)
+		c.evictLocked(key)
+		go c.run(key, e, cfg)
+	} else {
+		c.touchLocked(key)
+	}
+	c.mu.Unlock()
+
+	select {
+	case <-e.ready:
+		return e, e.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// run executes one build and publishes its outcome. A failed build is
+// removed from the cache so the key re-arms (mirroring pipeline.Cell's
+// failure semantics).
+func (c *studyCache) run(key studyKey, e *studyEntry, cfg fivealarms.Config) {
+	e.study, e.err = c.build(c.baseCtx, cfg)
+	if e.err != nil {
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+			c.dropOrderLocked(key)
+		}
+		c.mu.Unlock()
+	}
+	close(e.ready)
+}
+
+// touchLocked moves key to the MRU position.
+func (c *studyCache) touchLocked(key studyKey) {
+	c.dropOrderLocked(key)
+	c.order = append([]studyKey{key}, c.order...)
+}
+
+// dropOrderLocked removes key from the recency list if present.
+func (c *studyCache) dropOrderLocked(key studyKey) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// evictLocked drops least-recently-used entries beyond the capacity,
+// never evicting keep (the entry just inserted). An evicted in-flight
+// build still completes and releases its waiters; only the cache slot
+// is reclaimed.
+func (c *studyCache) evictLocked(keep studyKey) {
+	for len(c.order) > c.max {
+		victim := c.order[len(c.order)-1]
+		if victim == keep {
+			return // capacity 1 and the newest entry is the only one
+		}
+		c.order = c.order[:len(c.order)-1]
+		delete(c.entries, victim)
+	}
+}

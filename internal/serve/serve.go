@@ -1,0 +1,417 @@
+// Package serve implements the fivealarms risk-query server: a
+// long-running stdlib net/http service exposing an immutable Study as
+// a JSON API (the v1 wire contract in internal/serve/api).
+//
+// Studies are seed-keyed snapshots held in a singleflight LRU —
+// concurrent first requests for a (seed, config-hash) share one build,
+// later requests are warm cache hits — and every handler honors its
+// request context: a canceled request detaches immediately (a
+// 499-style abort) while shared builds keep running for the remaining
+// waiters. Per-endpoint request/error counts and latency quantiles are
+// always on (see Metrics) and served at /v1/metrics.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+
+	"fivealarms"
+	"fivealarms/internal/geodata"
+	"fivealarms/internal/geom"
+	"fivealarms/internal/serve/api"
+)
+
+// StatusClientClosedRequest is the nonstandard (nginx-convention)
+// status reported when the client's request context is canceled before
+// a response is written.
+const StatusClientClosedRequest = 499
+
+// Options configures a Server.
+type Options struct {
+	// Config is the base study configuration. Requests may override the
+	// seed (?seed=N); every other field is fixed at server start.
+	Config fivealarms.Config
+	// MaxStudies bounds the study LRU (default 4). Each resident study
+	// holds its full layer set in memory.
+	MaxStudies int
+}
+
+// endpoint names, as reported by /v1/metrics.
+const (
+	epHealthz   = "healthz"
+	epMetrics   = "metrics"
+	epRiskPoint = "risk_point"
+	epRiskBBox  = "risk_bbox"
+	epTables    = "tables"
+	epOverlay   = "overlay_whp"
+	epValidate  = "validate"
+	epExtend    = "extend"
+)
+
+// Server answers risk queries over a cache of immutable studies. Safe
+// for concurrent use; construct with New.
+type Server struct {
+	opts    Options
+	cache   *studyCache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a Server. baseCtx bounds the lifetime of every study
+// build the server starts (cancel it on shutdown to abort in-flight
+// builds); opts.Config is validated here so malformed scales fail at
+// startup, not on first request.
+func New(baseCtx context.Context, opts Options) (*Server, error) {
+	if err := opts.Config.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxStudies <= 0 {
+		opts.MaxStudies = 4
+	}
+	s := &Server{
+		opts: opts,
+		cache: newStudyCache(baseCtx, opts.MaxStudies,
+			func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error) {
+				return fivealarms.NewStudyWithOptions(
+					fivealarms.WithConfig(cfg), fivealarms.WithContext(ctx))
+			}),
+		metrics: NewMetrics(epHealthz, epMetrics, epRiskPoint, epRiskBBox,
+			epTables, epOverlay, epValidate, epExtend),
+		mux: http.NewServeMux(),
+	}
+	s.route("GET /v1/healthz", epHealthz, s.handleHealthz)
+	s.route("GET /v1/metrics", epMetrics, s.handleMetrics)
+	s.route("GET /v1/risk/point", epRiskPoint, s.handleRiskPoint)
+	s.route("GET /v1/risk/bbox", epRiskBBox, s.handleRiskBBox)
+	s.route("GET /v1/tables/{n}", epTables, s.handleTables)
+	s.route("GET /v1/overlay/whp", epOverlay, s.handleOverlayWHP)
+	s.route("GET /v1/validate", epValidate, s.handleValidate)
+	s.route("POST /v1/extend", epExtend, s.handleExtend)
+	return s, nil
+}
+
+// Handler returns the server's root handler (the /v1 route set).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Warm builds the default-config study ahead of traffic so the first
+// request is a cache hit. Honors ctx like any other waiter.
+func (s *Server) Warm(ctx context.Context) error {
+	_, err := s.cache.Get(ctx, s.opts.Config)
+	return err
+}
+
+// Metrics exposes the per-endpoint counters (for load generators and
+// tests).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// handlerFunc is the internal handler shape: success writes its own
+// response, failure returns an error the instrumentation wrapper maps
+// to a JSON error body and metrics.
+type handlerFunc func(w http.ResponseWriter, r *http.Request) error
+
+// httpError carries an explicit response status.
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// badRequest builds a 400 error.
+func badRequest(format string, args ...any) error {
+	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
+}
+
+// errStatus maps a handler error to its HTTP status: explicit
+// httpError statuses pass through, request-context cancellation
+// becomes the 499-style abort, anything else is a 500.
+func errStatus(err error) int {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.status
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return StatusClientClosedRequest
+	}
+	return http.StatusInternalServerError
+}
+
+// now returns the wall clock for latency measurement. Serving metrics
+// are observational and deliberately outside the seed-determinism
+// contract; nothing a study computes ever reads this clock.
+func now() time.Time {
+	return time.Now() //fivealarms:allow(seededrand) request-latency metrics are observational wall-clock, never study inputs
+}
+
+// route registers fn under pattern with latency/error instrumentation.
+func (s *Server) route(pattern, name string, fn handlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		err := fn(w, r)
+		status := http.StatusOK
+		if err != nil {
+			status = errStatus(err)
+			writeError(w, status, err)
+		}
+		s.metrics.Observe(name, time.Since(start), status >= http.StatusBadRequest)
+	})
+}
+
+// writeJSON encodes v (indented, trailing newline) and writes it with
+// the given status. Encoding happens before headers so a marshal
+// failure can still become a 500.
+func writeJSON(w http.ResponseWriter, status int, v any) error {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		return fmt.Errorf("serve: encoding response: %w", err)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// writeError emits the uniform api.Error body. Best-effort: the client
+// may already be gone.
+func writeError(w http.ResponseWriter, status int, err error) {
+	body, mErr := json.MarshalIndent(api.Error{
+		Meta:    api.NewMeta(),
+		Status:  status,
+		Message: err.Error(),
+	}, "", "  ")
+	if mErr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// study resolves the request's study entry: the server's base config
+// with an optional ?seed=N override, through the singleflight LRU.
+func (s *Server) study(r *http.Request) (*studyEntry, error) {
+	cfg := s.opts.Config
+	if q := r.URL.Query().Get("seed"); q != "" {
+		v, err := strconv.ParseUint(q, 10, 64)
+		if err != nil {
+			return nil, badRequest("seed: want an unsigned integer, got %q", q)
+		}
+		cfg.Seed = v
+	}
+	return s.cache.Get(r.Context(), cfg)
+}
+
+// queryFloat parses a required finite float query parameter within
+// [lo, hi].
+func queryFloat(r *http.Request, name string, lo, hi float64) (float64, error) {
+	q := r.URL.Query().Get(name)
+	if q == "" {
+		return 0, badRequest("missing required parameter %q", name)
+	}
+	v, err := strconv.ParseFloat(q, 64)
+	if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0, badRequest("%s: want a finite number, got %q", name, q)
+	}
+	if v < lo || v > hi {
+		return 0, badRequest("%s: %v outside [%v, %v]", name, v, lo, hi)
+	}
+	return v, nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, api.Health{
+		Meta:          api.NewMeta(),
+		Status:        "ok",
+		StudiesCached: s.cache.Len(),
+		DefaultSeed:   s.opts.Config.Seed,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
+	return writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+}
+
+func (s *Server) handleRiskPoint(w http.ResponseWriter, r *http.Request) error {
+	lon, err := queryFloat(r, "lon", -180, 180)
+	if err != nil {
+		return err
+	}
+	lat, err := queryFloat(r, "lat", -90, 90)
+	if err != nil {
+		return err
+	}
+	e, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	st := e.study
+	xy := st.World.ToXY(geom.Point{X: lon, Y: lat})
+	cls := st.WHP.ClassAt(xy)
+	res := api.PointRisk{
+		Meta:             api.NewMeta(),
+		Lon:              lon,
+		Lat:              lat,
+		XM:               xy.X,
+		YM:               xy.Y,
+		OnConus:          st.World.Contains(xy),
+		HazardClass:      cls.String(),
+		HazardValue:      st.WHP.HazardAt(xy),
+		AtRisk:           cls.AtRisk(),
+		NearestFireDistM: -1,
+	}
+	if si := st.World.StateAt(xy); si >= 0 && si < len(geodata.States) {
+		res.State = geodata.States[si].Abbrev
+	}
+	mask := st.HistoryUnionMask()
+	if cx, cy, ok := mask.CellOf(xy); ok {
+		res.InHistoricalPerimeter = mask.Get(cx, cy)
+	}
+	if v, ok := e.FireDist().Sample(xy); ok && !math.IsInf(v, 1) {
+		res.NearestFireDistM = v
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleRiskBBox(w http.ResponseWriter, r *http.Request) error {
+	minLon, err := queryFloat(r, "min_lon", -180, 180)
+	if err != nil {
+		return err
+	}
+	minLat, err := queryFloat(r, "min_lat", -90, 90)
+	if err != nil {
+		return err
+	}
+	maxLon, err := queryFloat(r, "max_lon", -180, 180)
+	if err != nil {
+		return err
+	}
+	maxLat, err := queryFloat(r, "max_lat", -90, 90)
+	if err != nil {
+		return err
+	}
+	if minLon > maxLon || minLat > maxLat {
+		return badRequest("empty box: want min_lon <= max_lon and min_lat <= max_lat")
+	}
+	e, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	st := e.study
+	// The lon/lat box maps to a non-rectangular region under Albers;
+	// evaluate the bounding box of the four projected corners (the
+	// documented v1 semantics).
+	box := geom.EmptyBBox()
+	for _, ll := range []geom.Point{
+		{X: minLon, Y: minLat}, {X: minLon, Y: maxLat},
+		{X: maxLon, Y: minLat}, {X: maxLon, Y: maxLat},
+	} {
+		xy := st.World.ToXY(ll)
+		box = box.ExtendPoint(xy)
+	}
+	res := api.BBoxRisk{
+		Meta:    api.NewMeta(),
+		MinLon:  minLon,
+		MinLat:  minLat,
+		MaxLon:  maxLon,
+		MaxLat:  maxLat,
+		ByClass: map[string]int{},
+	}
+	mask := st.HistoryUnionMask()
+	for _, ti := range st.Data.Index.Query(box, nil) {
+		t := &st.Data.T[ti]
+		cls := st.Analyzer.Class(ti)
+		res.Transceivers++
+		res.ByClass[cls.String()]++
+		if cls.AtRisk() {
+			res.AtRisk++
+		}
+		if cx, cy, ok := mask.CellOf(t.XY); ok && mask.Get(cx, cy) {
+			res.InHistoricalPerimeter++
+		}
+	}
+	return writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	st := e.study
+	switch r.PathValue("n") {
+	case "1":
+		return writeJSON(w, http.StatusOK, api.Table1From(st.Table1()))
+	case "2":
+		return writeJSON(w, http.StatusOK, api.Table2From(st.Table2()))
+	case "3":
+		return writeJSON(w, http.StatusOK, api.Table3From(st.Table3()))
+	}
+	return &httpError{status: http.StatusNotFound,
+		msg: fmt.Sprintf("unknown table %q: want 1, 2 or 3", r.PathValue("n"))}
+}
+
+func (s *Server) handleOverlayWHP(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, api.WHPOverlayFrom(e.study.WHPOverlay()))
+}
+
+func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) error {
+	e, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	return writeJSON(w, http.StatusOK, api.ValidationFrom(e.study.Validate()))
+}
+
+// extendRequest is the POST /v1/extend body: fivealarms.ExtendOptions
+// with explicit v1 field names.
+type extendRequest struct {
+	CellSizeM float64 `json:"cell_size_m"`
+	DistM     float64 `json:"dist_m"`
+}
+
+// Request bounds for /v1/extend: cells finer than 100 m or buffers
+// beyond 100 km would let one request exhaust the server's memory or
+// CPU (the library's own national-raster floor is 100 m).
+const (
+	minExtendCellM = 100
+	maxExtendDistM = 100_000
+)
+
+func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+	dec.DisallowUnknownFields()
+	var req extendRequest
+	if err := dec.Decode(&req); err != nil {
+		return badRequest("body: %v", err)
+	}
+	if math.IsNaN(req.CellSizeM) || math.IsInf(req.CellSizeM, 0) ||
+		math.IsNaN(req.DistM) || math.IsInf(req.DistM, 0) {
+		return badRequest("cell_size_m and dist_m must be finite")
+	}
+	if req.CellSizeM < 0 || (req.CellSizeM > 0 && req.CellSizeM < minExtendCellM) {
+		return badRequest("cell_size_m: want 0 (coarse path) or >= %d, got %v", minExtendCellM, req.CellSizeM)
+	}
+	if req.DistM < 0 || req.DistM > maxExtendDistM {
+		return badRequest("dist_m: want 0 (paper default) .. %d, got %v", maxExtendDistM, req.DistM)
+	}
+	e, err := s.study(r)
+	if err != nil {
+		return err
+	}
+	rep := e.study.ExtendWith(fivealarms.ExtendOptions{CellSizeM: req.CellSizeM, DistM: req.DistM})
+	return writeJSON(w, http.StatusOK, api.ExtendFrom(rep))
+}

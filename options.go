@@ -2,9 +2,19 @@ package fivealarms
 
 import "context"
 
-// Option mutates a Config under NewStudyWithOptions. Options compose
-// left to right; a later option overrides an earlier one for the same
-// field.
+// Option mutates a Config under NewStudyWithOptions.
+//
+// Ordering semantics (the single source of truth for every option):
+// options apply strictly left to right. A field option (WithSeed,
+// WithCellSizeM, WithTransceivers, WithFiresPerSeason,
+// WithSerialPipeline, WithContext) overrides that one field of
+// whatever the earlier options assembled. A whole-config option
+// (WithConfig, WithPaperScale) replaces the entire configuration —
+// including clearing a context installed by an earlier WithContext —
+// so place it first and adjust individual fields after it:
+//
+//	NewStudyWithOptions(fivealarms.WithPaperScale(42),
+//	    fivealarms.WithTransceivers(1_000_000)) // paper scale, smaller snapshot
 type Option func(*Config)
 
 // WithContext attaches ctx to the study build. Cancelling it (or hitting
@@ -42,10 +52,19 @@ func WithFiresPerSeason(n int) Option {
 }
 
 // WithConfig replaces the whole configuration at once; options placed
-// after it adjust individual fields. Useful for starting from
-// PaperScale.
+// after it adjust individual fields (see Option for the ordering
+// semantics).
 func WithConfig(cfg Config) Option {
 	return func(c *Config) { *c = cfg }
+}
+
+// WithPaperScale replaces the whole configuration with PaperScale(seed)
+// — the paper's actual data volumes: a 5.36M-transceiver snapshot on a
+// 2.7 km national raster (several GB of memory, minutes of generation).
+// Like WithConfig it is a whole-config option: place it first and
+// adjust individual fields with later options (see Option).
+func WithPaperScale(seed uint64) Option {
+	return func(c *Config) { *c = PaperScale(seed) }
 }
 
 // WithSerialPipeline forces the serial build and simulation path

@@ -7,12 +7,12 @@ package fivealarms
 // `go test -race` / `make race`).
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 	"testing"
-
-	"fivealarms/internal/report"
 )
 
 // stressCfg is small enough that the -race stress test stays fast.
@@ -24,22 +24,36 @@ func serialCfg() Config {
 	return c
 }
 
-// analysisFingerprints renders the headline analyses into strings; two
-// studies with the same configuration must agree byte for byte.
+// analysisFingerprints serializes the headline analyses into strings;
+// two studies with the same configuration must agree byte for byte.
+// JSON over the raw risk results (maps marshal key-sorted, pointers
+// dereference) is stricter than rendered tables: every exported field
+// participates, not just the printed columns.
 func analysisFingerprints(s *Study) map[string]string {
 	return map[string]string{
-		"table1":   report.Table1(s.Table1()).String(),
-		"table2":   report.Table2(s.Table2()).String(),
-		"table3":   report.Table3(s.Table3()).String(),
-		"fig7":     report.Fig7(s.WHPOverlay()).String(),
-		"validate": report.Validation(s.Validate()).String(),
-		"extend":   report.Extension(s.ExtendWith(ExtendOptions{}).Coarse).String(),
-		"fig14":    report.Fig14(s.Future()).String(),
+		"table1":   asJSON(s.Table1()),
+		"table2":   asJSON(s.Table2()),
+		"table3":   asJSON(s.Table3()),
+		"fig7":     asJSON(s.WHPOverlay()),
+		"validate": asJSON(s.Validate()),
+		"extend":   asJSON(s.ExtendWith(ExtendOptions{}).Coarse),
+		"fig14":    asJSON(s.Future()),
 		"casestudy": fmt.Sprintf("peak=%d out=%d powershare=%.6f",
 			s.CaseStudy().PeakDay, s.CaseStudy().PeakOut, s.CaseStudy().PeakPowerShare),
 		"mask": fmt.Sprintf("hist=%d s2019=%d",
 			s.HistoryUnionMask().Count(), s.Season2019UnionMask().Count()),
 	}
+}
+
+// asJSON marshals an analysis result for fingerprint comparison.
+// Marshaling these fully-exported result structs cannot fail; a panic
+// here means a result type grew an unmarshalable field.
+func asJSON(v any) string {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
 }
 
 // TestSerialPipelineIdentical asserts the acceptance criterion: a Study
@@ -151,6 +165,74 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
+// TestConfigValidateMultiError asserts that Validate reports every
+// offending field at once (errors.Join), not just the first one, and
+// that each violation stays individually addressable with errors.Is
+// over the joined tree.
+func TestConfigValidateMultiError(t *testing.T) {
+	c := Config{CellSizeM: -10, Transceivers: -1, MappedFiresPerSeason: -5}
+	err := c.Validate()
+	if err == nil {
+		t.Fatal("three-violation config accepted")
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		t.Fatalf("Validate error does not unwrap to a list: %T", err)
+	}
+	if n := len(joined.Unwrap()); n != 3 {
+		t.Fatalf("violations reported = %d, want 3: %v", n, err)
+	}
+	for _, want := range []string{"CellSizeM", "Transceivers", "MappedFiresPerSeason"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("joined error does not mention %s: %v", want, err)
+		}
+	}
+
+	// A single violation still reads as one plain error.
+	one := Config{Transceivers: -1}
+	if err := one.Validate(); err == nil || strings.Contains(err.Error(), "\n") {
+		t.Errorf("single violation should yield one line, got %v", err)
+	}
+}
+
+// TestWithPaperScale asserts the whole-config option semantics: it
+// replaces everything (like WithConfig), and later field options
+// shrink it back down to a buildable test scale.
+func TestWithPaperScale(t *testing.T) {
+	// Option-composition check without a build: the assembled config is
+	// paper scale except the overridden fields.
+	var cfg Config
+	for _, opt := range []Option{
+		WithSeed(99), // overwritten by the whole-config option
+		WithPaperScale(3),
+		WithTransceivers(5000),
+		WithCellSizeM(40000),
+		WithFiresPerSeason(4),
+	} {
+		opt(&cfg)
+	}
+	want := PaperScale(3)
+	want.Transceivers = 5000
+	want.CellSizeM = 40000
+	want.MappedFiresPerSeason = 4
+	if cfg != want {
+		t.Fatalf("assembled config = %+v, want %+v", cfg, want)
+	}
+	if cfg.Seed != 3 {
+		t.Errorf("WithPaperScale should carry its own seed, got %d", cfg.Seed)
+	}
+
+	// The same option list builds a real (cheap) study.
+	s, err := NewStudyWithOptions(WithPaperScale(3),
+		WithTransceivers(5000), WithCellSizeM(40000), WithFiresPerSeason(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Cfg != want {
+		t.Errorf("built Cfg = %+v, want %+v", s.Cfg, want)
+	}
+}
+
 func TestNewStudyWithOptions(t *testing.T) {
 	s, err := NewStudyWithOptions(
 		WithSeed(11),
@@ -169,7 +251,7 @@ func TestNewStudyWithOptions(t *testing.T) {
 	// The thin-wrapper contract: NewStudy with the same config produces
 	// the same results.
 	legacy := NewStudy(want)
-	if a, b := report.Table2(s.Table2()).String(), report.Table2(legacy.Table2()).String(); a != b {
+	if a, b := asJSON(s.Table2()), asJSON(legacy.Table2()); a != b {
 		t.Error("NewStudyWithOptions and NewStudy disagree for the same config")
 	}
 

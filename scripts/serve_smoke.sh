@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# serve_smoke.sh — end-to-end smoke test of the risk-query server: boot
+# fivealarmsd on a random port at test scale, probe /v1/healthz and one
+# /v1/risk/point query through fivealarmsload -smoke, then SIGTERM the
+# server and require a clean graceful drain.
+#
+# Usage: scripts/serve_smoke.sh
+# Exit codes: 0 all probes passed and the server drained cleanly,
+# 1 anything else (boot timeout, probe failure, unclean shutdown).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+log="$(mktemp)"
+cleanup() {
+  [[ -n "${server_pid:-}" ]] && kill "$server_pid" 2>/dev/null || true
+  rm -f "$log"
+}
+trap cleanup EXIT
+
+go build -o /tmp/fivealarmsd.smoke ./cmd/fivealarmsd
+go build -o /tmp/fivealarmsload.smoke ./cmd/fivealarmsload
+
+# Port 0: the kernel picks a free port; the server prints the bound
+# address as its first stdout line.
+/tmp/fivealarmsd.smoke -addr 127.0.0.1:0 \
+  -seed 42 -cell 40000 -transceivers 5000 -fires 5 -warm >"$log" 2>&1 &
+server_pid=$!
+
+addr=""
+for _ in $(seq 1 120); do
+  addr="$(grep -o 'http://[0-9.:]*' "$log" || true)"
+  [[ -n "$addr" ]] && break
+  kill -0 "$server_pid" 2>/dev/null || { echo "serve_smoke: server died during boot" >&2; cat "$log" >&2; exit 1; }
+  sleep 0.25
+done
+if [[ -z "$addr" ]]; then
+  echo "serve_smoke: server did not report its address in 30s" >&2
+  cat "$log" >&2
+  exit 1
+fi
+
+/tmp/fivealarmsload.smoke -smoke -addr "$addr"
+
+# Graceful drain: SIGTERM must produce a zero exit.
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+  echo "serve_smoke: server exited nonzero on SIGTERM" >&2
+  cat "$log" >&2
+  exit 1
+fi
+server_pid=""
+echo "serve_smoke: ok ($addr, drained cleanly)"
