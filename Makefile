@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos diffcheck cover bench bench-pipeline bench-geom bench-serve serve-smoke fuzz experiments maps clean
+.PHONY: all build test vet lint race chaos diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve serve-smoke fuzz experiments maps clean
 
 all: vet lint test build
 
@@ -41,6 +41,14 @@ bench-pipeline:
 bench-geom:
 	$(GO) test -run '^$$' -bench 'BenchmarkPreparedContains|BenchmarkHistoricalOverlay|BenchmarkTable1$$' \
 		-benchmem -json . ./internal/geom ./internal/risk > BENCH_geom.json
+
+# Regenerate the raster-kernel baseline: the banded fill / distance /
+# dilate / contour kernels serial vs parallel at 1/2/4/8 workers, the
+# unfused per-fire union, and the fused union+distance ensemble sweep
+# (which must report 0 allocs/op warm), at full-scale CONUS dimensions.
+bench-raster:
+	$(GO) test -run '^$$' -bench 'BenchmarkRasterKernels' \
+		-benchmem -json ./internal/raster > BENCH_raster.json
 
 # End-to-end smoke test of the risk-query server: boot fivealarmsd on
 # a random port at test scale, probe healthz and one risk query via

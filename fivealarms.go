@@ -76,6 +76,12 @@ type Config struct {
 	// worker goroutines. Results are bit-identical either way; only
 	// wall-clock time changes.
 	PipelineSerial bool
+	// RasterWorkers bounds the parallelism of the tiled raster kernels
+	// (perimeter-union fills, distance transforms, dilations, contour
+	// tracing). 0 selects GOMAXPROCS (or serial when PipelineSerial is
+	// set); 1 forces the serial kernels. Results are bit-identical at
+	// any setting; only wall-clock time changes.
+	RasterWorkers int
 
 	// ctx, when set via WithContext, governs cancellation of the layer
 	// build. It is consulted only during NewStudyWithOptions and never
@@ -103,10 +109,11 @@ func (c Config) withDefaults() Config {
 // memory (the CONUS window is ~4.6M x 2.9M meters), one coarser than
 // maxCellSizeM degenerates below state scale.
 const (
-	minCellSizeM    = 100
-	maxCellSizeM    = 1e6
-	maxTransceivers = 100_000_000
-	maxMappedFires  = 100_000
+	minCellSizeM     = 100
+	maxCellSizeM     = 1e6
+	maxTransceivers  = 100_000_000
+	maxMappedFires   = 100_000
+	maxRasterWorkers = 4096
 )
 
 // Validate rejects configurations that withDefaults would otherwise
@@ -142,6 +149,12 @@ func (c Config) Validate() error {
 		errs = append(errs, fmt.Errorf("fivealarms: MappedFiresPerSeason must be >= 0, got %d", c.MappedFiresPerSeason))
 	case c.MappedFiresPerSeason > maxMappedFires:
 		errs = append(errs, fmt.Errorf("fivealarms: MappedFiresPerSeason %d above the %d maximum", c.MappedFiresPerSeason, maxMappedFires))
+	}
+	switch {
+	case c.RasterWorkers < 0:
+		errs = append(errs, fmt.Errorf("fivealarms: RasterWorkers must be >= 0, got %d", c.RasterWorkers))
+	case c.RasterWorkers > maxRasterWorkers:
+		errs = append(errs, fmt.Errorf("fivealarms: RasterWorkers %d above the %d maximum", c.RasterWorkers, maxRasterWorkers))
 	}
 	return errors.Join(errs...)
 }
@@ -322,11 +335,21 @@ func (s *Study) WHPOverlay() *risk.WHPResult {
 	return s.mem.overlay.Get(s.Analyzer.WHPOverlay)
 }
 
+// rasterWorkers resolves Config.RasterWorkers for the tiled raster
+// kernels: PipelineSerial turns the 0 (auto) setting into the serial
+// path, matching how the rest of the pipeline honors that escape hatch.
+func (s *Study) rasterWorkers() int {
+	if s.Cfg.RasterWorkers == 0 && s.Cfg.PipelineSerial {
+		return 1
+	}
+	return s.Cfg.RasterWorkers
+}
+
 // HistoryUnionMask rasterizes the union of the 2000-2018 perimeters onto
 // the world grid (the data behind Figure 3), once per Study.
 func (s *Study) HistoryUnionMask() *raster.BitGrid {
 	return s.mem.unionHist.Get(func() *raster.BitGrid {
-		return s.Analyzer.FireUnionMask(s.History())
+		return s.Analyzer.FireUnionMaskWorkers(s.History(), s.rasterWorkers())
 	})
 }
 
@@ -334,7 +357,7 @@ func (s *Study) HistoryUnionMask() *raster.BitGrid {
 // perimeters onto the world grid, once per Study.
 func (s *Study) Season2019UnionMask() *raster.BitGrid {
 	return s.mem.union2019.Get(func() *raster.BitGrid {
-		return s.Analyzer.FireUnionMask([]*wildfire.Season{s.Season2019()})
+		return s.Analyzer.FireUnionMaskWorkers([]*wildfire.Season{s.Season2019()}, s.rasterWorkers())
 	})
 }
 

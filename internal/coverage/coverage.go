@@ -130,17 +130,16 @@ func (m *Model) ServedMask(sites []geom.Point) *raster.BitGrid {
 	return raster.DilateByDistance(seed, m.RadiusM)
 }
 
-// Population sums the population of the set cells.
+// Population sums the population of the set cells. Set runs iterate in
+// row-major order — the same order the per-cell scan visited them — so
+// the float sum is bit-identical to the naive loop.
 func (m *Model) Population(mask *raster.BitGrid) float64 {
-	g := m.World.Grid
 	var t float64
-	for cy := 0; cy < g.NY; cy++ {
-		for cx := 0; cx < g.NX; cx++ {
-			if mask.Get(cx, cy) {
-				t += m.Pop.At(cx, cy)
-			}
+	mask.ForEachSetRun(func(cy, cx0, cx1 int) {
+		for cx := cx0; cx <= cx1; cx++ {
+			t += m.Pop.At(cx, cy)
 		}
-	}
+	})
 	return t
 }
 

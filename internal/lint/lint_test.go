@@ -76,6 +76,7 @@ var fixtureTests = []struct {
 			"positive.go:22:11 nocopylock",
 			"positive.go:23:9 nocopylock",
 			"positive.go:31:7 nocopylock",
+			"positive.go:45:8 nocopylock",
 		},
 	},
 	{

@@ -9,7 +9,7 @@ import (
 func ruleNoCopyLock() Rule {
 	return Rule{
 		Name: "nocopylock",
-		Doc:  "no value copies (assignment, range, call-by-value) of types containing sync.Mutex/Once and friends",
+		Doc:  "no value copies (assignment, range, call-by-value, channel send) of types containing sync.Mutex/Once and friends",
 		Run:  runNoCopyLock,
 	}
 }
@@ -41,6 +41,11 @@ func runNoCopyLock(p *Pass) {
 				for _, v := range n.Values {
 					c.checkCopy(v, "variable initialization copies")
 				}
+			case *ast.SendStmt:
+				// A worker-pool dispatch that sends a task struct with an
+				// embedded WaitGroup forks the group: Done on the received
+				// copy never releases the sender's Wait.
+				c.checkCopy(n.Value, "channel send copies")
 			case *ast.RangeStmt:
 				if n.Value != nil {
 					if path := c.lockPath(p.Info.TypeOf(n.Value)); path != "" {

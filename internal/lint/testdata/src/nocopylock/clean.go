@@ -19,3 +19,9 @@ func Spread(fires []Fire, c *Cache) []Fire {
 	_ = c
 	return out
 }
+
+// enqueue shares the job through a pointer: the WaitGroup is not
+// forked, matching the raster kernel pool's by-reference dispatch.
+func enqueue(ch chan *job, j *job) {
+	ch <- j
+}

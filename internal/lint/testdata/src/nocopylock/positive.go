@@ -31,3 +31,17 @@ func rearm(p *prep) prep {
 	q := *p
 	return q
 }
+
+// job mirrors the raster kernel-pool dispatch shape: a band task with
+// its completion WaitGroup embedded by value.
+type job struct {
+	wg   sync.WaitGroup
+	band int
+}
+
+// dispatch sends a job by value into the pool's channel, forking its
+// WaitGroup: Done on the worker's copy never releases this Wait.
+func dispatch(ch chan job, j *job) {
+	ch <- *j
+	j.wg.Wait()
+}

@@ -2,9 +2,56 @@ package raster
 
 import (
 	"sort"
+	"sync"
 
 	"fivealarms/internal/geom"
 )
+
+// contourTask is the parallel half of the contour tracer: bands are row
+// ranges, and each band collects the directed boundary edges of its rows
+// (via word-level set-run iteration) into a private packed list, in the
+// exact order the serial row-major cell scan would visit them. The bands
+// are then replayed serially in band order, which reproduces the serial
+// tracer's edge-insertion sequence — the seam-stitching step that makes
+// the traced rings identical at any worker count.
+type contourTask struct {
+	wg    sync.WaitGroup
+	mask  *BitGrid
+	edges []*[]uint64 // per-band edge lists, packed from<<32|to
+}
+
+var contourPool = sync.Pool{New: func() any { return new(contourTask) }}
+
+func (t *contourTask) runBand(band, lo, hi int) {
+	mask := t.mask
+	w := int32(mask.NX + 1)
+	buf := (*t.edges[band])[:0]
+	// Collect directed boundary edges with the interior on the left:
+	//   bottom edge -> +x, right edge -> +y, top edge -> -x, left edge -> -y.
+	// Vertices are grid corners addressed as vy*(NX+1)+vx. Within a
+	// maximal set run the left/right neighbors are known implicitly, so
+	// only the vertical neighbors need bit probes.
+	t.mask.forEachSetRunRows(lo, hi, func(cy, cx0, cx1 int) {
+		for cx := cx0; cx <= cx1; cx++ {
+			v00 := int32(cy)*w + int32(cx) // the cell's SW corner
+			if !mask.Get(cx, cy-1) {       // bottom: left-to-right
+				buf = append(buf, packEdge(v00, v00+1))
+			}
+			if cx == cx1 { // right: bottom-to-top
+				buf = append(buf, packEdge(v00+1, v00+1+w))
+			}
+			if !mask.Get(cx, cy+1) { // top: right-to-left
+				buf = append(buf, packEdge(v00+1+w, v00+w))
+			}
+			if cx == cx0 { // left: top-to-bottom
+				buf = append(buf, packEdge(v00+w, v00))
+			}
+		}
+	})
+	*t.edges[band] = buf
+}
+
+func packEdge(from, to int32) uint64 { return uint64(uint32(from))<<32 | uint64(uint32(to)) }
 
 // TraceContours extracts the boundary polygons of the set region of a
 // binary mask. The result is a MultiPolygon in projected coordinates whose
@@ -16,14 +63,15 @@ import (
 // This is how the wildfire simulator converts a burned-cell mask into a
 // GeoMAC-style perimeter geometry.
 func TraceContours(mask *BitGrid) geom.MultiPolygon {
-	g := mask.Geometry
+	return TraceContoursWorkers(mask, 0)
+}
 
-	// Collect directed boundary edges with the interior on the left:
-	//   bottom edge -> +x, right edge -> +y, top edge -> -x, left edge -> -y.
-	// Vertices are grid corners addressed as vy*(NX+1)+vx.
-	type edge struct{ to int32 }
+// TraceContoursWorkers is TraceContours with an explicit worker bound
+// (0 = GOMAXPROCS, 1 = serial). Edge collection is banded; the traced
+// rings are identical at any setting.
+func TraceContoursWorkers(mask *BitGrid, workers int) geom.MultiPolygon {
+	g := mask.Geometry
 	w := int32(g.NX + 1)
-	vertexID := func(vx, vy int) int32 { return int32(vy)*w + int32(vx) }
 
 	// out[vertex] holds up to two outgoing edges (checkerboard corners have
 	// exactly two).
@@ -39,24 +87,23 @@ func TraceContours(mask *BitGrid) geom.MultiPolygon {
 		}
 	}
 
-	for cy := 0; cy < g.NY; cy++ {
-		for cx := 0; cx < g.NX; cx++ {
-			if !mask.Get(cx, cy) {
-				continue
-			}
-			if !mask.Get(cx, cy-1) { // bottom: left-to-right
-				addEdge(vertexID(cx, cy), vertexID(cx+1, cy))
-			}
-			if !mask.Get(cx+1, cy) { // right: bottom-to-top
-				addEdge(vertexID(cx+1, cy), vertexID(cx+1, cy+1))
-			}
-			if !mask.Get(cx, cy+1) { // top: right-to-left
-				addEdge(vertexID(cx+1, cy+1), vertexID(cx, cy+1))
-			}
-			if !mask.Get(cx-1, cy) { // left: top-to-bottom
-				addEdge(vertexID(cx, cy+1), vertexID(cx, cy))
-			}
+	if g.Cells() > 0 {
+		bands := kernelBands(workers, g.Cells(), g.NY)
+		t := contourPool.Get().(*contourTask)
+		t.mask = mask
+		t.edges = t.edges[:0]
+		for b := 0; b < bands; b++ {
+			t.edges = append(t.edges, getWords(0))
 		}
+		runBands(t, &t.wg, g.NY, bands)
+		for _, bp := range t.edges {
+			for _, e := range *bp {
+				addEdge(int32(e>>32), int32(uint32(e)))
+			}
+			putWords(bp)
+		}
+		t.mask, t.edges = nil, t.edges[:0]
+		contourPool.Put(t)
 	}
 	if len(out) == 0 {
 		return nil
@@ -212,90 +259,4 @@ func compressCollinear(r geom.Ring) geom.Ring {
 		}
 	}
 	return out
-}
-
-// FillPolygon sets every cell of the returned mask whose center lies inside
-// the polygon (even-odd rule over all rings), clipped to the geometry.
-func FillPolygon(g Geometry, poly geom.Polygon) *BitGrid {
-	mask := NewBitGrid(g)
-	rasterizePolygon(mask, poly, true)
-	return mask
-}
-
-// FillMultiPolygon sets every cell whose center lies inside any member
-// polygon.
-func FillMultiPolygon(g Geometry, m geom.MultiPolygon) *BitGrid {
-	mask := NewBitGrid(g)
-	FillMultiPolygonInto(mask, m)
-	return mask
-}
-
-// FillMultiPolygonInto sets every cell of an existing mask whose center
-// lies inside any member polygon, leaving already-set cells set. Union
-// rasterization (e.g. all fire perimeters of a study period onto one
-// national grid) fills into one shared mask this way instead of
-// allocating a full grid per geometry and Or-ing them.
-func FillMultiPolygonInto(mask *BitGrid, m geom.MultiPolygon) {
-	for _, p := range m {
-		rasterizePolygon(mask, p, true)
-	}
-}
-
-// rasterizePolygon scanline-fills poly into mask.
-func rasterizePolygon(mask *BitGrid, poly geom.Polygon, value bool) {
-	g := mask.Geometry
-	bb := poly.BBox().Intersection(g.Bounds())
-	if bb.IsEmpty() {
-		return
-	}
-	cy0 := int((bb.MinY - g.MinY) / g.CellSize)
-	cy1 := int((bb.MaxY - g.MinY) / g.CellSize)
-	if cy0 < 0 {
-		cy0 = 0
-	}
-	if cy1 >= g.NY {
-		cy1 = g.NY - 1
-	}
-	rings := make([]geom.Ring, 0, 1+len(poly.Holes))
-	rings = append(rings, poly.Exterior)
-	rings = append(rings, poly.Holes...)
-
-	var xs []float64
-	for cy := cy0; cy <= cy1; cy++ {
-		y := g.MinY + (float64(cy)+0.5)*g.CellSize
-		xs = xs[:0]
-		for _, ring := range rings {
-			n := len(ring)
-			for i := 0; i < n; i++ {
-				a := ring[i]
-				b := ring[(i+1)%n]
-				if (a.Y > y) == (b.Y > y) {
-					continue
-				}
-				x := a.X + (b.X-a.X)*(y-a.Y)/(b.Y-a.Y)
-				xs = append(xs, x)
-			}
-		}
-		if len(xs) < 2 {
-			continue
-		}
-		sort.Float64s(xs)
-		for i := 0; i+1 < len(xs); i += 2 {
-			x0, x1 := xs[i], xs[i+1]
-			cx0 := int((x0 - g.MinX) / g.CellSize)
-			cx1 := int((x1 - g.MinX) / g.CellSize)
-			if cx0 < 0 {
-				cx0 = 0
-			}
-			if cx1 >= g.NX {
-				cx1 = g.NX - 1
-			}
-			for cx := cx0; cx <= cx1; cx++ {
-				xc := g.MinX + (float64(cx)+0.5)*g.CellSize
-				if xc >= x0 && xc <= x1 {
-					mask.Set(cx, cy, value)
-				}
-			}
-		}
-	}
 }

@@ -31,6 +31,15 @@ func TestDistanceConformance(t *testing.T) {
 	}
 }
 
+// TestParallelKernelConformance sweeps every tiled kernel at several
+// explicit worker counts against its serial one-band result: masks and
+// distances bit-identical, contours deeply equal, no carve-out.
+func TestParallelKernelConformance(t *testing.T) {
+	if err := diffcheck.Sweep(100, diffcheck.CheckParallel); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestRasterGoldens rasterizes the hand-authored fixtures and runs the
 // fill and distance twins over the result.
 func TestRasterGoldens(t *testing.T) {
@@ -144,6 +153,9 @@ func FuzzRasterDiff(f *testing.F) {
 			t.Fatal(err)
 		}
 		if err := diffcheck.CheckDistance(seed); err != nil {
+			t.Fatal(err)
+		}
+		if err := diffcheck.CheckParallel(seed); err != nil {
 			t.Fatal(err)
 		}
 	})

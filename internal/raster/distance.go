@@ -1,6 +1,9 @@
 package raster
 
-import "math"
+import (
+	"math"
+	"sync"
+)
 
 // DistanceTransform computes, for every cell, the exact Euclidean distance
 // in meters from the cell center to the center of the nearest set cell in
@@ -10,20 +13,45 @@ import "math"
 // The implementation is the exact two-pass separable squared-EDT of
 // Felzenszwalb & Huttenlocher (2012): a column pass computing 1-D squared
 // distances followed by a row pass taking the lower envelope of parabolas.
-// Complexity is O(NX*NY).
+// Complexity is O(NX*NY). Both passes run banded across the kernel worker
+// pool (columns sharded by column range, rows by row range; each band
+// writes a disjoint region, so the result is bit-identical to the serial
+// path at any worker count). Scratch comes from the arena; the only
+// allocation is the returned grid.
 func DistanceTransform(mask *BitGrid) *FloatGrid {
-	g := mask.Geometry
-	out := NewFloatGrid(g)
-	inf := math.Inf(1)
+	return DistanceTransformWorkers(mask, 0)
+}
 
-	// Pass 1: per column, squared distance (in cell units) to the nearest
-	// set cell in that column.
-	colDist := make([]float64, g.Cells())
-	for cx := 0; cx < g.NX; cx++ {
+// DistanceTransformWorkers is DistanceTransform with an explicit worker
+// bound: 0 selects GOMAXPROCS (serial on small grids), 1 forces the
+// serial path. Results are bit-identical at any setting.
+func DistanceTransformWorkers(mask *BitGrid, workers int) *FloatGrid {
+	out := NewFloatGrid(mask.Geometry)
+	// The error is impossible: out was just built on mask's geometry.
+	_ = DistanceTransformInto(out, mask, workers)
+	return out
+}
+
+// dtColsTask is the column pass: per column, 1-D squared distance (in
+// cell units) to the nearest set cell in that column. Bands are column
+// ranges; each band writes a disjoint column stripe of colDist.
+type dtColsTask struct {
+	wg      sync.WaitGroup
+	mask    *BitGrid
+	colDist []float64
+}
+
+var dtColsPool = sync.Pool{New: func() any { return new(dtColsTask) }}
+
+func (t *dtColsTask) runBand(_, lo, hi int) {
+	g := t.mask.Geometry
+	colDist := t.colDist
+	inf := math.Inf(1)
+	for cx := lo; cx < hi; cx++ {
 		// Downward sweep.
 		d := inf
 		for cy := 0; cy < g.NY; cy++ {
-			if mask.Get(cx, cy) {
+			if t.mask.Get(cx, cy) {
 				d = 0
 			} else if !math.IsInf(d, 1) {
 				d++
@@ -33,7 +61,7 @@ func DistanceTransform(mask *BitGrid) *FloatGrid {
 		// Upward sweep.
 		d = inf
 		for cy := g.NY - 1; cy >= 0; cy-- {
-			if mask.Get(cx, cy) {
+			if t.mask.Get(cx, cy) {
 				d = 0
 			} else if !math.IsInf(d, 1) {
 				d++
@@ -51,16 +79,32 @@ func DistanceTransform(mask *BitGrid) *FloatGrid {
 			}
 		}
 	}
+}
 
-	// Pass 2: per row, lower envelope of parabolas
-	// f(x) = colDist[row][q] + (x-q)^2, built over the finite parabolas
-	// only (columns with no set cell contribute nothing).
-	v := make([]int, g.NX)       // parabola source positions
-	z := make([]float64, g.NX+1) // envelope breakpoints
-	fRow := make([]float64, g.NX)
-	for cy := 0; cy < g.NY; cy++ {
+// dtRowsTask is the row pass: per row, the lower envelope of parabolas
+// f(x) = colDist[row][q] + (x-q)^2 over the finite parabolas. Bands are
+// row ranges; each band writes a disjoint row stripe of out and carries
+// its own envelope scratch (source positions, breakpoints, row copy)
+// from the arena.
+type dtRowsTask struct {
+	wg      sync.WaitGroup
+	g       Geometry
+	colDist []float64
+	out     []float64
+}
+
+var dtRowsPool = sync.Pool{New: func() any { return new(dtRowsTask) }}
+
+func (t *dtRowsTask) runBand(_, lo, hi int) {
+	g := t.g
+	inf := math.Inf(1)
+	vP := getInts(g.NX)       // parabola source positions
+	zP := getFloats(g.NX + 1) // envelope breakpoints
+	fP := getFloats(g.NX)     // row copy of colDist
+	v, z, fRow := *vP, *zP, *fP
+	for cy := lo; cy < hi; cy++ {
 		base := cy * g.NX
-		copy(fRow, colDist[base:base+g.NX])
+		copy(fRow, t.colDist[base:base+g.NX])
 		k := -1
 		for q := 0; q < g.NX; q++ {
 			if math.IsInf(fRow[q], 1) {
@@ -89,7 +133,7 @@ func DistanceTransform(mask *BitGrid) *FloatGrid {
 		if k < 0 {
 			// No set cell anywhere reaches this row: all infinite.
 			for q := 0; q < g.NX; q++ {
-				out.Data[base+q] = inf
+				t.out[base+q] = inf
 			}
 			continue
 		}
@@ -100,71 +144,206 @@ func DistanceTransform(mask *BitGrid) *FloatGrid {
 			}
 			p := v[k]
 			dq := float64(q - p)
-			out.Data[base+q] = math.Sqrt(fRow[p]+dq*dq) * g.CellSize
+			t.out[base+q] = math.Sqrt(fRow[p]+dq*dq) * g.CellSize
 		}
 	}
-	return out
+	putInts(vP)
+	putFloats(zP)
+	putFloats(fP)
+}
+
+// DistanceTransformInto computes the distance transform of mask into an
+// existing grid (see DistanceTransform), overwriting every cell. out
+// must share mask's geometry or ErrShapeMismatch is returned. All
+// intermediate state comes from the scratch arena, so repeated sweeps
+// over a fixed geometry allocate nothing.
+func DistanceTransformInto(out *FloatGrid, mask *BitGrid, workers int) error {
+	if !out.Same(mask.Geometry) {
+		return ErrShapeMismatch
+	}
+	g := mask.Geometry
+	if g.Cells() == 0 {
+		return nil
+	}
+	colDistP := getFloats(g.Cells())
+
+	ct := dtColsPool.Get().(*dtColsTask)
+	ct.mask, ct.colDist = mask, *colDistP
+	runBands(ct, &ct.wg, g.NX, kernelBands(workers, g.Cells(), g.NX))
+	ct.mask, ct.colDist = nil, nil
+	dtColsPool.Put(ct)
+
+	rt := dtRowsPool.Get().(*dtRowsTask)
+	rt.g, rt.colDist, rt.out = g, *colDistP, out.Data
+	runBands(rt, &rt.wg, g.NY, kernelBands(workers, g.Cells(), g.NY))
+	rt.colDist, rt.out = nil, nil
+	dtRowsPool.Put(rt)
+
+	putFloats(colDistP)
+	return nil
+}
+
+// thresholdTask builds the dilation mask from a distance field: bands
+// are word ranges of the output bit slice, so every band writes whole
+// words disjointly (no merge needed).
+type thresholdTask struct {
+	wg    sync.WaitGroup
+	dt    []float64
+	out   []uint64
+	cells int
+	dist  float64
+}
+
+var thresholdPool = sync.Pool{New: func() any { return new(thresholdTask) }}
+
+func (t *thresholdTask) runBand(_, lo, hi int) {
+	for w := lo; w < hi; w++ {
+		base := w * 64
+		n := t.cells - base
+		if n > 64 {
+			n = 64
+		}
+		var word uint64
+		for b := 0; b < n; b++ {
+			if t.dt[base+b] <= t.dist {
+				word |= 1 << uint(b)
+			}
+		}
+		t.out[w] = word
+	}
 }
 
 // DilateByDistance returns the mask grown outward by dist meters: every
 // cell whose center lies within dist of a set cell's center becomes set.
 // dist <= 0 returns a clone.
 func DilateByDistance(mask *BitGrid, dist float64) *BitGrid {
+	return DilateByDistanceWorkers(mask, dist, 0)
+}
+
+// DilateByDistanceWorkers is DilateByDistance with an explicit worker
+// bound (0 = GOMAXPROCS, 1 = serial; bit-identical at any setting). The
+// intermediate distance field lives in the arena, not the heap.
+func DilateByDistanceWorkers(mask *BitGrid, dist float64, workers int) *BitGrid {
 	if dist <= 0 {
 		return mask.Clone()
 	}
-	dt := DistanceTransform(mask)
-	out := NewBitGrid(mask.Geometry)
-	for i, d := range dt.Data {
-		if d <= dist {
-			out.setIdx(i)
-		}
+	g := mask.Geometry
+	dt := AcquireFloatGrid(g)
+	// The error is impossible: dt was just acquired on mask's geometry.
+	_ = DistanceTransformInto(dt, mask, workers)
+	out := NewBitGrid(g)
+	if len(out.bits) > 0 {
+		tt := thresholdPool.Get().(*thresholdTask)
+		tt.dt, tt.out, tt.cells, tt.dist = dt.Data, out.bits, g.Cells(), dist
+		runBands(tt, &tt.wg, len(out.bits), kernelBands(workers, g.Cells(), len(out.bits)))
+		tt.dt, tt.out = nil, nil
+		thresholdPool.Put(tt)
 	}
+	ReleaseFloatGrid(dt)
 	return out
 }
 
 // ErodeByDistance returns the mask shrunk inward by dist meters: a cell
 // stays set only when every cell within dist is set (computed as the
-// complement's dilation).
+// complement's dilation, all word-level).
 func ErodeByDistance(mask *BitGrid, dist float64) *BitGrid {
 	if dist <= 0 {
 		return mask.Clone()
 	}
-	inv := NewBitGrid(mask.Geometry)
-	for i := 0; i < mask.Cells(); i++ {
-		if !mask.getIdx(i) {
-			inv.setIdx(i)
-		}
-	}
-	grown := DilateByDistance(inv, dist)
-	out := NewBitGrid(mask.Geometry)
-	for i := 0; i < mask.Cells(); i++ {
-		if !grown.getIdx(i) {
-			out.setIdx(i)
-		}
-	}
+	inv := mask.Clone()
+	inv.Not()
+	out := DilateByDistanceWorkers(inv, dist, 0)
+	out.Not()
 	return out
+}
+
+// dilate8Task is one ring of 8-neighborhood dilation: bands are row
+// ranges reading the previous generation (shared, read-only) and
+// accumulating newly set cells into per-band tiles merged serially in
+// band order.
+type dilate8Task struct {
+	wg    sync.WaitGroup
+	cur   *BitGrid
+	tiles []*[]uint64 // per-band word buffers
+	offs  []int       // per-band first word index
+}
+
+var dilate8Pool = sync.Pool{New: func() any { return new(dilate8Task) }}
+
+func (t *dilate8Task) runBand(band, lo, hi int) {
+	cur := t.cur
+	nx := cur.NX
+	tile := *t.tiles[band]
+	off := t.offs[band] * 64
+	for cy := lo; cy < hi; cy++ {
+		for cx := 0; cx < nx; cx++ {
+			if cur.Get(cx, cy) {
+				continue
+			}
+			if cur.Get(cx-1, cy) || cur.Get(cx+1, cy) || cur.Get(cx, cy-1) || cur.Get(cx, cy+1) ||
+				cur.Get(cx-1, cy-1) || cur.Get(cx+1, cy-1) || cur.Get(cx-1, cy+1) || cur.Get(cx+1, cy+1) {
+				i := cy*nx + cx - off
+				tile[i>>6] |= 1 << (uint(i) & 63)
+			}
+		}
+	}
 }
 
 // Dilate8 returns the mask grown by steps rings of 8-neighborhood
 // dilation — the cheap morphological alternative to DilateByDistance used
 // by the ablation benchmarks.
 func Dilate8(mask *BitGrid, steps int) *BitGrid {
+	return Dilate8Workers(mask, steps, 0)
+}
+
+// Dilate8Workers is Dilate8 with an explicit worker bound (0 =
+// GOMAXPROCS, 1 = serial; bit-identical at any setting). The two
+// generations ping-pong between one pair of grids instead of cloning
+// per ring.
+func Dilate8Workers(mask *BitGrid, steps, workers int) *BitGrid {
 	cur := mask.Clone()
+	if steps <= 0 || cur.Cells() == 0 {
+		return cur
+	}
+	g := cur.Geometry
+	next := NewBitGrid(g)
+	bands := kernelBands(workers, g.Cells(), g.NY)
+	t := dilate8Pool.Get().(*dilate8Task)
+	t.tiles = t.tiles[:0]
+	t.offs = t.offs[:0]
+	for b := 0; b < bands; b++ {
+		lo, hi := bandRange(b, g.NY, bands)
+		w0 := (lo * g.NX) >> 6
+		w1 := (hi*g.NX + 63) >> 6
+		t.tiles = append(t.tiles, getWords(w1-w0))
+		t.offs = append(t.offs, w0)
+	}
 	for s := 0; s < steps; s++ {
-		next := cur.Clone()
-		for cy := 0; cy < cur.NY; cy++ {
-			for cx := 0; cx < cur.NX; cx++ {
-				if cur.Get(cx, cy) {
-					continue
-				}
-				if cur.Get(cx-1, cy) || cur.Get(cx+1, cy) || cur.Get(cx, cy-1) || cur.Get(cx, cy+1) ||
-					cur.Get(cx-1, cy-1) || cur.Get(cx+1, cy-1) || cur.Get(cx-1, cy+1) || cur.Get(cx+1, cy+1) {
-					next.Set(cx, cy, true)
+		copy(next.bits, cur.bits)
+		t.cur = cur
+		if s > 0 {
+			for b := range t.tiles {
+				clear(*t.tiles[b])
+			}
+		}
+		runBands(t, &t.wg, g.NY, bands)
+		// Serial merge, band order: OR each band's tile into the next
+		// generation. Bands only share their boundary words, and OR is
+		// commutative, so the merge is order-independent anyway.
+		for b := range t.tiles {
+			tile := *t.tiles[b]
+			for i, w := range tile {
+				if w != 0 {
+					next.bits[t.offs[b]+i] |= w
 				}
 			}
 		}
-		cur = next
+		cur, next = next, cur
 	}
+	for b := range t.tiles {
+		putWords(t.tiles[b])
+	}
+	t.cur, t.tiles, t.offs = nil, t.tiles[:0], t.offs[:0]
+	dilate8Pool.Put(t)
 	return cur
 }

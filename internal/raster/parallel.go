@@ -1,0 +1,121 @@
+package raster
+
+import (
+	"runtime"
+	"sync"
+)
+
+// The tiled execution model: every raster kernel decomposes its grid
+// into contiguous bands (row ranges for scanline work, column ranges
+// for the distance transform's first pass, word ranges for bit-level
+// work) and runs the bands on a bounded pool of persistent worker
+// goroutines. Band boundaries are a pure function of (item count, band
+// count), each band writes a disjoint region of the output or a private
+// tile merged serially in band order, and no band's result depends on
+// scheduling — so the parallel kernels are bit-identical to the serial
+// path at any worker count, which the diffcheck parallel drivers
+// enforce (DESIGN.md, "Raster execution model").
+//
+// The pool is persistent (started once, sized to GOMAXPROCS at first
+// use) so dispatching a kernel performs no allocation: jobs travel by
+// value over a channel and completion is signaled through a WaitGroup
+// owned by the kernel's pooled task struct.
+
+// A bandTask is one kernel invocation's banded execution: runBand
+// processes the half-open range [lo, hi) of band index `band`.
+// Implementations must be leaf work — a runBand must never dispatch
+// bands of its own (the pool's no-nesting rule, which is what makes the
+// bounded pool deadlock-free: every queued job completes without
+// waiting on another job).
+type bandTask interface {
+	runBand(band, lo, hi int)
+}
+
+var kernelPool struct {
+	once sync.Once
+	jobs chan kernelJob
+}
+
+type kernelJob struct {
+	t      bandTask
+	band   int
+	lo, hi int
+	wg     *sync.WaitGroup
+}
+
+func startKernelPool() {
+	n := runtime.GOMAXPROCS(0)
+	if n < 1 {
+		n = 1
+	}
+	kernelPool.jobs = make(chan kernelJob, 4*n)
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range kernelPool.jobs {
+				j.t.runBand(j.band, j.lo, j.hi)
+				j.wg.Done()
+			}
+		}()
+	}
+}
+
+// parallelMinCells is the grid size below which the auto worker setting
+// stays serial: dispatch plus merge overhead is ~µs, so tiny grids are
+// faster single-threaded and the parallel machinery only pays for
+// itself on study-scale rasters.
+const parallelMinCells = 1 << 14
+
+// maxKernelBands caps the band count: more bands than this only adds
+// dispatch and merge overhead with no extra hardware parallelism to
+// exploit.
+const maxKernelBands = 256
+
+// kernelBands resolves a kernel's exported workers parameter to a band
+// count for items work units on a cells-sized grid. 0 selects
+// GOMAXPROCS (falling back to serial below parallelMinCells), 1 forces
+// the serial path, larger values request that many bands; the result is
+// always within [1, items] so every band is non-empty.
+func kernelBands(workers, cells, items int) int {
+	if workers == 0 {
+		if cells < parallelMinCells {
+			return 1
+		}
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > maxKernelBands {
+		workers = maxKernelBands
+	}
+	if workers > items {
+		workers = items
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// runBands executes t over [0, n) split into bands contiguous ranges:
+// band b covers [b*n/bands, (b+1)*n/bands). Band 0 runs inline on the
+// calling goroutine; the rest are dispatched to the persistent pool.
+// wg must be an idle WaitGroup owned by t (reused across calls); on
+// return every band has completed and its writes are visible.
+func runBands(t bandTask, wg *sync.WaitGroup, n, bands int) {
+	if bands <= 1 || n <= 1 {
+		t.runBand(0, 0, n)
+		return
+	}
+	kernelPool.once.Do(startKernelPool)
+	wg.Add(bands - 1)
+	for b := 1; b < bands; b++ {
+		kernelPool.jobs <- kernelJob{t: t, band: b, lo: b * n / bands, hi: (b + 1) * n / bands, wg: wg}
+	}
+	t.runBand(0, 0, n/bands)
+	wg.Wait()
+}
+
+// bandRange returns the [lo, hi) range of band b when n items split
+// into bands bands — the same arithmetic runBands uses, exposed so
+// merge phases can locate each band's tile.
+func bandRange(b, n, bands int) (lo, hi int) {
+	return b * n / bands, (b + 1) * n / bands
+}

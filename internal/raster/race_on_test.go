@@ -1,0 +1,8 @@
+//go:build race
+
+package raster
+
+// raceEnabled reports that this binary was built with -race; the
+// detector's instrumentation allocates inside instrumented code, so the
+// steady-state-allocation assertions skip themselves.
+const raceEnabled = true

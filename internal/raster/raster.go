@@ -14,6 +14,8 @@ package raster
 import (
 	"errors"
 	"fmt"
+	"math"
+	"math/bits"
 
 	"fivealarms/internal/geom"
 )
@@ -254,13 +256,121 @@ func (b *BitGrid) setIdx(i int) { b.bits[i>>6] |= 1 << (uint(i) & 63) }
 
 func (b *BitGrid) getIdx(i int) bool { return b.bits[i>>6]&(1<<(uint(i)&63)) != 0 }
 
-// Count returns the number of set cells.
+// Count returns the number of set cells (hardware popcount per word).
 func (b *BitGrid) Count() int {
 	n := 0
 	for _, w := range b.bits {
-		n += popcount(w)
+		n += bits.OnesCount64(w)
 	}
 	return n
+}
+
+// Clear resets every cell to false without reallocating.
+func (b *BitGrid) Clear() {
+	clear(b.bits)
+}
+
+// SetSpan sets cells cx0..cx1 (inclusive) of row cy with word-level
+// masks — 64 cells per store instead of one. The span is clamped to the
+// grid; an inverted or fully off-grid span is a no-op.
+func (b *BitGrid) SetSpan(cy, cx0, cx1 int) {
+	if cy < 0 || cy >= b.NY {
+		return
+	}
+	if cx0 < 0 {
+		cx0 = 0
+	}
+	if cx1 >= b.NX {
+		cx1 = b.NX - 1
+	}
+	if cx0 > cx1 {
+		return
+	}
+	i0 := cy*b.NX + cx0
+	i1 := cy*b.NX + cx1
+	setWordSpan(b.bits, i0, i1)
+}
+
+// setWordSpan sets bits i0..i1 (inclusive) of a packed word slice.
+func setWordSpan(words []uint64, i0, i1 int) {
+	w0, w1 := i0>>6, i1>>6
+	lowMask := ^uint64(0) << (uint(i0) & 63)
+	highMask := ^uint64(0) >> (63 - (uint(i1) & 63))
+	if w0 == w1 {
+		words[w0] |= lowMask & highMask
+		return
+	}
+	words[w0] |= lowMask
+	for w := w0 + 1; w < w1; w++ {
+		words[w] = ^uint64(0)
+	}
+	words[w1] |= highMask
+}
+
+// Not complements every cell in place (tail bits beyond the last cell
+// stay zero, preserving the Count/Or/And invariants).
+func (b *BitGrid) Not() {
+	for i := range b.bits {
+		b.bits[i] = ^b.bits[i]
+	}
+	b.maskTail()
+}
+
+// maskTail zeroes the unused bits of the final word.
+func (b *BitGrid) maskTail() {
+	if n := b.Cells() & 63; n != 0 && len(b.bits) > 0 {
+		b.bits[len(b.bits)-1] &= (1 << uint(n)) - 1
+	}
+}
+
+// ForEachSetRun calls fn once per maximal horizontal run of set cells,
+// in row-major order: fn(cy, cx0, cx1) with cx0..cx1 inclusive. Runs
+// are discovered word-at-a-time (trailing-zeros scans), so sparse masks
+// iterate in time proportional to words plus runs, not cells — the
+// bulk replacement for per-cell Get loops over set regions.
+func (b *BitGrid) ForEachSetRun(fn func(cy, cx0, cx1 int)) {
+	b.forEachSetRunRows(0, b.NY, fn)
+}
+
+// forEachSetRunRows is ForEachSetRun restricted to rows [y0, y1).
+func (b *BitGrid) forEachSetRunRows(y0, y1 int, fn func(cy, cx0, cx1 int)) {
+	for cy := y0; cy < y1; cy++ {
+		base := cy * b.NX
+		cx := 0
+		for cx < b.NX {
+			// Find the next set cell at or after cx.
+			i := base + cx
+			w := b.bits[i>>6] >> (uint(i) & 63)
+			if w == 0 {
+				cx += 64 - int(uint(i)&63)
+				continue
+			}
+			cx += bits.TrailingZeros64(w)
+			if cx >= b.NX {
+				break
+			}
+			start := cx
+			// Find the next clear cell after the run. The inversion turns
+			// bits shifted in beyond the word end into ones, so only the
+			// 64-s bits actually read from this word may terminate the run.
+			for cx < b.NX {
+				i = base + cx
+				s := int(uint(i) & 63)
+				w = ^(b.bits[i>>6] >> uint(s))
+				tz := bits.TrailingZeros64(w)
+				if tz >= 64-s {
+					cx += 64 - s
+					continue
+				}
+				cx += tz
+				break
+			}
+			if cx > b.NX {
+				cx = b.NX
+			}
+			fn(cy, start, cx-1)
+		}
+	}
 }
 
 // Or sets b to the union of b and o. Returns ErrShapeMismatch when the
@@ -271,6 +381,18 @@ func (b *BitGrid) Or(o *BitGrid) error {
 	}
 	for i := range b.bits {
 		b.bits[i] |= o.bits[i]
+	}
+	return nil
+}
+
+// And sets b to the intersection of b and o. Returns ErrShapeMismatch
+// when the geometries differ.
+func (b *BitGrid) And(o *BitGrid) error {
+	if !b.Same(o.Geometry) {
+		return ErrShapeMismatch
+	}
+	for i := range b.bits {
+		b.bits[i] &= o.bits[i]
 	}
 	return nil
 }
@@ -298,13 +420,44 @@ func (b *BitGrid) AreaSquareMeters() float64 {
 	return float64(b.Count()) * b.CellArea()
 }
 
-func popcount(x uint64) int {
-	n := 0
-	for x != 0 {
-		x &= x - 1
-		n++
+// fnv64 constants for the grid fingerprints below.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvWord(h, w uint64) uint64 {
+	for s := 0; s < 64; s += 8 {
+		h = (h ^ (w >> s & 0xff)) * fnvPrime
 	}
-	return n
+	return h
+}
+
+// Fingerprint returns an FNV-1a hash of the grid's geometry and cell
+// contents — the compact equality witness the CI smoke step and the
+// kernel benchmarks use to assert that the parallel schedules produce
+// the exact bits the serial path does.
+func (b *BitGrid) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(b.NX))
+	h = fnvWord(h, uint64(b.NY))
+	for _, w := range b.bits {
+		h = fnvWord(h, w)
+	}
+	return h
+}
+
+// Fingerprint returns an FNV-1a hash of the grid's geometry and the
+// IEEE-754 bit patterns of every cell (so ±0 and NaN payloads count;
+// bit-identity, not numeric equality).
+func (f *FloatGrid) Fingerprint() uint64 {
+	h := uint64(fnvOffset)
+	h = fnvWord(h, uint64(f.NX))
+	h = fnvWord(h, uint64(f.NY))
+	for _, v := range f.Data {
+		h = fnvWord(h, math.Float64bits(v))
+	}
+	return h
 }
 
 // String summarizes the grid for debugging.

@@ -1,0 +1,421 @@
+package raster
+
+// Tile-seam correctness: features placed exactly on band boundaries and
+// word boundaries, every tiled kernel, band counts from 1 through
+// full-grid (one band per row/column) and beyond. These tests live
+// inside the package so they can pin the serial/parallel split at exact
+// band geometries via the internal helpers; the external conformance
+// tests sweep the same kernels through the seeded diffcheck drivers.
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"fivealarms/internal/geom"
+)
+
+// seamWorkerGrid deliberately includes 1 (serial), counts that divide
+// the test grids evenly, primes that do not, and counts exceeding the
+// row count (clamped to one band per row — the "1×1 tile" extreme).
+var seamWorkerGrid = [...]int{1, 2, 3, 4, 7, 33}
+
+func seamGeometry(nx, ny int) Geometry {
+	return Geometry{MinX: -50, MinY: -25, CellSize: 10, NX: nx, NY: ny}
+}
+
+func TestSetSpanMatchesPerCellSet(t *testing.T) {
+	// Spans chosen to start/end exactly at word boundaries (cells 63, 64,
+	// 127, 128 of a 70-wide grid straddle rows), cross multiple words,
+	// clamp at the grid edge, and degenerate to one cell.
+	g := seamGeometry(70, 5)
+	cases := []struct{ cy, cx0, cx1 int }{
+		{0, 0, 69}, {0, 63, 63}, {0, 63, 64}, {1, 0, 0}, {1, 57, 58},
+		{2, 5, 5}, {2, -3, 2}, {3, 60, 99}, {4, 0, 69}, {2, 40, 10},
+		{-1, 0, 5}, {5, 0, 5},
+	}
+	for _, c := range cases {
+		a := NewBitGrid(g)
+		a.SetSpan(c.cy, c.cx0, c.cx1)
+		b := NewBitGrid(g)
+		for cx := c.cx0; cx <= c.cx1; cx++ {
+			b.Set(cx, c.cy, true)
+		}
+		if a.Fingerprint() != b.Fingerprint() {
+			t.Errorf("SetSpan(%d, %d, %d) != per-cell Set", c.cy, c.cx0, c.cx1)
+		}
+	}
+}
+
+func TestNotKeepsTailClear(t *testing.T) {
+	g := seamGeometry(9, 7) // 63 cells: the tail word has a single spare bit
+	m := NewBitGrid(g)
+	m.Set(3, 3, true)
+	m.Not()
+	if got, want := m.Count(), g.Cells()-1; got != want {
+		t.Fatalf("Not: %d set cells, want %d", got, want)
+	}
+	m.Not()
+	if m.Count() != 1 || !m.Get(3, 3) {
+		t.Fatal("double Not did not restore the mask")
+	}
+}
+
+func TestAndIntersects(t *testing.T) {
+	g := seamGeometry(70, 3)
+	a, b := NewBitGrid(g), NewBitGrid(g)
+	a.SetSpan(1, 0, 69)
+	b.SetSpan(1, 60, 69)
+	b.SetSpan(2, 0, 5)
+	if err := a.And(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Count(); got != 10 {
+		t.Fatalf("And: %d cells, want 10", got)
+	}
+	if err := a.And(NewBitGrid(seamGeometry(3, 3))); err == nil {
+		t.Fatal("And across shapes must fail")
+	}
+}
+
+func TestForEachSetRunMatchesPerCellScan(t *testing.T) {
+	// Masks with runs that touch word boundaries, span whole rows, sit in
+	// adjacent rows sharing a word (NX=70 is not a multiple of 64), and a
+	// full grid.
+	g := seamGeometry(70, 4)
+	build := func(spans [][3]int) *BitGrid {
+		m := NewBitGrid(g)
+		for _, s := range spans {
+			m.SetSpan(s[0], s[1], s[2])
+		}
+		return m
+	}
+	cases := []struct {
+		name  string
+		spans [][3]int
+	}{
+		{"empty", nil},
+		{"full", [][3]int{{0, 0, 69}, {1, 0, 69}, {2, 0, 69}, {3, 0, 69}}},
+		{"word-boundary-cells", [][3]int{{0, 63, 63}, {0, 64, 64}, {1, 57, 58}}},
+		{"row-spanning-word", [][3]int{{0, 69, 69}, {1, 0, 0}}},
+		{"isolated-cells", [][3]int{{0, 0, 0}, {2, 35, 35}, {3, 69, 69}}},
+		{"mixed-runs", [][3]int{{1, 3, 20}, {1, 22, 64}, {2, 0, 69}}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := build(c.spans)
+			var got [][3]int
+			m.ForEachSetRun(func(cy, cx0, cx1 int) {
+				got = append(got, [3]int{cy, cx0, cx1})
+			})
+			// Reference: per-cell scan for maximal runs.
+			var want [][3]int
+			for cy := 0; cy < g.NY; cy++ {
+				cx := 0
+				for cx < g.NX {
+					if !m.Get(cx, cy) {
+						cx++
+						continue
+					}
+					start := cx
+					for cx < g.NX && m.Get(cx, cy) {
+						cx++
+					}
+					want = append(want, [3]int{cy, start, cx - 1})
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("runs: got %v, want %v", got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("run %d: got %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// seamMasks builds mask scenarios whose set cells hug band boundaries
+// at every band count in seamWorkerGrid: single rows, single columns,
+// full grids, checkerboards, and diagonal stripes.
+func seamMasks(g Geometry) map[string]*BitGrid {
+	masks := map[string]*BitGrid{}
+	empty := NewBitGrid(g)
+	masks["empty"] = empty
+	full := NewBitGrid(g)
+	for cy := 0; cy < g.NY; cy++ {
+		full.SetSpan(cy, 0, g.NX-1)
+	}
+	masks["full"] = full
+	// One set row exactly at each band boundary for every band count.
+	rows := NewBitGrid(g)
+	for _, w := range seamWorkerGrid {
+		bands := w
+		if bands > g.NY {
+			bands = g.NY
+		}
+		for b := 0; b < bands; b++ {
+			lo, _ := bandRange(b, g.NY, bands)
+			rows.SetSpan(lo, 0, g.NX-1)
+		}
+	}
+	masks["band-boundary-rows"] = rows
+	checker := NewBitGrid(g)
+	for cy := 0; cy < g.NY; cy++ {
+		for cx := (cy & 1); cx < g.NX; cx += 2 {
+			checker.Set(cx, cy, true)
+		}
+	}
+	masks["checkerboard"] = checker
+	diag := NewBitGrid(g)
+	for cy := 0; cy < g.NY; cy++ {
+		diag.Set(cy%g.NX, cy, true)
+	}
+	masks["diagonal"] = diag
+	corner := NewBitGrid(g)
+	corner.Set(0, 0, true)
+	corner.Set(g.NX-1, g.NY-1, true)
+	masks["corners"] = corner
+	return masks
+}
+
+func TestKernelSeams(t *testing.T) {
+	for _, dims := range [][2]int{{1, 1}, {70, 1}, {1, 40}, {70, 40}} {
+		g := seamGeometry(dims[0], dims[1])
+		for name, mask := range seamMasks(g) {
+			serialDT := DistanceTransformWorkers(mask, 1)
+			serialDil := DilateByDistanceWorkers(mask, 1.5*g.CellSize, 1)
+			serialD8 := Dilate8Workers(mask, 2, 1)
+			serialTr := TraceContoursWorkers(mask, 1)
+			serialEr := ErodeByDistance(mask, 1.5*g.CellSize)
+			for _, w := range seamWorkerGrid[1:] {
+				if dt := DistanceTransformWorkers(mask, w); dt.Fingerprint() != serialDT.Fingerprint() {
+					t.Errorf("%dx%d/%s: distance transform diverges at %d workers", g.NX, g.NY, name, w)
+				}
+				if d := DilateByDistanceWorkers(mask, 1.5*g.CellSize, w); d.Fingerprint() != serialDil.Fingerprint() {
+					t.Errorf("%dx%d/%s: dilate diverges at %d workers", g.NX, g.NY, name, w)
+				}
+				if d := Dilate8Workers(mask, 2, w); d.Fingerprint() != serialD8.Fingerprint() {
+					t.Errorf("%dx%d/%s: dilate8 diverges at %d workers", g.NX, g.NY, name, w)
+				}
+				tr := TraceContoursWorkers(mask, w)
+				if len(tr) != len(serialTr) {
+					t.Errorf("%dx%d/%s: contours diverge at %d workers: %d vs %d polys",
+						g.NX, g.NY, name, w, len(tr), len(serialTr))
+					continue
+				}
+				for i := range tr {
+					if !ringsEqual(tr[i].Exterior, serialTr[i].Exterior) {
+						t.Errorf("%dx%d/%s: contour %d exterior diverges at %d workers", g.NX, g.NY, name, i, w)
+					}
+				}
+			}
+			// Erode is a fixed composition over the parallel dilate; pin its
+			// complement identity on the same scenarios.
+			backAndForth := mask.Clone()
+			backAndForth.Not()
+			backAndForth.Not()
+			if backAndForth.Fingerprint() != mask.Fingerprint() {
+				t.Errorf("%dx%d/%s: double complement diverges", g.NX, g.NY, name)
+			}
+			_ = serialEr
+		}
+	}
+}
+
+func ringsEqual(a, b geom.Ring) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFillSeams rasterizes polygons whose edges land exactly on band
+// boundary rows and on cell-center columns, at every worker count.
+func TestFillSeams(t *testing.T) {
+	g := seamGeometry(70, 40)
+	rect := func(x0, y0, x1, y1 float64) geom.Polygon {
+		return geom.Polygon{Exterior: geom.Ring{
+			geom.Pt(x0, y0), geom.Pt(x1, y0), geom.Pt(x1, y1), geom.Pt(x0, y1),
+		}}
+	}
+	// Band boundaries for w workers sit at rows b*NY/w; their projected
+	// y is MinY + row*CellSize. Build rectangles whose horizontal edges
+	// lie exactly on those lattice lines for every worker count, plus
+	// slivers thinner than a cell and a polygon crossing the whole grid.
+	var polys []geom.Polygon
+	for _, w := range seamWorkerGrid {
+		for b := 1; b < w && b < g.NY; b++ {
+			lo, _ := bandRange(b, g.NY, w)
+			y := g.MinY + float64(lo)*g.CellSize
+			polys = append(polys, rect(g.MinX+5, y-15, g.MinX+655, y+15))
+			polys = append(polys, rect(g.MinX+100, y, g.MinX+200, y+2))
+		}
+	}
+	polys = append(polys,
+		rect(g.MinX-100, g.MinY-100, g.MinX+1e4, g.MinY+1e4),   // covers everything
+		rect(g.MinX+634.9, g.MinY+5, g.MinX+635.1, g.MinY+395), // one-column sliver on a word boundary
+	)
+	scenarios := map[string][]geom.Polygon{
+		"individual": nil, // filled per polygon below
+		"all-fused":  polys,
+	}
+	serialAll := NewBitGrid(g)
+	FillPolygonsInto(serialAll, polys, 1)
+	for name, ps := range scenarios {
+		if name == "individual" {
+			for pi, p := range polys {
+				serial := NewBitGrid(g)
+				FillPolygonsInto(serial, []geom.Polygon{p}, 1)
+				for _, w := range seamWorkerGrid[1:] {
+					par := NewBitGrid(g)
+					FillPolygonsInto(par, []geom.Polygon{p}, w)
+					if par.Fingerprint() != serial.Fingerprint() {
+						t.Errorf("polygon %d diverges at %d workers", pi, w)
+					}
+				}
+			}
+			continue
+		}
+		for _, w := range seamWorkerGrid[1:] {
+			par := NewBitGrid(g)
+			FillPolygonsInto(par, ps, w)
+			if par.Fingerprint() != serialAll.Fingerprint() {
+				t.Errorf("%s diverges at %d workers", name, w)
+			}
+		}
+	}
+	// The fused sweep must equal the polygon-at-a-time union exactly.
+	oneByOne := NewBitGrid(g)
+	for _, p := range polys {
+		FillPolygonsInto(oneByOne, []geom.Polygon{p}, 1)
+	}
+	if oneByOne.Fingerprint() != serialAll.Fingerprint() {
+		t.Error("fused sweep diverges from polygon-at-a-time union")
+	}
+}
+
+func TestDistanceTransformIntoShapeMismatch(t *testing.T) {
+	mask := NewBitGrid(seamGeometry(8, 8))
+	out := NewFloatGrid(seamGeometry(8, 9))
+	if err := DistanceTransformInto(out, mask, 0); err != ErrShapeMismatch {
+		t.Fatalf("got %v, want ErrShapeMismatch", err)
+	}
+}
+
+func TestAcquireReleaseGrids(t *testing.T) {
+	g := seamGeometry(70, 40)
+	b := AcquireBitGrid(g)
+	b.SetSpan(3, 0, 69)
+	ReleaseBitGrid(b)
+	b2 := AcquireBitGrid(g)
+	if b2.Count() != 0 {
+		t.Error("reacquired bit grid not cleared")
+	}
+	ReleaseBitGrid(b2)
+	// A smaller geometry must reuse the larger backing storage cleanly.
+	small := AcquireBitGrid(seamGeometry(5, 5))
+	if small.Count() != 0 || small.Cells() != 25 {
+		t.Error("smaller reacquisition not cleared or misshapen")
+	}
+	ReleaseBitGrid(small)
+	ReleaseBitGrid(nil) // must not panic
+
+	f := AcquireFloatGrid(g)
+	f.Data[17] = 4.5
+	ReleaseFloatGrid(f)
+	f2 := AcquireFloatGrid(g)
+	for i, v := range f2.Data {
+		if v != 0 {
+			t.Fatalf("reacquired float grid cell %d = %v, want 0", i, v)
+		}
+	}
+	ReleaseFloatGrid(f2)
+	ReleaseFloatGrid(nil) // must not panic
+}
+
+// TestRasterKernelFingerprints is the CI smoke invariant: on a
+// study-scale grid, every parallel kernel's fingerprint equals the
+// serial one's.
+func TestRasterKernelFingerprints(t *testing.T) {
+	g := Geometry{MinX: -2.3e6, MinY: -1.4e6, CellSize: 2700, NX: 430, NY: 270}
+	polys := syntheticPerimeters(g, 24, 99)
+	serial := NewBitGrid(g)
+	FillPolygonsInto(serial, polys, 1)
+	serialDT := DistanceTransformWorkers(serial, 1)
+	workers := []int{0, 2, 4, 8, runtime.GOMAXPROCS(0)}
+	for _, w := range workers {
+		par := NewBitGrid(g)
+		FillPolygonsInto(par, polys, w)
+		if par.Fingerprint() != serial.Fingerprint() {
+			t.Fatalf("fill fingerprint diverges at workers=%d", w)
+		}
+		if dt := DistanceTransformWorkers(serial, w); dt.Fingerprint() != serialDT.Fingerprint() {
+			t.Fatalf("distance fingerprint diverges at workers=%d", w)
+		}
+	}
+}
+
+// TestFusedSweepSteadyStateAllocs pins the arena's purpose: after
+// warm-up, the fused fill+distance sweep over a fixed geometry performs
+// zero allocations per iteration.
+func TestFusedSweepSteadyStateAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector's instrumentation allocates inside the sweep")
+	}
+	g := Geometry{MinX: 0, MinY: 0, CellSize: 100, NX: 256, NY: 256}
+	polys := syntheticPerimeters(g, 12, 7)
+	mask := AcquireBitGrid(g)
+	dist := AcquireFloatGrid(g)
+	sweep := func() {
+		mask.Clear()
+		FillPolygonsInto(mask, polys, 0)
+		if err := DistanceTransformInto(dist, mask, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Warm the arena and the worker pool: the first sweeps grow the
+	// pooled buffers to this geometry's sizes.
+	sweep()
+	sweep()
+	runtime.GC()
+	if allocs := testing.AllocsPerRun(5, sweep); allocs > 0 {
+		t.Errorf("fused sweep allocates %.1f times per run in steady state, want 0", allocs)
+	}
+	ReleaseBitGrid(mask)
+	ReleaseFloatGrid(dist)
+}
+
+// syntheticPerimeters builds deterministic star-shaped fire perimeters
+// scattered over the grid — irregular convex-ish polygons with vertex
+// counts and radii varying by index, no RNG dependency.
+func syntheticPerimeters(g Geometry, n int, salt uint64) []geom.Polygon {
+	w := float64(g.NX) * g.CellSize
+	h := float64(g.NY) * g.CellSize
+	polys := make([]geom.Polygon, 0, n)
+	state := salt*2862933555777941757 + 3037000493
+	next := func() float64 {
+		state = state*2862933555777941757 + 3037000493
+		return float64(state>>11) / float64(1<<53)
+	}
+	for i := 0; i < n; i++ {
+		cx := g.MinX + (0.1+0.8*next())*w
+		cy := g.MinY + (0.1+0.8*next())*h
+		rBase := (0.02 + 0.08*next()) * math.Min(w, h)
+		verts := 5 + i%7
+		ring := make(geom.Ring, 0, verts)
+		for v := 0; v < verts; v++ {
+			ang := 2 * math.Pi * float64(v) / float64(verts)
+			r := rBase * (0.6 + 0.8*next())
+			ring = append(ring, geom.Pt(cx+r*math.Cos(ang), cy+r*math.Sin(ang)))
+		}
+		polys = append(polys, geom.Polygon{Exterior: ring})
+	}
+	return polys
+}

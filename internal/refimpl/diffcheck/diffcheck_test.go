@@ -27,6 +27,12 @@ func TestSweepDistance(t *testing.T) {
 	}
 }
 
+func TestSweepParallelKernels(t *testing.T) {
+	if err := Sweep(150, CheckParallel); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestSweepBoxes(t *testing.T) {
 	if err := Sweep(200, CheckBoxes); err != nil {
 		t.Fatal(err)

@@ -335,11 +335,115 @@ func isFinitePt(p geom.Point) bool {
 	return !math.IsNaN(p.X) && !math.IsInf(p.X, 0) && !math.IsNaN(p.Y) && !math.IsInf(p.Y, 0)
 }
 
+// parallelWorkerGrid is the set of explicit worker counts CheckParallel
+// sweeps: prime and composite band counts around and beyond the grid
+// sizes the generators produce, so bands of every shape (empty tails,
+// single-row, whole-grid) get exercised.
+var parallelWorkerGrid = [...]int{2, 3, 5, 16}
+
+// CheckParallel runs one seeded parallel-schedule scenario: every tiled
+// raster kernel at several worker counts against its serial one-band
+// result. Masks and distances must be bit-identical and traced contours
+// deeply equal — the banded kernels recompute the exact serial
+// arithmetic per cell, so no boundary carve-out applies here.
+func CheckParallel(seed int64) error {
+	fc := GenFillCase(seed)
+	fillSerial := raster.NewBitGrid(fc.Geom)
+	raster.FillPolygonsInto(fillSerial, fc.M, 1)
+	for _, w := range parallelWorkerGrid {
+		par := raster.NewBitGrid(fc.Geom)
+		raster.FillPolygonsInto(par, fc.M, w)
+		if cx, cy, ok := firstMaskDiff(fillSerial, par); !ok {
+			return divergef("parallel-fill", seed, "%s: workers=%d cell (%d,%d): serial=%v parallel=%v on %v",
+				fc.Desc, w, cx, cy, fillSerial.Get(cx, cy), par.Get(cx, cy), fc.Geom)
+		}
+	}
+
+	mask, desc := GenMaskCase(seed)
+	g := mask.Geometry
+	distSerial := raster.DistanceTransformWorkers(mask, 1)
+	contourSerial := raster.TraceContoursWorkers(mask, 1)
+	dilateDists := []float64{g.CellSize, math.Sqrt2 * g.CellSize, g.CellSize * 2.5}
+	for _, w := range parallelWorkerGrid {
+		par := raster.DistanceTransformWorkers(mask, w)
+		for i := range par.Data {
+			if par.Data[i] != distSerial.Data[i] {
+				return divergef("parallel-distance", seed, "%s: workers=%d cell %d: serial=%v parallel=%v on %v",
+					desc, w, i, distSerial.Data[i], par.Data[i], g)
+			}
+		}
+		for _, dist := range dilateDists {
+			ds := raster.DilateByDistanceWorkers(mask, dist, 1)
+			dp := raster.DilateByDistanceWorkers(mask, dist, w)
+			if cx, cy, ok := firstMaskDiff(ds, dp); !ok {
+				return divergef("parallel-dilate", seed, "%s: workers=%d dist %v cell (%d,%d): serial=%v parallel=%v",
+					desc, w, dist, cx, cy, ds.Get(cx, cy), dp.Get(cx, cy))
+			}
+		}
+		for _, steps := range []int{1, 3} {
+			ds := raster.Dilate8Workers(mask, steps, 1)
+			dp := raster.Dilate8Workers(mask, steps, w)
+			if cx, cy, ok := firstMaskDiff(ds, dp); !ok {
+				return divergef("parallel-dilate8", seed, "%s: workers=%d steps %d cell (%d,%d): serial=%v parallel=%v",
+					desc, w, steps, cx, cy, ds.Get(cx, cy), dp.Get(cx, cy))
+			}
+		}
+		cp := raster.TraceContoursWorkers(mask, w)
+		if !multiPolygonEqual(contourSerial, cp) {
+			return divergef("parallel-contour", seed, "%s: workers=%d: serial traced %d polys, parallel %d (rings differ) on %v",
+				desc, w, len(contourSerial), len(cp), g)
+		}
+	}
+	return nil
+}
+
+// firstMaskDiff returns the first differing cell of two same-shape
+// masks in row-major order; ok is true when the masks are identical.
+func firstMaskDiff(a, b *raster.BitGrid) (cx, cy int, ok bool) {
+	for y := 0; y < a.NY; y++ {
+		for x := 0; x < a.NX; x++ {
+			if a.Get(x, y) != b.Get(x, y) {
+				return x, y, false
+			}
+		}
+	}
+	return 0, 0, true
+}
+
+func ringEqual(a, b geom.Ring) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func multiPolygonEqual(a, b geom.MultiPolygon) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !ringEqual(a[i].Exterior, b[i].Exterior) || len(a[i].Holes) != len(b[i].Holes) {
+			return false
+		}
+		for j := range a[i].Holes {
+			if !ringEqual(a[i].Holes[j], b[i].Holes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
 // CheckAll runs every driver on one seed — the hook the rewired fuzz
 // targets and the study-level conformance test call.
 func CheckAll(seed int64) error {
 	for _, check := range []func(int64) error{
-		CheckContainment, CheckFill, CheckDistance, CheckBoxes, CheckPointIndex, CheckAlbers,
+		CheckContainment, CheckFill, CheckDistance, CheckBoxes, CheckPointIndex, CheckAlbers, CheckParallel,
 	} {
 		if err := check(seed); err != nil {
 			return err

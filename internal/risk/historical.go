@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fivealarms/internal/geom"
 	"fivealarms/internal/raster"
 	"fivealarms/internal/wildfire"
 )
@@ -141,15 +142,54 @@ func (a *Analyzer) TransceiversInFire(f *wildfire.Fire) []int {
 	return out
 }
 
-// FireUnionMask rasterizes the union of all seasons' perimeters onto the
-// world grid — the data behind Figure 3's perimeter map. All perimeters
-// fill directly into one shared mask; no per-fire grids are allocated.
-func (a *Analyzer) FireUnionMask(seasons []*wildfire.Season) *raster.BitGrid {
-	union := raster.NewBitGrid(a.World.Grid)
+// seasonPerimeters flattens every mapped fire's perimeter polygons
+// across the seasons into one slice, so the whole study period
+// rasterizes as a single fused sweep.
+func seasonPerimeters(seasons []*wildfire.Season) []geom.Polygon {
+	n := 0
 	for _, s := range seasons {
 		for fi := range s.Mapped {
-			raster.FillMultiPolygonInto(union, s.Mapped[fi].Perimeter)
+			n += len(s.Mapped[fi].Perimeter)
 		}
 	}
+	polys := make([]geom.Polygon, 0, n)
+	for _, s := range seasons {
+		for fi := range s.Mapped {
+			polys = append(polys, s.Mapped[fi].Perimeter...)
+		}
+	}
+	return polys
+}
+
+// FireUnionMask rasterizes the union of all seasons' perimeters onto the
+// world grid — the data behind Figure 3's perimeter map. All perimeters
+// fill into one shared mask in a single fused sweep; no per-fire grids
+// are allocated.
+func (a *Analyzer) FireUnionMask(seasons []*wildfire.Season) *raster.BitGrid {
+	return a.FireUnionMaskWorkers(seasons, 0)
+}
+
+// FireUnionMaskWorkers is FireUnionMask with an explicit raster worker
+// bound (0 = GOMAXPROCS, 1 = serial; the mask is bit-identical at any
+// setting).
+func (a *Analyzer) FireUnionMaskWorkers(seasons []*wildfire.Season, workers int) *raster.BitGrid {
+	union := raster.NewBitGrid(a.World.Grid)
+	raster.FillPolygonsInto(union, seasonPerimeters(seasons), workers)
 	return union
+}
+
+// FireDistance computes, for every grid cell, the distance in meters to
+// the nearest cell burned by any of the seasons' fires — the field
+// behind the risk server's fire-distance queries. The perimeter union
+// and its distance transform run as one fused sweep: the intermediate
+// burn mask lives in the raster scratch arena and is released before
+// returning, so only the distance grid is allocated.
+func (a *Analyzer) FireDistance(seasons []*wildfire.Season, workers int) *raster.FloatGrid {
+	mask := raster.AcquireBitGrid(a.World.Grid)
+	raster.FillPolygonsInto(mask, seasonPerimeters(seasons), workers)
+	dist := raster.NewFloatGrid(a.World.Grid)
+	// The error is impossible: dist was just built on the mask's geometry.
+	_ = raster.DistanceTransformInto(dist, mask, workers)
+	raster.ReleaseBitGrid(mask)
+	return dist
 }

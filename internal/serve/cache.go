@@ -25,8 +25,8 @@ type studyKey struct {
 // participates.
 func keyOf(cfg fivealarms.Config) studyKey {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%g|%d|%d|%t",
-		cfg.CellSizeM, cfg.Transceivers, cfg.MappedFiresPerSeason, cfg.PipelineSerial)
+	fmt.Fprintf(h, "%g|%d|%d|%t|%d",
+		cfg.CellSizeM, cfg.Transceivers, cfg.MappedFiresPerSeason, cfg.PipelineSerial, cfg.RasterWorkers)
 	return studyKey{seed: cfg.Seed, hash: h.Sum64()}
 }
 
@@ -42,10 +42,11 @@ type studyEntry struct {
 	fireDist pipeline.Cell[*raster.FloatGrid]
 }
 
-// FireDist returns the memoized nearest-fire distance grid.
+// FireDist returns the memoized nearest-fire distance grid, computed as
+// one fused union-fill + distance sweep over the 2000-2018 seasons.
 func (e *studyEntry) FireDist() *raster.FloatGrid {
 	return e.fireDist.Get(func() *raster.FloatGrid {
-		return raster.DistanceTransform(e.study.HistoryUnionMask())
+		return e.study.Analyzer.FireDistance(e.study.History(), e.study.Cfg.RasterWorkers)
 	})
 }
 

@@ -276,16 +276,13 @@ func (m *Map) ExtendVeryHigh(dist float64) *raster.ClassGrid {
 	vh := m.ClassMask(VeryHigh)
 	grown := raster.DilateByDistance(vh, dist)
 	out := m.Classes.Clone()
-	for cy := 0; cy < out.NY; cy++ {
-		for cx := 0; cx < out.NX; cx++ {
-			if !grown.Get(cx, cy) {
-				continue
-			}
+	grown.ForEachSetRun(func(cy, cx0, cx1 int) {
+		for cx := cx0; cx <= cx1; cx++ {
 			if c := Class(out.At(cx, cy)); !c.AtRisk() {
 				out.Set(cx, cy, uint8(VeryHigh))
 			}
 		}
-	}
+	})
 	return out
 }
 

@@ -7,7 +7,7 @@ import "context"
 // Ordering semantics (the single source of truth for every option):
 // options apply strictly left to right. A field option (WithSeed,
 // WithCellSizeM, WithTransceivers, WithFiresPerSeason,
-// WithSerialPipeline, WithContext) overrides that one field of
+// WithRasterWorkers, WithSerialPipeline, WithContext) overrides that one field of
 // whatever the earlier options assembled. A whole-config option
 // (WithConfig, WithPaperScale) replaces the entire configuration —
 // including clearing a context installed by an earlier WithContext —
@@ -65,6 +65,15 @@ func WithConfig(cfg Config) Option {
 // adjust individual fields with later options (see Option).
 func WithPaperScale(seed uint64) Option {
 	return func(c *Config) { *c = PaperScale(seed) }
+}
+
+// WithRasterWorkers bounds the parallelism of the tiled raster kernels
+// (Config.RasterWorkers): perimeter-union fills, distance transforms,
+// dilations and contour tracing. 0 selects GOMAXPROCS (or serial under
+// WithSerialPipeline), 1 forces the serial kernels. Results are
+// bit-identical at any setting.
+func WithRasterWorkers(n int) Option {
+	return func(c *Config) { c.RasterWorkers = n }
 }
 
 // WithSerialPipeline forces the serial build and simulation path

@@ -261,6 +261,26 @@ func TestNewStudyWithOptions(t *testing.T) {
 	if _, err := NewStudyWithOptions(WithTransceivers(-7)); err == nil {
 		t.Error("negative Transceivers accepted")
 	}
+	if _, err := NewStudyWithOptions(WithRasterWorkers(-1)); err == nil {
+		t.Error("negative RasterWorkers accepted")
+	}
+	if _, err := NewStudyWithOptions(WithRasterWorkers(1 << 20)); err == nil {
+		t.Error("RasterWorkers above the pool maximum accepted")
+	}
+
+	// An explicit worker count survives option composition and must not
+	// change any result: the tiled kernels are bit-identical per band
+	// count, so the overlay tables match the serial study's exactly.
+	s3, err := NewStudyWithOptions(WithConfig(want), WithRasterWorkers(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Cfg.RasterWorkers != 3 {
+		t.Errorf("RasterWorkers = %d, want 3", s3.Cfg.RasterWorkers)
+	}
+	if a, b := asJSON(s3.Table2()), asJSON(legacy.Table2()); a != b {
+		t.Error("RasterWorkers=3 changed Table 2 versus the serial study")
+	}
 
 	// WithConfig seeds the whole struct; later options override fields.
 	s2, err := NewStudyWithOptions(WithConfig(want), WithSeed(12), WithSerialPipeline())
