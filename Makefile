@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve serve-smoke fuzz experiments maps clean
+.PHONY: all build test vet lint race chaos chaos-serve load-smoke diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve serve-smoke fuzz experiments maps clean
 
 all: vet lint test build
 
@@ -57,11 +57,14 @@ serve-smoke:
 	./scripts/serve_smoke.sh
 
 # Regenerate the serving baseline: fivealarmsload self-hosts an
-# in-process server at bench scale, warms it, and records sustained
-# qps plus latency quantiles in BENCH_serve.json. The repo's serving
-# budget is p99 < 50 ms warm at this scale.
+# in-process server at bench scale, warms it, measures a steady phase,
+# then drives a deliberately constrained server at 4x its admission
+# capacity (the overload phase) and records both — sustained qps,
+# latency quantiles, shed rate, and p99-under-overload — in
+# BENCH_serve.json. The repo's serving budget is p99 < 50 ms warm at
+# this scale, and overload must shed (429/503), never time out.
 bench-serve:
-	$(GO) run ./cmd/fivealarmsload -dur 5s -workers 4 \
+	$(GO) run ./cmd/fivealarmsload -dur 5s -workers 4 -overload \
 		-seed 7 -cell 20000 -transceivers 60000 -fires 12 \
 		-out BENCH_serve.json
 
@@ -103,6 +106,21 @@ chaos:
 	$(GO) test -race -count=2 \
 		-run 'Chaos|Cancel|Context|Panic|Poison|Retri|JoinErrors' \
 		./internal/pipeline ./internal/faults ./internal/wildfire .
+
+# Run the serving-layer chaos suite under the race detector: overload
+# shedding, breaker transitions, degraded mode, slowloris reaping,
+# limiter/breaker races (DESIGN.md "Overload & degradation policy").
+chaos-serve:
+	$(GO) test -race -count=1 \
+		-run 'Chaos|Breaker|Limiter|Slowloris|Degraded|Cancel|Concurrent' \
+		./internal/serve
+
+# Drive a constrained self-hosted server past its admission limit and
+# require that excess load is shed (429/503) rather than timed out.
+# Tiny study scale: this gates behavior, not throughput.
+load-smoke:
+	$(GO) run ./cmd/fivealarmsload -dur 2s -overload -expect-shed \
+		-cell 40000 -transceivers 5000 -fires 5 -out /dev/null >/dev/null
 
 # Regenerate experiments_run.txt at reference scale (minutes).
 experiments:

@@ -7,7 +7,11 @@
 //
 // The server builds its first study lazily on first request; studies
 // for other seeds (?seed=N) are built on demand and held in a bounded
-// LRU. SIGINT/SIGTERM triggers a graceful drain: the listener closes,
+// LRU. Serving is overload-resilient: per-route deadlines, weighted
+// admission control with bounded queueing (-inflight, -queue), a
+// circuit breaker around study builds, and degraded last-known-good
+// responses — see DESIGN.md "Overload & degradation policy".
+// SIGINT/SIGTERM triggers a graceful drain: the listener closes,
 // in-flight requests finish (up to -grace), then the process exits.
 package main
 
@@ -37,24 +41,41 @@ func main() {
 		studies = flag.Int("studies", 4, "max studies resident in the LRU cache")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown drain budget")
 		warm    = flag.Bool("warm", false, "build the default study before accepting connections")
+
+		readDeadline  = flag.Duration("read-deadline", 0, "deadline for cheap read endpoints (0 = server default)")
+		buildDeadline = flag.Duration("build-deadline", 0, "deadline for expensive endpoints like /v1/extend (0 = server default)")
+		inflight      = flag.Int("inflight", 0, "admission weight capacity (0 = server default)")
+		queue         = flag.Int("queue", 0, "admission wait-queue bound; arrivals beyond it get 429 (0 = server default)")
+		breakerTrips  = flag.Int("breaker-threshold", 0, "consecutive build failures that open the build circuit (0 = server default)")
+		breakerWait   = flag.Duration("breaker-backoff", 0, "base open-circuit backoff, doubled per reopen (0 = server default)")
 	)
 	flag.Parse()
-	if err := run(*addr, fivealarms.Config{
-		Seed:                 *seed,
-		CellSizeM:            *cell,
-		Transceivers:         *tx,
-		MappedFiresPerSeason: *fires,
-	}, *studies, *grace, *warm); err != nil {
+	opts := serve.Options{
+		Config: fivealarms.Config{
+			Seed:                 *seed,
+			CellSizeM:            *cell,
+			Transceivers:         *tx,
+			MappedFiresPerSeason: *fires,
+		},
+		MaxStudies:       *studies,
+		ReadDeadline:     *readDeadline,
+		BuildDeadline:    *buildDeadline,
+		MaxInFlight:      *inflight,
+		MaxQueue:         *queue,
+		BreakerThreshold: *breakerTrips,
+		BreakerBackoff:   *breakerWait,
+	}
+	if err := run(*addr, opts, *grace, *warm); err != nil {
 		fmt.Fprintln(os.Stderr, "fivealarmsd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, cfg fivealarms.Config, maxStudies int, grace time.Duration, warm bool) error {
+func run(addr string, opts serve.Options, grace time.Duration, warm bool) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	srv, err := serve.New(ctx, serve.Options{Config: cfg, MaxStudies: maxStudies})
+	srv, err := serve.New(ctx, opts)
 	if err != nil {
 		return err
 	}
@@ -69,9 +90,10 @@ func run(addr string, cfg fivealarms.Config, maxStudies int, grace time.Duration
 	if err != nil {
 		return err
 	}
-	// Deliberately no BaseContext tied to the signal context: Shutdown
-	// below drains in-flight requests instead of aborting them.
-	hs := &http.Server{Handler: srv.Handler()}
+	// Hardened server (slowloris timeouts, header cap); deliberately no
+	// BaseContext tied to the signal context: Shutdown below drains
+	// in-flight requests instead of aborting them.
+	hs := serve.NewHTTPServer(srv.Handler())
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()

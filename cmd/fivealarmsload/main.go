@@ -1,6 +1,6 @@
 // Command fivealarmsload drives the v1 risk-query API with a mixed
 // read workload and reports sustained throughput and latency
-// quantiles. Two modes:
+// quantiles. Three modes:
 //
 //	fivealarmsload -smoke -addr http://HOST:PORT
 //	    One probe of /v1/healthz and /v1/risk/point, exit nonzero on
@@ -12,6 +12,20 @@
 //	    scale given by the study flags, warms it, then measures. The
 //	    JSON summary goes to stdout and, with -out, to a file.
 //
+//	fivealarmsload -overload [flags]
+//	    Two-phase run (self-hosted only): a steady phase at the normal
+//	    concurrency, then an overload phase driving a deliberately
+//	    constrained server (tiny admission capacity) at several times
+//	    its limit. The overload phase exists to measure the resilience
+//	    layer: requests beyond capacity must be shed promptly with
+//	    429/503 — never time out. -expect-shed turns that expectation
+//	    into the exit code, for CI.
+//
+// Every response is classified — 2xx, shed (429/503), client-side
+// timeout, or other failure — and the summary carries the counts plus
+// the shed rate, so overload behavior is a first-class benchmark
+// result rather than an undifferentiated error tally.
+//
 // The query mix is deterministic per -loadseed (internal/rng), so two
 // runs against the same server issue the identical request sequence.
 package main
@@ -20,9 +34,11 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -34,14 +50,26 @@ import (
 	"fivealarms/internal/serve"
 )
 
+// Overload-phase shape: a server constrained to overloadInFlight weight
+// units and an overloadQueue-deep wait queue, driven by overloadWorkers
+// concurrent loops — 4× the total admitted+queued capacity.
+const (
+	overloadInFlight = 4
+	overloadQueue    = 4
+	overloadWorkers  = 4 * (overloadInFlight + overloadQueue)
+)
+
 func main() {
 	var (
-		addr     = flag.String("addr", "", "server base URL; empty self-hosts an in-process server")
-		smoke    = flag.Bool("smoke", false, "single healthz + risk probe instead of a timed run")
-		dur      = flag.Duration("dur", 5*time.Second, "measurement duration")
-		workers  = flag.Int("workers", 4, "concurrent request loops")
-		loadseed = flag.Uint64("loadseed", 1, "seed for the deterministic query mix")
-		out      = flag.String("out", "", "also write the JSON summary to this file")
+		addr       = flag.String("addr", "", "server base URL; empty self-hosts an in-process server")
+		smoke      = flag.Bool("smoke", false, "single healthz + risk probe instead of a timed run")
+		dur        = flag.Duration("dur", 5*time.Second, "measurement duration (per phase with -overload)")
+		workers    = flag.Int("workers", 4, "concurrent request loops (steady phase)")
+		loadseed   = flag.Uint64("loadseed", 1, "seed for the deterministic query mix")
+		timeout    = flag.Duration("timeout", 10*time.Second, "per-request client timeout")
+		overload   = flag.Bool("overload", false, "add an overload phase against a constrained server (self-hosted only)")
+		expectShed = flag.Bool("expect-shed", false, "with -overload: exit nonzero unless overload shed (429/503) and nothing timed out")
+		out        = flag.String("out", "", "also write the JSON summary to this file")
 
 		seed  = flag.Uint64("seed", 7, "self-hosted study: master random seed")
 		cell  = flag.Float64("cell", 20000, "self-hosted study: raster cell size in meters")
@@ -51,7 +79,8 @@ func main() {
 	flag.Parse()
 	if err := run(runConfig{
 		addr: *addr, smoke: *smoke, dur: *dur, workers: *workers,
-		loadseed: *loadseed, out: *out,
+		loadseed: *loadseed, timeout: *timeout,
+		overload: *overload, expectShed: *expectShed, out: *out,
 		study: fivealarms.Config{Seed: *seed, CellSizeM: *cell,
 			Transceivers: *tx, MappedFiresPerSeason: *fires},
 	}); err != nil {
@@ -61,27 +90,44 @@ func main() {
 }
 
 type runConfig struct {
-	addr     string
-	smoke    bool
-	dur      time.Duration
-	workers  int
-	loadseed uint64
-	out      string
-	study    fivealarms.Config
+	addr       string
+	smoke      bool
+	dur        time.Duration
+	workers    int
+	loadseed   uint64
+	timeout    time.Duration
+	overload   bool
+	expectShed bool
+	out        string
+	study      fivealarms.Config
 }
 
-// summary is the BENCH_serve.json shape.
-type summary struct {
-	Mode       string  `json:"mode"` // "self-hosted" or "remote"
-	DurationS  float64 `json:"duration_s"`
-	Workers    int     `json:"workers"`
-	Requests   int     `json:"requests"`
-	Errors     int     `json:"errors"`
-	QPS        float64 `json:"qps"`
-	P50Ms      float64 `json:"p50_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	MaxMs      float64 `json:"max_ms"`
-	StudyScale string  `json:"study_scale,omitempty"`
+// phaseSummary is one measured phase of BENCH_serve.json.
+type phaseSummary struct {
+	Mode      string  `json:"mode"` // "self-hosted" or "remote"
+	DurationS float64 `json:"duration_s"`
+	Workers   int     `json:"workers"`
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Shed429   int     `json:"shed_429"`
+	Shed503   int     `json:"shed_503"`
+	Timeouts  int     `json:"timeouts"`
+	Errors    int     `json:"errors"` // non-2xx/429/503 statuses and transport failures
+	ShedRate  float64 `json:"shed_rate"`
+	QPS       float64 `json:"qps"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+	MaxMs     float64 `json:"max_ms"`
+
+	StudyScale string `json:"study_scale,omitempty"`
+	Admission  string `json:"admission,omitempty"` // overload phase: the constrained limits
+}
+
+// benchOutput is the full BENCH_serve.json shape; Overload is present
+// only for -overload runs (additive, like the v1 wire contract).
+type benchOutput struct {
+	Steady   phaseSummary  `json:"steady"`
+	Overload *phaseSummary `json:"overload,omitempty"`
 }
 
 func run(rc runConfig) error {
@@ -106,9 +152,11 @@ func run(rc runConfig) error {
 		defer ts.Close()
 		base = ts.URL
 		mode = "self-hosted"
+	} else if rc.overload {
+		return fmt.Errorf("-overload is self-hosted only (drop -addr): it needs to constrain the server it drives")
 	}
 
-	client := &http.Client{Timeout: 30 * time.Second}
+	client := &http.Client{Timeout: rc.timeout}
 	if rc.smoke {
 		return probe(client, base)
 	}
@@ -122,69 +170,26 @@ func run(rc runConfig) error {
 		}
 	}
 
-	type sample struct {
-		ms  float64
-		err bool
+	steady, err := measure(client, base, rc.workers, rc.dur, rc.loadseed)
+	if err != nil {
+		return err
 	}
-	results := make([][]sample, rc.workers)
-	errc := make(chan error, rc.workers)
-	start := now()
-	deadline := start.Add(rc.dur)
-	for w := 0; w < rc.workers; w++ {
-		w := w
-		go func() {
-			src := rng.NewStream(rc.loadseed, uint64(w))
-			var buf []sample
-			for now().Before(deadline) {
-				q := queryMix[src.Intn(len(queryMix))]
-				t0 := now()
-				status, _, err := q(client, base, src)
-				buf = append(buf, sample{
-					ms:  float64(time.Since(t0).Nanoseconds()) / 1e6,
-					err: err != nil || status >= 400,
-				})
-			}
-			results[w] = buf
-			errc <- nil
-		}()
-	}
-	for w := 0; w < rc.workers; w++ {
-		if err := <-errc; err != nil {
-			return err
-		}
-	}
-	elapsed := time.Since(start)
-
-	var lats []float64
-	errs := 0
-	for _, buf := range results {
-		for _, s := range buf {
-			lats = append(lats, s.ms)
-			if s.err {
-				errs++
-			}
-		}
-	}
-	if len(lats) == 0 {
-		return fmt.Errorf("no requests completed in %v", rc.dur)
-	}
-	sort.Float64s(lats)
-	sum := summary{
-		Mode:      mode,
-		DurationS: elapsed.Seconds(),
-		Workers:   rc.workers,
-		Requests:  len(lats),
-		Errors:    errs,
-		QPS:       float64(len(lats)) / elapsed.Seconds(),
-		P50Ms:     quantile(lats, 0.50),
-		P99Ms:     quantile(lats, 0.99),
-		MaxMs:     lats[len(lats)-1],
-	}
+	steady.Mode = mode
 	if mode == "self-hosted" {
-		sum.StudyScale = fmt.Sprintf("seed=%d cell=%gm tx=%d fires=%d",
+		steady.StudyScale = fmt.Sprintf("seed=%d cell=%gm tx=%d fires=%d",
 			rc.study.Seed, rc.study.CellSizeM, rc.study.Transceivers, rc.study.MappedFiresPerSeason)
 	}
-	body, err := json.MarshalIndent(sum, "", "  ")
+
+	result := benchOutput{Steady: steady}
+	if rc.overload {
+		over, err := overloadPhase(ctx, client, rc)
+		if err != nil {
+			return err
+		}
+		result.Overload = &over
+	}
+
+	body, err := json.MarshalIndent(result, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -195,10 +200,130 @@ func run(rc runConfig) error {
 			return err
 		}
 	}
-	if errs > 0 {
-		return fmt.Errorf("%d of %d requests failed", errs, len(lats))
+
+	if n := steady.Timeouts + steady.Errors; n > 0 {
+		return fmt.Errorf("steady phase: %d of %d requests failed", n, steady.Requests)
+	}
+	if rc.expectShed {
+		if !rc.overload {
+			return fmt.Errorf("-expect-shed needs -overload")
+		}
+		o := result.Overload
+		if o.Shed429+o.Shed503 == 0 {
+			return fmt.Errorf("overload phase shed nothing at %dx oversubscription", overloadWorkers/(overloadInFlight+overloadQueue))
+		}
+		if o.Timeouts > 0 || o.Errors > 0 {
+			return fmt.Errorf("overload phase: %d timeouts, %d errors — want shed, not failure", o.Timeouts, o.Errors)
+		}
 	}
 	return nil
+}
+
+// overloadPhase self-hosts a second server with deliberately tiny
+// admission limits and drives it at 4× its admitted+queued capacity.
+func overloadPhase(ctx context.Context, client *http.Client, rc runConfig) (phaseSummary, error) {
+	srv, err := serve.New(ctx, serve.Options{
+		Config:       rc.study,
+		MaxInFlight:  overloadInFlight,
+		MaxQueue:     overloadQueue,
+		ReadDeadline: 500 * time.Millisecond,
+	})
+	if err != nil {
+		return phaseSummary{}, err
+	}
+	fmt.Fprintln(os.Stderr, "fivealarmsload: building constrained server (overload phase, unmeasured)")
+	if err := srv.Warm(ctx); err != nil {
+		return phaseSummary{}, err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// The default transport caps idle conns per host below our worker
+	// count; without this the client itself throttles the storm.
+	tr := &http.Transport{MaxIdleConnsPerHost: overloadWorkers}
+	defer tr.CloseIdleConnections()
+	stormClient := &http.Client{Timeout: client.Timeout, Transport: tr}
+
+	over, err := measure(stormClient, ts.URL, overloadWorkers, rc.dur, rc.loadseed^0xacce55)
+	if err != nil {
+		return phaseSummary{}, err
+	}
+	over.Mode = "self-hosted"
+	over.Admission = fmt.Sprintf("inflight=%d queue=%d", overloadInFlight, overloadQueue)
+	return over, nil
+}
+
+// measure drives the query mix with the given concurrency for dur and
+// classifies every response.
+func measure(client *http.Client, base string, workers int, dur time.Duration, loadseed uint64) (phaseSummary, error) {
+	type sample struct {
+		ms     float64
+		status int
+		err    error
+	}
+	results := make([][]sample, workers)
+	done := make(chan struct{}, workers)
+	start := now()
+	deadline := start.Add(dur)
+	for w := 0; w < workers; w++ {
+		w := w
+		go func() {
+			src := rng.NewStream(loadseed, uint64(w))
+			var buf []sample
+			for now().Before(deadline) {
+				q := queryMix[src.Intn(len(queryMix))]
+				t0 := now()
+				status, _, err := q(client, base, src)
+				buf = append(buf, sample{
+					ms:     float64(time.Since(t0).Nanoseconds()) / 1e6,
+					status: status,
+					err:    err,
+				})
+			}
+			results[w] = buf
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	elapsed := time.Since(start)
+
+	var lats []float64
+	sum := phaseSummary{DurationS: elapsed.Seconds(), Workers: workers}
+	for _, buf := range results {
+		for _, s := range buf {
+			lats = append(lats, s.ms)
+			switch {
+			case s.err != nil:
+				var ne net.Error
+				if errors.As(s.err, &ne) && ne.Timeout() {
+					sum.Timeouts++
+				} else {
+					sum.Errors++
+				}
+			case s.status == http.StatusTooManyRequests:
+				sum.Shed429++
+			case s.status == http.StatusServiceUnavailable:
+				sum.Shed503++
+			case s.status >= 200 && s.status < 300:
+				sum.OK++
+			default:
+				sum.Errors++
+			}
+		}
+	}
+	if len(lats) == 0 {
+		return sum, fmt.Errorf("no requests completed in %v", dur)
+	}
+	sort.Float64s(lats)
+	sum.Requests = len(lats)
+	sum.ShedRate = float64(sum.Shed429+sum.Shed503) / float64(len(lats))
+	sum.QPS = float64(len(lats)) / elapsed.Seconds()
+	sum.P50Ms = quantile(lats, 0.50)
+	sum.P99Ms = quantile(lats, 0.99)
+	sum.MaxMs = lats[len(lats)-1]
+	return sum, nil
 }
 
 // now is the load generator's wall clock. Latency measurement is

@@ -68,6 +68,15 @@ var fixtureTests = []struct {
 		},
 	},
 	{
+		rule: "ctxflow",
+		dir:  "ctxflow_http",
+		path: "fivealarms/lintfixture/ctxflowhttp",
+		want: []string{
+			"positive.go:12:13 ctxflow",
+			"positive.go:19:14 ctxflow",
+		},
+	},
+	{
 		rule: "nocopylock",
 		dir:  "nocopylock",
 		path: "fivealarms/lintfixture/nocopylock",

@@ -19,7 +19,7 @@ var ctxThreadScope = map[string]bool{
 func ruleCtxFlow() Rule {
 	return Rule{
 		Name: "ctxflow",
-		Doc:  "functions receiving a ctx must not mint context.Background/TODO; pipeline/wildfire entry points take ctx first",
+		Doc:  "functions receiving a ctx (or an *http.Request, whose Context is the cancel chain) must not mint context.Background/TODO; pipeline/wildfire entry points take ctx first",
 		Run:  runCtxFlow,
 	}
 }
@@ -43,7 +43,10 @@ func runCtxFlow(p *Pass) {
 
 // walkCtx reports context.Background/TODO calls lexically inside a
 // function that already receives a context.Context — minting a fresh
-// root there severs the cancel chain the caller paid to thread.
+// root there severs the cancel chain the caller paid to thread. HTTP
+// handlers count as ctx receivers: an *http.Request parameter carries
+// the client's cancellation as r.Context(), and a handler that builds
+// from a fresh root keeps computing for clients that hung up.
 func walkCtx(p *Pass, n ast.Node, inCtx bool) {
 	ast.Inspect(n, func(m ast.Node) bool {
 		switch m := m.(type) {
@@ -83,17 +86,33 @@ func checkExportedCtxFirst(p *Pass, fd *ast.FuncDecl) {
 }
 
 // hasCtxParam reports whether the function type declares a
-// context.Context parameter.
+// context.Context parameter, or an *net/http.Request one — a request
+// parameter is a context parameter in disguise (r.Context()).
 func hasCtxParam(p *Pass, ft *ast.FuncType) bool {
 	if ft == nil || ft.Params == nil {
 		return false
 	}
 	for _, field := range ft.Params.List {
-		if isCtxType(p, field.Type) {
+		if isCtxType(p, field.Type) || isHTTPRequestPtr(p, field.Type) {
 			return true
 		}
 	}
 	return false
+}
+
+// isHTTPRequestPtr reports whether the expression denotes
+// *net/http.Request.
+func isHTTPRequestPtr(p *Pass, e ast.Expr) bool {
+	ptr, ok := p.Info.TypeOf(e).(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Request"
 }
 
 // isCtxType reports whether the expression denotes context.Context.

@@ -1,0 +1,18 @@
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+// HandleThreaded hands the request's own context to the builder — the
+// cancel chain stays intact.
+func HandleThreaded(w http.ResponseWriter, r *http.Request) {
+	buildStudy(r.Context())
+}
+
+// Warm has neither a ctx nor a request parameter; a fresh root is the
+// only context it could use.
+func Warm() {
+	buildStudy(context.Background())
+}

@@ -1,0 +1,23 @@
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+// Handle receives the request — whose Context carries the client's
+// cancellation — but commissions the build from a fresh root, so the
+// study keeps computing for clients that already hung up.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	buildStudy(context.Background())
+}
+
+// register nests the violation in a handler literal: the *http.Request
+// parameter puts the literal in ctx scope.
+func register(mux *http.ServeMux) {
+	mux.HandleFunc("/x", func(w http.ResponseWriter, r *http.Request) {
+		buildStudy(context.TODO())
+	})
+}
+
+func buildStudy(ctx context.Context) { _ = ctx }

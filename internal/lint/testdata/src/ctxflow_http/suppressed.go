@@ -1,0 +1,12 @@
+package fixture
+
+import (
+	"context"
+	"net/http"
+)
+
+// HandleDetached deliberately detaches the build from the request: the
+// study must finish for the next caller even if this client leaves.
+func HandleDetached(w http.ResponseWriter, r *http.Request) {
+	go buildStudy(context.Background()) //fivealarms:allow(ctxflow) fixture: shared build outlives the requesting client
+}

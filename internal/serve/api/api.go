@@ -23,6 +23,13 @@ const Version = "v1"
 // Meta is the envelope every top-level response embeds.
 type Meta struct {
 	Version string `json:"version"`
+	// Degraded marks a response served from the last-known-good study
+	// instead of the requested one — the build circuit is open or the
+	// request's deadline would have been blown waiting for a rebuild.
+	// Additive v1 field: absent (false) on every non-degraded response.
+	Degraded bool `json:"degraded,omitempty"`
+	// Warning explains why the response is degraded; empty otherwise.
+	Warning string `json:"warning,omitempty"`
 }
 
 // NewMeta returns the envelope for the current contract version.
@@ -35,6 +42,10 @@ type Error struct {
 	Status int `json:"status"`
 	// Message is a human-readable description of the failure.
 	Message string `json:"error"`
+	// RetryAfterS mirrors the Retry-After header on 429/503 shed
+	// responses: the suggested wait, in whole seconds, before retrying.
+	// Additive v1 field: absent on errors that are not load sheds.
+	RetryAfterS int `json:"retry_after_s,omitempty"`
 }
 
 // Health is the GET /v1/healthz body.
@@ -60,10 +71,43 @@ type EndpointMetrics struct {
 	P99Ms    float64 `json:"p99_ms"`
 }
 
+// Resilience is the overload-protection section of the GET /v1/metrics
+// body: shed/timeout/panic/degraded counters since server start, the
+// build circuit breaker's transition counts, and the admission
+// controller's instantaneous gauges.
+type Resilience struct {
+	// Shed429 counts requests rejected because the admission queue was
+	// full (HTTP 429).
+	Shed429 uint64 `json:"shed_429"`
+	// Shed503 counts requests rejected because the build circuit
+	// breaker was open (HTTP 503).
+	Shed503 uint64 `json:"shed_503"`
+	// Timeouts counts requests that blew their server-side deadline
+	// (HTTP 503 with Retry-After).
+	Timeouts uint64 `json:"timeouts"`
+	// Panics counts handler panics converted to typed 500s.
+	Panics uint64 `json:"panics"`
+	// Degraded counts responses served from a last-known-good study.
+	Degraded uint64 `json:"degraded"`
+	// BreakerOpens/Probes/Closes count circuit state transitions:
+	// closed→open, open→half-open (probe admitted), half-open→closed.
+	BreakerOpens  uint64 `json:"breaker_opens"`
+	BreakerProbes uint64 `json:"breaker_probes"`
+	BreakerCloses uint64 `json:"breaker_closes"`
+	// InFlight and QueueDepth are instantaneous admission-controller
+	// gauges: weight units currently executing and requests waiting.
+	InFlight   int `json:"in_flight"`
+	QueueDepth int `json:"queue_depth"`
+}
+
 // Metrics is the GET /v1/metrics body.
 type Metrics struct {
 	Meta
 	Endpoints []EndpointMetrics `json:"endpoints"`
+	// Resilience reports the overload-protection counters. Additive v1
+	// field: omitted when the serving layer has no admission controller
+	// (it is always present in fivealarmsd responses).
+	Resilience *Resilience `json:"resilience,omitempty"`
 }
 
 // PointRisk is the GET /v1/risk/point body: the hazard situation at

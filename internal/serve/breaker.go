@@ -1,0 +1,176 @@
+package serve
+
+import (
+	"sync"
+	"time"
+
+	"fivealarms/internal/rng"
+)
+
+// breakerStatus is one circuit's position in the closed → open →
+// half-open state machine.
+type breakerStatus int
+
+const (
+	breakerClosed breakerStatus = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+func (s breakerStatus) String() string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	}
+	return "closed"
+}
+
+// breakerState is the per-(seed, config) circuit around study builds.
+// The zero value (absent from the map) is a closed circuit with no
+// recorded failures.
+type breakerState struct {
+	status   breakerStatus
+	failures int       // consecutive build failures
+	opens    int       // consecutive opens; scales the backoff
+	until    time.Time // while open: when the next probe is admitted
+}
+
+// buildBreaker is a keyed circuit breaker around study builds: after
+// threshold consecutive failures for one (seed, config) key the circuit
+// opens and build attempts for that key are rejected outright until an
+// exponential backoff (with deterministic jitter from internal/rng)
+// elapses. The first attempt after the backoff is a half-open probe —
+// its success closes the circuit, its failure re-opens it with a doubled
+// backoff. A poisoned config therefore costs one build per backoff
+// window instead of consuming the whole build budget, while every other
+// key keeps building normally.
+type buildBreaker struct {
+	threshold int
+	base, max time.Duration
+	onOpen    func()
+	onProbe   func()
+	onClose   func()
+
+	mu     sync.Mutex
+	src    *rng.Source // jitter; guarded by mu
+	now    func() time.Time
+	states map[studyKey]*breakerState
+}
+
+// newBuildBreaker returns a breaker opening after threshold consecutive
+// failures with backoffs in [base, max]. Jitter is seeded so a given
+// server replays the same backoff sequence.
+func newBuildBreaker(threshold int, base, max time.Duration, seed uint64) *buildBreaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if base <= 0 {
+		base = time.Second
+	}
+	if max < base {
+		max = base
+	}
+	return &buildBreaker{
+		threshold: threshold,
+		base:      base,
+		max:       max,
+		src:       rng.NewStream(seed, 0xb7eace7), // breaker jitter stream
+		now:       now,
+		states:    make(map[studyKey]*breakerState),
+	}
+}
+
+// Allow reports whether a build attempt for key may start. While the
+// circuit is open it returns false plus the remaining backoff (the
+// Retry-After hint); when the backoff has elapsed the caller becomes
+// the half-open probe and is admitted.
+func (b *buildBreaker) Allow(key studyKey) (retryAfter time.Duration, ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := b.states[key]
+	if st == nil {
+		return 0, true
+	}
+	switch st.status {
+	case breakerOpen:
+		if wait := st.until.Sub(b.now()); wait > 0 {
+			return wait, false
+		}
+		st.status = breakerHalfOpen
+		if b.onProbe != nil {
+			b.onProbe()
+		}
+		return 0, true
+	case breakerHalfOpen:
+		// A probe is already in flight; admitting more attempts would
+		// defeat the point of probing. (In practice the study cache's
+		// singleflight means nobody else reaches here.)
+		return b.base, false
+	}
+	return 0, true
+}
+
+// OnSuccess records a successful build: the circuit closes and the
+// failure history for key is forgotten.
+func (b *buildBreaker) OnSuccess(key studyKey) {
+	b.mu.Lock()
+	st := b.states[key]
+	closedCircuit := st != nil && st.status != breakerClosed
+	delete(b.states, key)
+	b.mu.Unlock()
+	if closedCircuit && b.onClose != nil {
+		b.onClose()
+	}
+}
+
+// OnFailure records a failed build. Reaching the consecutive-failure
+// threshold — or failing the half-open probe — opens the circuit with
+// an exponentially growing, jittered backoff.
+func (b *buildBreaker) OnFailure(key studyKey) {
+	b.mu.Lock()
+	st := b.states[key]
+	if st == nil {
+		st = &breakerState{}
+		b.states[key] = st
+	}
+	st.failures++
+	opened := false
+	if st.status == breakerHalfOpen || st.failures >= b.threshold {
+		st.status = breakerOpen
+		st.until = b.now().Add(b.backoffLocked(st.opens))
+		st.opens++
+		opened = true
+	}
+	b.mu.Unlock()
+	if opened && b.onOpen != nil {
+		b.onOpen()
+	}
+}
+
+// Status reports key's current circuit status (for tests and health
+// introspection).
+func (b *buildBreaker) Status(key studyKey) breakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if st := b.states[key]; st != nil {
+		return st.status
+	}
+	return breakerClosed
+}
+
+// backoffLocked computes the nth open's backoff: base·2ⁿ capped at max,
+// then jittered into [d/2, d) so synchronized clients do not retry in
+// lockstep. Deterministic given the breaker's seed and call sequence.
+func (b *buildBreaker) backoffLocked(opens int) time.Duration {
+	d := b.base
+	for i := 0; i < opens && d < b.max; i++ {
+		d *= 2
+	}
+	if d > b.max {
+		d = b.max
+	}
+	half := d / 2
+	return half + time.Duration(float64(half)*b.src.Float64())
+}

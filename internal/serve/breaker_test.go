@@ -1,0 +1,182 @@
+package serve
+
+// Deterministic unit tests for the keyed build circuit breaker, driven
+// by a fake clock: closed → open after the failure threshold, backoff
+// growth and cap, the half-open probe, and per-key independence.
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock lets breaker tests advance time explicitly.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func clocked(b *buildBreaker, c *fakeClock) *buildBreaker {
+	b.now = c.now
+	return b
+}
+
+func TestBreakerOpensAfterThreshold(t *testing.T) {
+	clock := newFakeClock()
+	b := clocked(newBuildBreaker(3, time.Second, time.Minute, 7), clock)
+	key := keyOf(testCfg)
+
+	var opens, probes, closes int
+	b.onOpen = func() { opens++ }
+	b.onProbe = func() { probes++ }
+	b.onClose = func() { closes++ }
+
+	// Two failures: still closed, attempts admitted.
+	for i := 0; i < 2; i++ {
+		if _, ok := b.Allow(key); !ok {
+			t.Fatalf("attempt %d denied while closed", i)
+		}
+		b.OnFailure(key)
+	}
+	if st := b.Status(key); st != breakerClosed {
+		t.Fatalf("status after 2 failures = %v, want closed", st)
+	}
+	// Third failure trips the circuit.
+	b.OnFailure(key)
+	if st := b.Status(key); st != breakerOpen {
+		t.Fatalf("status after 3 failures = %v, want open", st)
+	}
+	if opens != 1 {
+		t.Errorf("onOpen fired %d times, want 1", opens)
+	}
+
+	// While open: denied, with a Retry-After inside the jittered
+	// first-open window [base/2, base).
+	retry, ok := b.Allow(key)
+	if ok {
+		t.Fatal("open circuit admitted an attempt")
+	}
+	if retry < 0 || retry >= time.Second {
+		t.Errorf("retryAfter = %v, want within (0, 1s)", retry)
+	}
+
+	// After the backoff elapses the next attempt is the half-open probe.
+	clock.advance(time.Second)
+	if _, ok := b.Allow(key); !ok {
+		t.Fatal("post-backoff attempt denied, want half-open probe admitted")
+	}
+	if probes != 1 {
+		t.Errorf("onProbe fired %d times, want 1", probes)
+	}
+	if st := b.Status(key); st != breakerHalfOpen {
+		t.Fatalf("status = %v, want half-open", st)
+	}
+	// A second attempt during the probe is denied.
+	if _, ok := b.Allow(key); ok {
+		t.Fatal("second attempt admitted during half-open probe")
+	}
+
+	// Probe success closes the circuit and forgets the history.
+	b.OnSuccess(key)
+	if st := b.Status(key); st != breakerClosed {
+		t.Fatalf("status after probe success = %v, want closed", st)
+	}
+	if closes != 1 {
+		t.Errorf("onClose fired %d times, want 1", closes)
+	}
+	if _, ok := b.Allow(key); !ok {
+		t.Fatal("closed circuit denied an attempt")
+	}
+}
+
+func TestBreakerProbeFailureBacksOffExponentially(t *testing.T) {
+	clock := newFakeClock()
+	b := clocked(newBuildBreaker(1, time.Second, 8*time.Second, 7), clock)
+	key := keyOf(testCfg)
+
+	// Each cycle: fail (opens), wait out the backoff, probe, fail again.
+	// The nth open's backoff is jittered into [base·2ⁿ/2, base·2ⁿ),
+	// capped at max.
+	b.OnFailure(key)
+	for n := 1; n < 6; n++ {
+		retry, ok := b.Allow(key)
+		if ok {
+			t.Fatalf("cycle %d: open circuit admitted", n)
+		}
+		want := time.Second << (n - 1) // base·2ⁿ⁻¹ before jitter
+		if want > 8*time.Second {
+			want = 8 * time.Second
+		}
+		if retry < want/2 || retry >= want {
+			t.Errorf("cycle %d: retryAfter = %v, want within [%v, %v)", n, retry, want/2, want)
+		}
+		clock.advance(want) // past any jittered deadline in [want/2, want)
+		if _, ok := b.Allow(key); !ok {
+			t.Fatalf("cycle %d: probe denied after backoff", n)
+		}
+		b.OnFailure(key) // probe fails → reopen, doubled
+	}
+}
+
+func TestBreakerKeysAreIndependent(t *testing.T) {
+	clock := newFakeClock()
+	b := clocked(newBuildBreaker(1, time.Second, time.Minute, 7), clock)
+	cfgB := testCfg
+	cfgB.Seed = 99
+	keyA, keyB := keyOf(testCfg), keyOf(cfgB)
+
+	b.OnFailure(keyA)
+	if _, ok := b.Allow(keyA); ok {
+		t.Fatal("keyA should be open")
+	}
+	if _, ok := b.Allow(keyB); !ok {
+		t.Fatal("keyB tripped by keyA's failures")
+	}
+	if st := b.Status(keyB); st != breakerClosed {
+		t.Errorf("keyB status = %v, want closed", st)
+	}
+}
+
+func TestBreakerSuccessResetsFailureCount(t *testing.T) {
+	b := newBuildBreaker(3, time.Second, time.Minute, 7)
+	key := keyOf(testCfg)
+	// Two failures, a success, two more failures: never opens.
+	b.OnFailure(key)
+	b.OnFailure(key)
+	b.OnSuccess(key)
+	b.OnFailure(key)
+	b.OnFailure(key)
+	if st := b.Status(key); st != breakerClosed {
+		t.Fatalf("status = %v, want closed (success resets the streak)", st)
+	}
+}
+
+func TestBreakerStatusStrings(t *testing.T) {
+	for st, want := range map[breakerStatus]string{
+		breakerClosed:   "closed",
+		breakerOpen:     "open",
+		breakerHalfOpen: "half-open",
+	} {
+		if got := st.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(st), got, want)
+		}
+	}
+}
+
+func TestBreakerJitterDeterministic(t *testing.T) {
+	mk := func() []time.Duration {
+		b := newBuildBreaker(1, time.Second, time.Minute, 42)
+		var out []time.Duration
+		for i := 0; i < 4; i++ {
+			b.mu.Lock()
+			out = append(out, b.backoffLocked(i))
+			b.mu.Unlock()
+		}
+		return out
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("backoff sequence diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}

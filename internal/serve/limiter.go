@@ -1,0 +1,129 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// limiter is the admission controller: a weighted concurrency limit
+// with a bounded FIFO wait queue. Cheap cached reads acquire one weight
+// unit; expensive requests (extend analyses, anything that can
+// commission a cold study build) acquire several, so one class cannot
+// starve the other of the shared capacity. When the queue is full the
+// limiter sheds instead of queueing — the caller maps that to a 429
+// with Retry-After — and a waiter whose context expires leaves the
+// queue without consuming capacity.
+type limiter struct {
+	mu       sync.Mutex
+	capacity int // total weight units
+	inUse    int
+	maxQueue int
+	queue    []*waiter // FIFO; head is granted first
+}
+
+// waiter is one queued acquisition. ready is closed exactly once, when
+// the limiter grants the waiter's weight.
+type waiter struct {
+	weight  int
+	ready   chan struct{}
+	granted bool
+}
+
+// newLimiter returns a limiter with the given weight capacity and wait
+// queue bound (both forced to at least 1).
+func newLimiter(capacity, maxQueue int) *limiter {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 1 {
+		maxQueue = 1
+	}
+	return &limiter{capacity: capacity, maxQueue: maxQueue}
+}
+
+// Acquire obtains weight units of capacity, waiting in FIFO order
+// behind earlier arrivals. It returns a release closure on success; an
+// *overloadError (queue full → shed) or ctx.Err() (deadline blown or
+// client gone while queued) otherwise. Weights above the capacity are
+// clamped so a single heavy request stays admissible — it simply needs
+// the limiter to itself.
+func (l *limiter) Acquire(ctx context.Context, weight int) (release func(), err error) {
+	if weight <= 0 {
+		return func() {}, nil
+	}
+	if weight > l.capacity {
+		weight = l.capacity
+	}
+
+	l.mu.Lock()
+	// Fast path: capacity free and nobody queued ahead.
+	if l.inUse+weight <= l.capacity && len(l.queue) == 0 {
+		l.inUse += weight
+		l.mu.Unlock()
+		return func() { l.release(weight) }, nil
+	}
+	if len(l.queue) >= l.maxQueue {
+		l.mu.Unlock()
+		return nil, errQueueFull(l.maxQueue)
+	}
+	w := &waiter{weight: weight, ready: make(chan struct{})}
+	l.queue = append(l.queue, w)
+	l.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return func() { l.release(weight) }, nil
+	case <-ctx.Done():
+		l.mu.Lock()
+		granted := w.granted
+		if !granted {
+			for i, q := range l.queue {
+				if q == w {
+					l.queue = append(l.queue[:i], l.queue[i+1:]...)
+					break
+				}
+			}
+		}
+		l.mu.Unlock()
+		if granted {
+			// The grant raced the cancellation: hand the weight back.
+			l.release(weight)
+		}
+		return nil, ctx.Err()
+	}
+}
+
+// release returns weight units and grants queued waiters, in FIFO
+// order, for as long as they fit.
+func (l *limiter) release(weight int) {
+	l.mu.Lock()
+	l.inUse -= weight
+	if l.inUse < 0 {
+		l.inUse = 0 // release without acquire is a caller bug; stay sane
+	}
+	for len(l.queue) > 0 {
+		head := l.queue[0]
+		if l.inUse+head.weight > l.capacity {
+			break
+		}
+		l.queue = l.queue[1:]
+		l.inUse += head.weight
+		head.granted = true
+		close(head.ready)
+	}
+	l.mu.Unlock()
+}
+
+// InFlight reports the weight units currently executing.
+func (l *limiter) InFlight() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.inUse
+}
+
+// QueueDepth reports the number of requests waiting for admission.
+func (l *limiter) QueueDepth() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.queue)
+}

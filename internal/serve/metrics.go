@@ -70,12 +70,28 @@ func (e *endpointStats) quantile(q float64) float64 {
 	return bucketBoundsMs[len(bucketBoundsMs)-1]
 }
 
+// resilienceStats counts the overload-resilience machinery's decisions:
+// sheds by kind, server-deadline expiries, recovered panics, degraded
+// responses, and circuit-breaker state transitions. All atomics — the
+// shed path is as lock-free as the success path.
+type resilienceStats struct {
+	shed429       atomic.Uint64
+	shed503       atomic.Uint64
+	timeouts      atomic.Uint64
+	panics        atomic.Uint64
+	degraded      atomic.Uint64
+	breakerOpens  atomic.Uint64
+	breakerProbes atomic.Uint64
+	breakerCloses atomic.Uint64
+}
+
 // Metrics holds the per-endpoint request statistics behind GET
 // /v1/metrics. Endpoints register once at server construction; after
 // that the map is read-only and the request path is lock-free.
 type Metrics struct {
-	endpoints map[string]*endpointStats
-	names     []string // sorted, for deterministic snapshots
+	endpoints  map[string]*endpointStats
+	names      []string // sorted, for deterministic snapshots
+	resilience resilienceStats
 }
 
 // NewMetrics returns a Metrics tracking exactly the named endpoints.
@@ -99,8 +115,41 @@ func (m *Metrics) Observe(name string, d time.Duration, isError bool) {
 	}
 }
 
+// CountShed records one load-shedding rejection of the given kind
+// (queue full → 429, breaker open → 503).
+func (m *Metrics) CountShed(kind shedKind) {
+	if kind == shedQueue {
+		m.resilience.shed429.Add(1)
+	} else {
+		m.resilience.shed503.Add(1)
+	}
+}
+
+// CountTimeout records one request shed because its server-side
+// deadline expired before it could be served.
+func (m *Metrics) CountTimeout() { m.resilience.timeouts.Add(1) }
+
+// CountPanic records one handler panic recovered into a typed 500.
+func (m *Metrics) CountPanic() { m.resilience.panics.Add(1) }
+
+// CountDegraded records one response served from the last-known-good
+// study instead of the requested one.
+func (m *Metrics) CountDegraded() { m.resilience.degraded.Add(1) }
+
+// CountBreakerOpen, CountBreakerProbe and CountBreakerClose record the
+// build circuit breaker's state transitions.
+func (m *Metrics) CountBreakerOpen() { m.resilience.breakerOpens.Add(1) }
+
+// CountBreakerProbe records one open → half-open probe admission.
+func (m *Metrics) CountBreakerProbe() { m.resilience.breakerProbes.Add(1) }
+
+// CountBreakerClose records one circuit closing after a successful
+// probe.
+func (m *Metrics) CountBreakerClose() { m.resilience.breakerCloses.Add(1) }
+
 // Snapshot renders the current counters as the v1 metrics DTO, one row
-// per endpoint in name order.
+// per endpoint in name order. Resilience is always present in the
+// snapshot (the caller fills in the limiter gauges).
 func (m *Metrics) Snapshot() api.Metrics {
 	out := api.Metrics{Meta: api.NewMeta()}
 	for _, n := range m.names {
@@ -112,6 +161,17 @@ func (m *Metrics) Snapshot() api.Metrics {
 			P50Ms:    e.quantile(0.50),
 			P99Ms:    e.quantile(0.99),
 		})
+	}
+	r := &m.resilience
+	out.Resilience = &api.Resilience{
+		Shed429:       r.shed429.Load(),
+		Shed503:       r.shed503.Load(),
+		Timeouts:      r.timeouts.Load(),
+		Panics:        r.panics.Load(),
+		Degraded:      r.degraded.Load(),
+		BreakerOpens:  r.breakerOpens.Load(),
+		BreakerProbes: r.breakerProbes.Load(),
+		BreakerCloses: r.breakerCloses.Load(),
 	}
 	return out
 }

@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"fivealarms/internal/serve/api"
+)
+
+// routeClass groups endpoints by cost for the deadline and admission
+// middleware. Cheap cached reads get short deadlines and one weight
+// unit; expensive requests (extend analyses and anything that can
+// commission a cold study build) get long deadlines and several units;
+// exempt routes (health, metrics) bypass admission entirely so the
+// server stays observable under overload.
+type routeClass struct {
+	name     string
+	deadline time.Duration
+	weight   int // admission weight; 0 bypasses the limiter
+	// fastDegrade serves the last-known-good study immediately when the
+	// requested one is mid-(re)build, instead of stalling a cheap read
+	// against a deadline it would blow anyway.
+	fastDegrade bool
+}
+
+// shedKind distinguishes why a request was rejected, for metrics.
+type shedKind int
+
+const (
+	shedQueue   shedKind = iota // admission queue full → 429
+	shedBreaker                 // build circuit open → 503
+)
+
+// overloadError is a typed load-shedding rejection: it carries the
+// response status (429 or 503) and the Retry-After hint.
+type overloadError struct {
+	status     int
+	kind       shedKind
+	retryAfter time.Duration
+	msg        string
+}
+
+func (e *overloadError) Error() string { return e.msg }
+
+// errQueueFull builds the 429 returned when the admission queue is at
+// capacity.
+func errQueueFull(maxQueue int) error {
+	return &overloadError{
+		status:     http.StatusTooManyRequests,
+		kind:       shedQueue,
+		retryAfter: time.Second,
+		msg:        fmt.Sprintf("server overloaded: admission queue full (%d waiting); retry later", maxQueue),
+	}
+}
+
+// reqState is the per-request middleware state handlers reach through
+// the request context.
+type reqState struct {
+	id    string
+	class routeClass
+	// clientCtx is the original request context, before the server
+	// deadline was layered on — its error distinguishes "client hung
+	// up" (499) from "server deadline fired" (503 + Retry-After).
+	clientCtx context.Context
+}
+
+type ctxKey int
+
+const reqStateKey ctxKey = iota
+
+// stateFrom recovers the middleware state; nil for requests that did
+// not pass through route (direct handler tests).
+func stateFrom(ctx context.Context) *reqState {
+	rs, _ := ctx.Value(reqStateKey).(*reqState)
+	return rs
+}
+
+// reqCounter numbers requests for the X-Request-Id header. IDs are for
+// log correlation only and never appear in response bodies (bodies stay
+// byte-deterministic per query).
+var reqCounter atomic.Uint64
+
+// requestID returns the client-provided X-Request-Id, or mints a
+// process-unique one.
+func requestID(r *http.Request) string {
+	if id := r.Header.Get("X-Request-Id"); id != "" && len(id) <= 128 {
+		return id
+	}
+	return "fa-" + strconv.FormatUint(reqCounter.Add(1), 16)
+}
+
+// route registers fn under pattern with the full middleware stack:
+// latency/error instrumentation, request-ID propagation, panic
+// recovery into typed 500s, the per-class deadline, and weighted
+// admission control.
+func (s *Server) route(pattern, name string, class routeClass, fn handlerFunc) {
+	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		start := now()
+		status := http.StatusOK
+		id := requestID(r)
+		w.Header().Set("X-Request-Id", id)
+
+		defer func() {
+			if v := recover(); v != nil {
+				s.metrics.CountPanic()
+				status = http.StatusInternalServerError
+				writeError(w, status, fmt.Errorf("internal error serving %s (request %s): %v", name, id, v), 0)
+			}
+			s.metrics.Observe(name, time.Since(start), status >= http.StatusBadRequest)
+		}()
+
+		clientCtx := r.Context()
+		ctx := clientCtx
+		if class.deadline > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, class.deadline)
+			defer cancel()
+		}
+		rs := &reqState{id: id, class: class, clientCtx: clientCtx}
+		r = r.WithContext(context.WithValue(ctx, reqStateKey, rs))
+
+		if class.weight > 0 {
+			release, err := s.limiter.Acquire(r.Context(), class.weight)
+			if err != nil {
+				status = s.writeMappedError(w, rs, err)
+				return
+			}
+			defer release()
+		}
+		if hook := s.inject; hook != nil {
+			if err := hook("serve/handler/" + name); err != nil {
+				status = s.writeMappedError(w, rs, err)
+				return
+			}
+		}
+		if err := fn(w, r); err != nil {
+			status = s.writeMappedError(w, rs, err)
+		}
+	})
+}
+
+// writeMappedError maps a handler error onto the wire — status, shed
+// accounting, Retry-After — and writes the uniform error body. It
+// returns the status for the metrics row.
+func (s *Server) writeMappedError(w http.ResponseWriter, rs *reqState, err error) int {
+	status := http.StatusInternalServerError
+	var retryAfter time.Duration
+
+	var oe *overloadError
+	var he *httpError
+	switch {
+	case errors.As(err, &oe):
+		status, retryAfter = oe.status, oe.retryAfter
+		s.metrics.CountShed(oe.kind)
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if rs != nil && rs.clientCtx.Err() != nil {
+			// The client went away; nobody reads the body.
+			status = StatusClientClosedRequest
+		} else {
+			// Our own deadline fired: the request was admitted but could
+			// not be served in time — shed it with a retry hint rather
+			// than hanging.
+			status = http.StatusServiceUnavailable
+			retryAfter = time.Second
+			s.metrics.CountTimeout()
+		}
+	}
+	writeError(w, status, err, retryAfter)
+	return status
+}
+
+// writeError emits the uniform api.Error body, with the Retry-After
+// header and body hint on shed responses. Best-effort: the client may
+// already be gone.
+func writeError(w http.ResponseWriter, status int, err error, retryAfter time.Duration) {
+	seconds := 0
+	if retryAfter > 0 {
+		seconds = int((retryAfter + time.Second - 1) / time.Second)
+		w.Header().Set("Retry-After", strconv.Itoa(seconds))
+	}
+	body, mErr := json.MarshalIndent(api.Error{
+		Meta:        api.NewMeta(),
+		Status:      status,
+		Message:     err.Error(),
+		RetryAfterS: seconds,
+	}, "", "  ")
+	if mErr != nil {
+		http.Error(w, err.Error(), status)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(body, '\n'))
+}
+
+// Hardened http.Server timeouts: a stalled or slow-drip client
+// (slowloris) holds a connection no longer than these bounds, and one
+// oversized header block cannot balloon memory.
+const (
+	readHeaderTimeout = 5 * time.Second
+	readTimeout       = 30 * time.Second
+	writeTimeout      = 2 * time.Minute
+	idleTimeout       = 2 * time.Minute
+	maxHeaderBytes    = 1 << 20
+)
+
+// NewHTTPServer wraps handler in an http.Server hardened against slow
+// and stalled clients: explicit read-header/read/write/idle timeouts
+// and a header-size cap. Every fivealarms listener (fivealarmsd, the
+// smoke harness) goes through this so slowloris defense cannot be
+// forgotten at a call site.
+func NewHTTPServer(handler http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: readHeaderTimeout,
+		ReadTimeout:       readTimeout,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       idleTimeout,
+		MaxHeaderBytes:    maxHeaderBytes,
+	}
+}

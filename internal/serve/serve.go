@@ -9,6 +9,15 @@
 // 499-style abort) while shared builds keep running for the remaining
 // waiters. Per-endpoint request/error counts and latency quantiles are
 // always on (see Metrics) and served at /v1/metrics.
+//
+// The serving layer is overload-resilient by construction (DESIGN.md
+// "Overload & degradation policy"): every route runs under a panic
+// recovery + deadline + admission middleware stack, excess load is shed
+// with 429/503 + Retry-After instead of queueing forever, study builds
+// sit behind a per-key circuit breaker so a poisoned config cannot
+// consume the build budget, and when the current study is unavailable
+// the server degrades to the last-known-good one (marked in Meta)
+// rather than failing closed.
 package serve
 
 import (
@@ -33,14 +42,87 @@ import (
 // a response is written.
 const StatusClientClosedRequest = 499
 
+// Default resilience parameters (all overridable via Options).
+const (
+	defaultReadDeadline   = 2 * time.Second
+	defaultBuildDeadline  = 30 * time.Second
+	defaultMaxInFlight    = 64
+	defaultBuildWeight    = 8
+	defaultBreakerTrips   = 3
+	defaultBreakerBackoff = time.Second
+	defaultBreakerMax     = time.Minute
+)
+
 // Options configures a Server.
 type Options struct {
 	// Config is the base study configuration. Requests may override the
 	// seed (?seed=N); every other field is fixed at server start.
 	Config fivealarms.Config
 	// MaxStudies bounds the study LRU (default 4). Each resident study
-	// holds its full layer set in memory.
+	// holds its full layer set in memory; degraded mode may retain up
+	// to the same number of last-known-good studies alongside.
 	MaxStudies int
+
+	// ReadDeadline bounds cheap read handlers — point/bbox lookups,
+	// tables, overlay, validate (default 2s). A read that cannot be
+	// answered in time is shed (503 + Retry-After) or served degraded,
+	// never left hanging.
+	ReadDeadline time.Duration
+	// BuildDeadline bounds expensive requests: /v1/extend analyses
+	// (default 30s).
+	BuildDeadline time.Duration
+
+	// MaxInFlight is the admission controller's weight capacity
+	// (default 64): cheap reads cost 1, expensive requests cost
+	// BuildWeight (default 8), so cold builds cannot monopolize the
+	// server and a burst of reads cannot starve builds.
+	MaxInFlight int
+	// MaxQueue bounds the admission FIFO wait queue (default
+	// 2×MaxInFlight). Arrivals beyond it are shed with 429.
+	MaxQueue int
+	// BuildWeight is the admission weight of expensive requests.
+	BuildWeight int
+
+	// BreakerThreshold is the consecutive build failures per (seed,
+	// config) key that open the build circuit (default 3).
+	BreakerThreshold int
+	// BreakerBackoff is the base open-circuit backoff; successive opens
+	// double it up to BreakerMaxBackoff (defaults 1s and 1m), jittered
+	// deterministically from the config seed.
+	BreakerBackoff    time.Duration
+	BreakerMaxBackoff time.Duration
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.MaxStudies <= 0 {
+		o.MaxStudies = 4
+	}
+	if o.ReadDeadline <= 0 {
+		o.ReadDeadline = defaultReadDeadline
+	}
+	if o.BuildDeadline <= 0 {
+		o.BuildDeadline = defaultBuildDeadline
+	}
+	if o.MaxInFlight <= 0 {
+		o.MaxInFlight = defaultMaxInFlight
+	}
+	if o.MaxQueue <= 0 {
+		o.MaxQueue = 2 * o.MaxInFlight
+	}
+	if o.BuildWeight <= 0 {
+		o.BuildWeight = defaultBuildWeight
+	}
+	if o.BreakerThreshold <= 0 {
+		o.BreakerThreshold = defaultBreakerTrips
+	}
+	if o.BreakerBackoff <= 0 {
+		o.BreakerBackoff = defaultBreakerBackoff
+	}
+	if o.BreakerMaxBackoff <= 0 {
+		o.BreakerMaxBackoff = defaultBreakerMax
+	}
+	return o
 }
 
 // endpoint names, as reported by /v1/metrics.
@@ -61,7 +143,11 @@ type Server struct {
 	opts    Options
 	cache   *studyCache
 	metrics *Metrics
+	limiter *limiter
 	mux     *http.ServeMux
+
+	// inject is the test-only chaos hook; see SetInjectionHook.
+	inject func(task string) error
 }
 
 // New builds a Server. baseCtx bounds the lifetime of every study
@@ -72,28 +158,36 @@ func New(baseCtx context.Context, opts Options) (*Server, error) {
 	if err := opts.Config.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.MaxStudies <= 0 {
-		opts.MaxStudies = 4
-	}
+	opts = opts.withDefaults()
+	metrics := NewMetrics(epHealthz, epMetrics, epRiskPoint, epRiskBBox,
+		epTables, epOverlay, epValidate, epExtend)
+	bk := newBuildBreaker(opts.BreakerThreshold, opts.BreakerBackoff,
+		opts.BreakerMaxBackoff, opts.Config.Seed)
+	bk.onOpen = metrics.CountBreakerOpen
+	bk.onProbe = metrics.CountBreakerProbe
+	bk.onClose = metrics.CountBreakerClose
 	s := &Server{
 		opts: opts,
-		cache: newStudyCache(baseCtx, opts.MaxStudies,
+		cache: newStudyCache(baseCtx, opts.MaxStudies, bk,
 			func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error) {
 				return fivealarms.NewStudyWithOptions(
 					fivealarms.WithConfig(cfg), fivealarms.WithContext(ctx))
 			}),
-		metrics: NewMetrics(epHealthz, epMetrics, epRiskPoint, epRiskBBox,
-			epTables, epOverlay, epValidate, epExtend),
-		mux: http.NewServeMux(),
+		metrics: metrics,
+		limiter: newLimiter(opts.MaxInFlight, opts.MaxQueue),
+		mux:     http.NewServeMux(),
 	}
-	s.route("GET /v1/healthz", epHealthz, s.handleHealthz)
-	s.route("GET /v1/metrics", epMetrics, s.handleMetrics)
-	s.route("GET /v1/risk/point", epRiskPoint, s.handleRiskPoint)
-	s.route("GET /v1/risk/bbox", epRiskBBox, s.handleRiskBBox)
-	s.route("GET /v1/tables/{n}", epTables, s.handleTables)
-	s.route("GET /v1/overlay/whp", epOverlay, s.handleOverlayWHP)
-	s.route("GET /v1/validate", epValidate, s.handleValidate)
-	s.route("POST /v1/extend", epExtend, s.handleExtend)
+	exempt := routeClass{name: "exempt", deadline: 5 * time.Second}
+	read := routeClass{name: "read", deadline: opts.ReadDeadline, weight: 1, fastDegrade: true}
+	build := routeClass{name: "build", deadline: opts.BuildDeadline, weight: opts.BuildWeight}
+	s.route("GET /v1/healthz", epHealthz, exempt, s.handleHealthz)
+	s.route("GET /v1/metrics", epMetrics, exempt, s.handleMetrics)
+	s.route("GET /v1/risk/point", epRiskPoint, read, s.handleRiskPoint)
+	s.route("GET /v1/risk/bbox", epRiskBBox, read, s.handleRiskBBox)
+	s.route("GET /v1/tables/{n}", epTables, read, s.handleTables)
+	s.route("GET /v1/overlay/whp", epOverlay, read, s.handleOverlayWHP)
+	s.route("GET /v1/validate", epValidate, read, s.handleValidate)
+	s.route("POST /v1/extend", epExtend, build, s.handleExtend)
 	return s, nil
 }
 
@@ -111,9 +205,19 @@ func (s *Server) Warm(ctx context.Context) error {
 // tests).
 func (s *Server) Metrics() *Metrics { return s.metrics }
 
+// SetInjectionHook installs a chaos hook that runs immediately before
+// each handler body (task "serve/handler/<endpoint>") and each study
+// build (task "serve/build"). The hook may return an error, panic, or
+// sleep — mirroring pipeline.Graph.SetInjectionHook. Test-only by
+// convention: install before serving traffic and never in production.
+func (s *Server) SetInjectionHook(hook func(task string) error) {
+	s.inject = hook
+	s.cache.inject = hook
+}
+
 // handlerFunc is the internal handler shape: success writes its own
-// response, failure returns an error the instrumentation wrapper maps
-// to a JSON error body and metrics.
+// response, failure returns an error the middleware maps to a JSON
+// error body and metrics.
 type handlerFunc func(w http.ResponseWriter, r *http.Request) error
 
 // httpError carries an explicit response status.
@@ -129,39 +233,12 @@ func badRequest(format string, args ...any) error {
 	return &httpError{status: http.StatusBadRequest, msg: fmt.Sprintf(format, args...)}
 }
 
-// errStatus maps a handler error to its HTTP status: explicit
-// httpError statuses pass through, request-context cancellation
-// becomes the 499-style abort, anything else is a 500.
-func errStatus(err error) int {
-	var he *httpError
-	if errors.As(err, &he) {
-		return he.status
-	}
-	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
-		return StatusClientClosedRequest
-	}
-	return http.StatusInternalServerError
-}
-
-// now returns the wall clock for latency measurement. Serving metrics
-// are observational and deliberately outside the seed-determinism
-// contract; nothing a study computes ever reads this clock.
+// now returns the wall clock for latency measurement and breaker
+// backoff. Serving behavior is observational and deliberately outside
+// the seed-determinism contract; nothing a study computes ever reads
+// this clock.
 func now() time.Time {
-	return time.Now() //fivealarms:allow(seededrand) request-latency metrics are observational wall-clock, never study inputs
-}
-
-// route registers fn under pattern with latency/error instrumentation.
-func (s *Server) route(pattern, name string, fn handlerFunc) {
-	s.mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
-		start := now()
-		err := fn(w, r)
-		status := http.StatusOK
-		if err != nil {
-			status = errStatus(err)
-			writeError(w, status, err)
-		}
-		s.metrics.Observe(name, time.Since(start), status >= http.StatusBadRequest)
-	})
+	return time.Now() //fivealarms:allow(seededrand) serving-layer wall-clock (latency metrics, breaker backoff), never a study input
 }
 
 // writeJSON encodes v (indented, trailing newline) and writes it with
@@ -180,35 +257,86 @@ func writeJSON(w http.ResponseWriter, status int, v any) error {
 	return err
 }
 
-// writeError emits the uniform api.Error body. Best-effort: the client
-// may already be gone.
-func writeError(w http.ResponseWriter, status int, err error) {
-	body, mErr := json.MarshalIndent(api.Error{
-		Meta:    api.NewMeta(),
-		Status:  status,
-		Message: err.Error(),
-	}, "", "  ")
-	if mErr != nil {
-		http.Error(w, err.Error(), status)
-		return
+// degradeInfo travels from study resolution to the response Meta.
+type degradeInfo struct {
+	degraded bool
+	warning  string
+}
+
+// apply marks m when the backing study is the last-known-good fallback.
+func (d degradeInfo) apply(m *api.Meta) {
+	if d.degraded {
+		m.Degraded = true
+		m.Warning = d.warning
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
 }
 
 // study resolves the request's study entry: the server's base config
 // with an optional ?seed=N override, through the singleflight LRU.
-func (s *Server) study(r *http.Request) (*studyEntry, error) {
+//
+// Degraded mode (fail-open): when the requested study cannot be served
+// in time — its build circuit is open, its build failed, or a cheap
+// read would blow its deadline waiting on a cold (re)build — and a
+// last-known-good study exists for the same key, that study is served
+// instead, marked in the response Meta. Requests whose client has
+// already gone away never degrade; they fail with the context error.
+func (s *Server) study(r *http.Request) (*studyEntry, degradeInfo, error) {
 	cfg := s.opts.Config
 	if q := r.URL.Query().Get("seed"); q != "" {
 		v, err := strconv.ParseUint(q, 10, 64)
 		if err != nil {
-			return nil, badRequest("seed: want an unsigned integer, got %q", q)
+			return nil, degradeInfo{}, badRequest("seed: want an unsigned integer, got %q", q)
 		}
 		cfg.Seed = v
 	}
-	return s.cache.Get(r.Context(), cfg)
+	rs := stateFrom(r.Context())
+
+	// Predictive degrade for cheap reads: if the study is mid-(re)build
+	// the deadline would likely be blown waiting, so serve stale-but-
+	// good immediately and let the build proceed in the background.
+	if rs != nil && rs.class.fastDegrade && !s.cache.ReadyHealthy(cfg) {
+		if lg := s.cache.LastGood(cfg); lg != nil {
+			// Keep the rebuild moving (breaker permitting) without
+			// waiting on it; a breaker rejection here is fine — the
+			// stale study still answers this read.
+			s.cache.entryFor(cfg) //nolint:errcheck // poke only
+			return lg, s.degrade("current study is rebuilding; serving last-known-good"), nil
+		}
+	}
+
+	e, err := s.cache.Get(r.Context(), cfg)
+	if err == nil {
+		return e, degradeInfo{}, nil
+	}
+	// Fail open when possible: breaker-open rejections, failed builds,
+	// and server-side deadline expiry all fall back to the last-known-
+	// good study — but not for clients that already hung up.
+	clientGone := rs == nil || rs.clientCtx.Err() != nil
+	if !clientGone {
+		if lg := s.cache.LastGood(cfg); lg != nil {
+			return lg, s.degrade(degradeReason(err)), nil
+		}
+	}
+	return nil, degradeInfo{}, err
+}
+
+// degrade counts and describes one degraded response.
+func (s *Server) degrade(reason string) degradeInfo {
+	s.metrics.CountDegraded()
+	return degradeInfo{degraded: true, warning: reason}
+}
+
+// degradeReason renders the warning string for a fail-open fallback.
+func degradeReason(err error) string {
+	var oe *overloadError
+	switch {
+	case errors.As(err, &oe):
+		return "study build circuit open; serving last-known-good"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "deadline waiting for study build; serving last-known-good"
+	default:
+		return "study build failed; serving last-known-good"
+	}
 }
 
 // queryFloat parses a required finite float query parameter within
@@ -238,7 +366,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) error {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) error {
-	return writeJSON(w, http.StatusOK, s.metrics.Snapshot())
+	snap := s.metrics.Snapshot()
+	snap.Resilience.InFlight = s.limiter.InFlight()
+	snap.Resilience.QueueDepth = s.limiter.QueueDepth()
+	return writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleRiskPoint(w http.ResponseWriter, r *http.Request) error {
@@ -250,7 +381,7 @@ func (s *Server) handleRiskPoint(w http.ResponseWriter, r *http.Request) error {
 	if err != nil {
 		return err
 	}
-	e, err := s.study(r)
+	e, deg, err := s.study(r)
 	if err != nil {
 		return err
 	}
@@ -279,6 +410,7 @@ func (s *Server) handleRiskPoint(w http.ResponseWriter, r *http.Request) error {
 	if v, ok := e.FireDist().Sample(xy); ok && !math.IsInf(v, 1) {
 		res.NearestFireDistM = v
 	}
+	deg.apply(&res.Meta)
 	return writeJSON(w, http.StatusOK, res)
 }
 
@@ -302,7 +434,7 @@ func (s *Server) handleRiskBBox(w http.ResponseWriter, r *http.Request) error {
 	if minLon > maxLon || minLat > maxLat {
 		return badRequest("empty box: want min_lon <= max_lon and min_lat <= max_lat")
 	}
-	e, err := s.study(r)
+	e, deg, err := s.study(r)
 	if err != nil {
 		return err
 	}
@@ -339,41 +471,52 @@ func (s *Server) handleRiskBBox(w http.ResponseWriter, r *http.Request) error {
 			res.InHistoricalPerimeter++
 		}
 	}
+	deg.apply(&res.Meta)
 	return writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleTables(w http.ResponseWriter, r *http.Request) error {
-	e, err := s.study(r)
+	e, deg, err := s.study(r)
 	if err != nil {
 		return err
 	}
 	st := e.study
 	switch r.PathValue("n") {
 	case "1":
-		return writeJSON(w, http.StatusOK, api.Table1From(st.Table1()))
+		res := api.Table1From(st.Table1())
+		deg.apply(&res.Meta)
+		return writeJSON(w, http.StatusOK, res)
 	case "2":
-		return writeJSON(w, http.StatusOK, api.Table2From(st.Table2()))
+		res := api.Table2From(st.Table2())
+		deg.apply(&res.Meta)
+		return writeJSON(w, http.StatusOK, res)
 	case "3":
-		return writeJSON(w, http.StatusOK, api.Table3From(st.Table3()))
+		res := api.Table3From(st.Table3())
+		deg.apply(&res.Meta)
+		return writeJSON(w, http.StatusOK, res)
 	}
 	return &httpError{status: http.StatusNotFound,
 		msg: fmt.Sprintf("unknown table %q: want 1, 2 or 3", r.PathValue("n"))}
 }
 
 func (s *Server) handleOverlayWHP(w http.ResponseWriter, r *http.Request) error {
-	e, err := s.study(r)
+	e, deg, err := s.study(r)
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, api.WHPOverlayFrom(e.study.WHPOverlay()))
+	res := api.WHPOverlayFrom(e.study.WHPOverlay())
+	deg.apply(&res.Meta)
+	return writeJSON(w, http.StatusOK, res)
 }
 
 func (s *Server) handleValidate(w http.ResponseWriter, r *http.Request) error {
-	e, err := s.study(r)
+	e, deg, err := s.study(r)
 	if err != nil {
 		return err
 	}
-	return writeJSON(w, http.StatusOK, api.ValidationFrom(e.study.Validate()))
+	res := api.ValidationFrom(e.study.Validate())
+	deg.apply(&res.Meta)
+	return writeJSON(w, http.StatusOK, res)
 }
 
 // extendRequest is the POST /v1/extend body: fivealarms.ExtendOptions
@@ -408,10 +551,12 @@ func (s *Server) handleExtend(w http.ResponseWriter, r *http.Request) error {
 	if req.DistM < 0 || req.DistM > maxExtendDistM {
 		return badRequest("dist_m: want 0 (paper default) .. %d, got %v", maxExtendDistM, req.DistM)
 	}
-	e, err := s.study(r)
+	e, deg, err := s.study(r)
 	if err != nil {
 		return err
 	}
 	rep := e.study.ExtendWith(fivealarms.ExtendOptions{CellSizeM: req.CellSizeM, DistM: req.DistM})
-	return writeJSON(w, http.StatusOK, api.ExtendFrom(rep))
+	res := api.ExtendFrom(rep)
+	deg.apply(&res.Meta)
+	return writeJSON(w, http.StatusOK, res)
 }

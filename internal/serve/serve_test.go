@@ -75,6 +75,12 @@ func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
 	return v
 }
 
+// testBreaker returns a permissive breaker for cache-focused tests:
+// three failures to open, millisecond backoffs.
+func testBreaker() *buildBreaker {
+	return newBuildBreaker(3, time.Millisecond, 10*time.Millisecond, 1)
+}
+
 func TestHealthz(t *testing.T) {
 	s := testServer(t)
 	w := do(t, s, "GET", "/v1/healthz", "")
@@ -297,7 +303,7 @@ func TestCanceledWaiterDoesNotKillBuild(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var builds atomic.Int32
-	c := newStudyCache(context.Background(), 2,
+	c := newStudyCache(context.Background(), 2, testBreaker(),
 		func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error) {
 			builds.Add(1)
 			close(started)
@@ -326,7 +332,7 @@ func TestCanceledWaiterDoesNotKillBuild(t *testing.T) {
 
 func TestCacheSingleflightAndLRU(t *testing.T) {
 	var builds atomic.Int32
-	c := newStudyCache(context.Background(), 2,
+	c := newStudyCache(context.Background(), 2, testBreaker(),
 		func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error) {
 			builds.Add(1)
 			return &fivealarms.Study{}, nil
@@ -372,7 +378,7 @@ func TestCacheSingleflightAndLRU(t *testing.T) {
 
 func TestCacheFailedBuildRearms(t *testing.T) {
 	var builds atomic.Int32
-	c := newStudyCache(context.Background(), 2,
+	c := newStudyCache(context.Background(), 2, testBreaker(),
 		func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error) {
 			if builds.Add(1) == 1 {
 				return nil, fmt.Errorf("transient failure")
@@ -455,6 +461,86 @@ func TestMetricsQuantiles(t *testing.T) {
 	snap := m.Snapshot()
 	if len(snap.Endpoints) != 1 || snap.Endpoints[0].Requests != 101 || snap.Endpoints[0].Errors != 1 {
 		t.Errorf("snapshot = %+v", snap.Endpoints)
+	}
+}
+
+// TestMetricsEdgeBuckets pins the histogram boundary semantics: a
+// zero-latency observation lands in the first bucket, an observation
+// exactly on the last finite bound (5000 ms) is inclusive, and
+// anything beyond goes to the overflow bucket.
+func TestMetricsEdgeBuckets(t *testing.T) {
+	var st endpointStats
+	st.observe(0, false)
+	if got := st.buckets[0].Load(); got != 1 {
+		t.Errorf("0ms landed outside the first bucket (bucket0 = %d)", got)
+	}
+	st.observe(5000, false)
+	if got := st.buckets[len(bucketBoundsMs)-1].Load(); got != 1 {
+		t.Errorf("5000ms not inclusive in the last finite bucket (got %d)", got)
+	}
+	st.observe(5000.0001, false)
+	st.observe(1e12, false)
+	if got := st.buckets[numBuckets-1].Load(); got != 2 {
+		t.Errorf("overflow bucket = %d, want 2", got)
+	}
+	// Quantiles over edge data stay within the finite bounds.
+	if q := st.quantile(1.0); q != bucketBoundsMs[len(bucketBoundsMs)-1] {
+		t.Errorf("p100 with overflow = %v, want %v", q, bucketBoundsMs[len(bucketBoundsMs)-1])
+	}
+	if q := st.quantile(0.0); q != bucketBoundsMs[0] {
+		t.Errorf("p0 = %v, want first bound %v", q, bucketBoundsMs[0])
+	}
+}
+
+// TestCacheConcurrentEvictionAndRearm hammers a 2-slot cache from many
+// goroutines across six keys where half the builds always fail:
+// eviction, failure re-arm, last-good recording and the breaker race
+// together (meaningful under -race), and the cache must end bounded
+// and healthy for the succeeding keys.
+func TestCacheConcurrentEvictionAndRearm(t *testing.T) {
+	var builds atomic.Int32
+	c := newStudyCache(context.Background(), 2, testBreaker(),
+		func(ctx context.Context, cfg fivealarms.Config) (*fivealarms.Study, error) {
+			builds.Add(1)
+			if cfg.Seed%2 == 1 {
+				return nil, fmt.Errorf("seed %d always fails", cfg.Seed)
+			}
+			return &fivealarms.Study{}, nil
+		})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				cfg := testCfg
+				cfg.Seed = uint64(1 + (g+i)%6)
+				e, err := c.Get(context.Background(), cfg)
+				if cfg.Seed%2 == 0 {
+					// Even seeds may be shed while odd-seed circuits
+					// churn, but a granted build must succeed.
+					if err == nil && e.study == nil {
+						t.Errorf("seed %d: nil study without error", cfg.Seed)
+					}
+				} else if err == nil {
+					t.Errorf("seed %d: build should always fail", cfg.Seed)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 2 {
+		t.Errorf("cache len = %d, want <= 2", n)
+	}
+	// Failed keys re-armed throughout: far more builds than keys.
+	if n := builds.Load(); n < 6 {
+		t.Errorf("builds = %d, want re-arming across keys", n)
+	}
+	// A succeeding key is still servable after the churn.
+	cfg := testCfg
+	cfg.Seed = 2
+	if _, err := c.Get(context.Background(), cfg); err != nil {
+		t.Errorf("post-churn Get(seed 2): %v", err)
 	}
 }
 
