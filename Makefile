@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos chaos-serve load-smoke diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve serve-smoke fuzz experiments maps clean
+.PHONY: all build test vet lint race chaos chaos-serve load-smoke diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve bench-shard shard-smoke serve-smoke fuzz experiments maps clean
 
 all: vet lint test build
 
@@ -50,6 +50,22 @@ bench-raster:
 	$(GO) test -run '^$$' -bench 'BenchmarkRasterKernels' \
 		-benchmem -json ./internal/raster > BENCH_raster.json
 
+# Regenerate the full-paper-scale sharded baseline: one cold build of
+# the 5,364,949-transceiver fleet on the 2.7 km national raster, all 19
+# seasons plus the 2019 hold-out, sharded over CONUS row bands. Records
+# wall time and the accounted peak per-shard footprint (peak-shard-B)
+# in BENCH_shard.json. Expect tens of minutes on one core.
+bench-shard:
+	FIVEALARMS_BENCH_PAPER=1 $(GO) test -run '^$$' -bench 'BenchmarkShardedStudy' \
+		-benchtime=1x -timeout=0 -benchmem -json . > BENCH_shard.json
+
+# Scaled-down CI twin of the full-scale sharded study: 500k transceivers
+# over 4 shards with the diffcheck conformance twin on. Gates the
+# bit-identity contract at a scale CI can afford.
+shard-smoke:
+	$(GO) run ./cmd/fivealarms -seed 7 -cell 10000 -transceivers 500000 -fires 40 -shards 4 table1 >/dev/null
+	$(GO) test -count=1 . -run 'Sharded'
+
 # End-to-end smoke test of the risk-query server: boot fivealarmsd on
 # a random port at test scale, probe healthz and one risk query via
 # fivealarmsload -smoke, then require a clean SIGTERM drain.
@@ -79,7 +95,7 @@ diffcheck:
 	$(GO) test -count=1 ./internal/geom ./internal/raster ./internal/rtree \
 		./internal/grid ./internal/proj -run 'Conformance|Golden'
 	$(GO) test -count=1 ./internal/risk -run 'CrossCheck'
-	$(GO) test -count=1 . -run 'SeedDeterminism|Metamorphic'
+	$(GO) test -count=1 . -run 'SeedDeterminism|Metamorphic|ShardedDiffcheck|ShardedMaskMerge'
 
 # Enforce the per-package coverage floors (COVERAGE_FLOOR.txt); pass a
 # path to keep the merged profile, e.g. `make cover PROFILE=coverage.out`.
@@ -98,6 +114,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzAlbersDiff -fuzztime=10s ./internal/proj
 	$(GO) test -fuzz=FuzzReadArcASCII -fuzztime=10s ./internal/raster
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/cellnet
+	$(GO) test -fuzz=FuzzSnapshotDecode -fuzztime=10s ./internal/cellnet
 	$(GO) test -fuzz=FuzzReadCSV -fuzztime=10s ./internal/dirs
 	$(GO) test -fuzz=FuzzReadGeoJSON -fuzztime=10s ./internal/wildfire
 

@@ -33,11 +33,14 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", "127.0.0.1:8417", "listen address (host:port; port 0 picks a free port)")
-		seed    = flag.Uint64("seed", 7, "default master random seed")
-		cell    = flag.Float64("cell", 10000, "world raster cell size in meters")
-		tx      = flag.Int("transceivers", 150000, "synthetic OpenCelliD snapshot size")
-		fires   = flag.Int("fires", 60, "mapped fires per simulated season")
+		addr     = flag.String("addr", "127.0.0.1:8417", "listen address (host:port; port 0 picks a free port)")
+		seed     = flag.Uint64("seed", 7, "default master random seed")
+		cell     = flag.Float64("cell", 10000, "world raster cell size in meters")
+		tx       = flag.Int("transceivers", 150000, "synthetic OpenCelliD snapshot size")
+		fires    = flag.Int("fires", 60, "mapped fires per simulated season")
+		shards   = flag.Int("shards", 0, "shard the transceiver-axis analyses over this many CONUS row bands (0 = monolithic)")
+		snapshot = flag.String("snapshot", "", "warm-load the transceiver layer from this columnar snapshot file")
+
 		studies = flag.Int("studies", 4, "max studies resident in the LRU cache")
 		grace   = flag.Duration("grace", 30*time.Second, "graceful shutdown drain budget")
 		warm    = flag.Bool("warm", false, "build the default study before accepting connections")
@@ -56,6 +59,8 @@ func main() {
 			CellSizeM:            *cell,
 			Transceivers:         *tx,
 			MappedFiresPerSeason: *fires,
+			Shards:               *shards,
+			SnapshotPath:         *snapshot,
 		},
 		MaxStudies:       *studies,
 		ReadDeadline:     *readDeadline,

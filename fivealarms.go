@@ -82,6 +82,24 @@ type Config struct {
 	// set); 1 forces the serial kernels. Results are bit-identical at
 	// any setting; only wall-clock time changes.
 	RasterWorkers int
+	// Shards selects the sharded execution path for the transceiver-axis
+	// analyses (Table 1-3, the hold-out validation, the perimeter union
+	// masks): the fleet is partitioned into this many CONUS row bands,
+	// each band builds through its own pipeline tasks with a bounded
+	// transient footprint, and the partial products stream-merge in band
+	// order. Results are bit-identical to the monolithic build at any
+	// shard count (see DESIGN.md §10). 0 (the default) builds
+	// monolithically.
+	Shards int
+	// SnapshotPath, when non-empty, warm-loads the transceiver layer
+	// from a columnar snapshot file (cellnet's "FA5C" format, written by
+	// Study.WriteSnapshot or `fivealarms -save-snapshot`) instead of
+	// generating it. The snapshot stores projected positions bit-for-
+	// bit, so a warm load of a snapshot written from the same Config is
+	// bit-identical to the cold build it replaces. Transceivers is
+	// ignored for sizing when a snapshot loads (the file's row count
+	// wins).
+	SnapshotPath string
 
 	// ctx, when set via WithContext, governs cancellation of the layer
 	// build. It is consulted only during NewStudyWithOptions and never
@@ -114,6 +132,7 @@ const (
 	maxTransceivers  = 100_000_000
 	maxMappedFires   = 100_000
 	maxRasterWorkers = 4096
+	maxShards        = 4096
 )
 
 // Validate rejects configurations that withDefaults would otherwise
@@ -156,6 +175,12 @@ func (c Config) Validate() error {
 	case c.RasterWorkers > maxRasterWorkers:
 		errs = append(errs, fmt.Errorf("fivealarms: RasterWorkers %d above the %d maximum", c.RasterWorkers, maxRasterWorkers))
 	}
+	switch {
+	case c.Shards < 0:
+		errs = append(errs, fmt.Errorf("fivealarms: Shards must be >= 0, got %d", c.Shards))
+	case c.Shards > maxShards:
+		errs = append(errs, fmt.Errorf("fivealarms: Shards %d above the %d maximum", c.Shards, maxShards))
+	}
 	return errors.Join(errs...)
 }
 
@@ -188,6 +213,12 @@ type Study struct {
 	Analyzer *risk.Analyzer
 	Sim      *wildfire.Simulator
 
+	// sharded, non-nil only when Config.Shards > 0, holds the stream-
+	// merged transceiver-axis products the build graph computed shard by
+	// shard. The memoized accessors below consult it before falling back
+	// to the monolithic computation; it is immutable after build.
+	sharded *shardedResults
+
 	// Memoized derived layers (see the type comment).
 	mem struct {
 		history    pipeline.Cell[[]*wildfire.Season]
@@ -209,12 +240,16 @@ type Study struct {
 // to surface configuration errors instead.
 //
 // NewStudy keeps its infallible signature because its failure surface is
-// provably empty: every layer builder below returns nil unconditionally,
-// the task graph is acyclic by pipeline.Graph.Add's declared-before-use
-// contract, no context reaches it (Config.ctx is settable only through
-// WithContext), and no injection hook is installed outside the chaos
-// tests. A non-nil error here is therefore a programming error in this
-// file, and panicking is the correct report.
+// provably empty for the configurations it predates: every monolithic
+// layer builder below returns nil unconditionally, the task graph is
+// acyclic by pipeline.Graph.Add's declared-before-use contract, no
+// context reaches it (Config.ctx is settable only through WithContext),
+// and no injection hook is installed outside the chaos tests. A non-nil
+// error is therefore a programming error in this file, and panicking is
+// the correct report. The exceptions are Config.SnapshotPath (file I/O
+// can genuinely fail) and the sharded merge's internal invariants: for
+// those configurations use NewStudyWithOptions, which surfaces the
+// error instead.
 func NewStudy(cfg Config) *Study {
 	cfg.ctx = nil
 	s, err := build(cfg.withDefaults())
@@ -241,6 +276,10 @@ var buildFaultHook func(task string) error
 // a contained panic (pipeline.PanicError) or an injected fault. The
 // partially built value never escapes.
 func build(cfg Config) (*Study, error) {
+	ctx := cfg.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s := &Study{Cfg: cfg}
 	s.Cfg.ctx = nil // the Study must not retain the build context
 	g := pipeline.New(0)
@@ -256,6 +295,14 @@ func build(cfg Config) (*Study, error) {
 		return nil
 	}, "world")
 	g.Add("cellnet", func() error {
+		if cfg.SnapshotPath != "" {
+			data, err := loadSnapshotDataset(cfg.SnapshotPath, s.World)
+			if err != nil {
+				return err
+			}
+			s.Data = data
+			return nil
+		}
 		s.Data = cellnet.Generate(s.World, cellnet.GenConfig{Seed: cfg.Seed, Total: cfg.Transceivers})
 		return nil
 	}, "world")
@@ -272,10 +319,12 @@ func build(cfg Config) (*Study, error) {
 		return nil
 	}, "whp", "cellnet", "census")
 
-	ctx := cfg.ctx
-	if ctx == nil {
-		ctx = context.Background()
+	var sb *shardBuild
+	if cfg.Shards > 0 {
+		sb = &shardBuild{s: s, cfg: cfg}
+		addShardedTasks(g, sb, ctx)
 	}
+
 	var err error
 	if cfg.PipelineSerial {
 		err = g.RunSerialContext(ctx)
@@ -284,6 +333,9 @@ func build(cfg Config) (*Study, error) {
 	}
 	if err != nil {
 		return nil, fmt.Errorf("fivealarms: building study: %w", err)
+	}
+	if sb != nil {
+		s.sharded = &sb.res
 	}
 	return s, nil
 }
@@ -294,6 +346,9 @@ func build(cfg Config) (*Study, error) {
 // result is identical either way) and cached for every later caller.
 func (s *Study) History() []*wildfire.Season {
 	return s.mem.history.Get(func() []*wildfire.Season {
+		if s.sharded != nil {
+			return s.sharded.history
+		}
 		if s.Cfg.PipelineSerial {
 			return wildfire.SimulateHistory(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
 		}
@@ -305,6 +360,9 @@ func (s *Study) History() []*wildfire.Season {
 // anchor fires (Kincade, Getty, Saddle Ridge, Tick), once per Study.
 func (s *Study) Season2019() *wildfire.Season {
 	return s.mem.season2019.Get(func() *wildfire.Season {
+		if s.sharded != nil {
+			return s.sharded.season2019
+		}
 		return wildfire.Simulate2019(s.Sim, s.Cfg.Seed, s.Cfg.MappedFiresPerSeason)
 	})
 }
@@ -316,6 +374,9 @@ func (s *Study) Season2019() *wildfire.Season {
 // between callers: read-only.
 func (s *Study) Table1() []risk.YearOverlay {
 	return s.mem.table1.Get(func() []risk.YearOverlay {
+		if s.sharded != nil {
+			return s.sharded.table1
+		}
 		if s.Cfg.PipelineSerial {
 			return s.Analyzer.HistoricalOverlayWorkers(s.History(), 1)
 		}
@@ -324,10 +385,20 @@ func (s *Study) Table1() []risk.YearOverlay {
 }
 
 // Table2 computes the provider risk breakdown.
-func (s *Study) Table2() []risk.ProviderRow { return s.Analyzer.ProviderRisk() }
+func (s *Study) Table2() []risk.ProviderRow {
+	if s.sharded != nil {
+		return s.sharded.table2
+	}
+	return s.Analyzer.ProviderRisk()
+}
 
 // Table3 computes the radio-technology risk breakdown.
-func (s *Study) Table3() []risk.RadioRow { return s.Analyzer.RadioTypeRisk() }
+func (s *Study) Table3() []risk.RadioRow {
+	if s.sharded != nil {
+		return s.sharded.table3
+	}
+	return s.Analyzer.RadioTypeRisk()
+}
 
 // WHPOverlay computes the Figure 7-9 class/state/per-capita exposure,
 // once per Study.
@@ -349,6 +420,9 @@ func (s *Study) rasterWorkers() int {
 // the world grid (the data behind Figure 3), once per Study.
 func (s *Study) HistoryUnionMask() *raster.BitGrid {
 	return s.mem.unionHist.Get(func() *raster.BitGrid {
+		if s.sharded != nil {
+			return s.sharded.unionHist
+		}
 		return s.Analyzer.FireUnionMaskWorkers(s.History(), s.rasterWorkers())
 	})
 }
@@ -357,6 +431,9 @@ func (s *Study) HistoryUnionMask() *raster.BitGrid {
 // perimeters onto the world grid, once per Study.
 func (s *Study) Season2019UnionMask() *raster.BitGrid {
 	return s.mem.union2019.Get(func() *raster.BitGrid {
+		if s.sharded != nil {
+			return s.sharded.union2019
+		}
 		return s.Analyzer.FireUnionMaskWorkers([]*wildfire.Season{s.Season2019()}, s.rasterWorkers())
 	})
 }
@@ -373,6 +450,9 @@ func (s *Study) CaseStudy() *risk.CaseStudyResult {
 // result is shared between callers: read-only.
 func (s *Study) Validate() *risk.ValidationResult {
 	return s.mem.validate.Get(func() *risk.ValidationResult {
+		if s.sharded != nil {
+			return s.sharded.validation
+		}
 		return s.Analyzer.Validate(s.Season2019())
 	})
 }

@@ -124,3 +124,19 @@ func TestDeterministicStudies(t *testing.T) {
 		}
 	}
 }
+
+func TestEndToEndEscapeAndEmergency(t *testing.T) {
+	esc := sharedStudy.Escape(0)
+	if len(esc) == 0 {
+		t.Fatal("no state escape probabilities")
+	}
+	for _, se := range esc {
+		if se.Escape < 0 || se.Escape > 1 {
+			t.Fatalf("state %s escape probability %v outside [0, 1]", se.Abbrev, se.Escape)
+		}
+	}
+	em := sharedStudy.Emergency()
+	if em == nil || len(em.DayLabels) == 0 {
+		t.Fatal("emergency analysis empty")
+	}
+}

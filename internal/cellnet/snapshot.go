@@ -1,0 +1,328 @@
+package cellnet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
+
+	"fivealarms/internal/conus"
+)
+
+// Columnar snapshot format: the full-paper-scale on-disk layout of a
+// transceiver store. Where the v1 record stream (binary.go) interleaves
+// fields per row, the snapshot lays each column out contiguously, so an
+// out-of-core reader can fetch any row range of any column with one
+// ReadAt per column — the access pattern of the sharded study build.
+// Layout (little-endian):
+//
+//	magic    [4]byte "FA5C"
+//	version  uint16  (1)
+//	flags    uint16  (0; readers reject nonzero)
+//	count    uint64
+//	columns, each count long, in this order:
+//	  x, y      float64   projected CONUS Albers position
+//	  lon, lat  float64   geographic position
+//	  mcc, mnc  uint16
+//	  area      uint16
+//	  cell      uint32
+//	  site      uint32    (SiteID two's-complement)
+//	  radio     uint8
+//	  created   uint8     (year-2000, clamped like the record codec)
+//	  updated   uint8
+//	  samples   uint16
+//	checksum uint64  FNV-1a over every preceding byte
+//
+// Unlike the record codec, the snapshot serializes the projected x/y
+// columns: the Albers projection is a program constant, and storing the
+// projected bits makes a warm-loaded study bit-identical to a cold
+// build (ToXY(ToLonLat(p)) does not round-trip to the last ulp). State
+// assignment is still recomputed on load, keeping files world-raster
+// independent.
+
+var snapshotMagic = [4]byte{'F', 'A', '5', 'C'}
+
+const (
+	snapshotVersion = 1
+	// snapshotHeader is magic+version+flags+count.
+	snapshotHeader = 4 + 2 + 2 + 8
+	// snapshotRowBytes is the per-row payload across all columns.
+	snapshotRowBytes = 8 + 8 + 8 + 8 + 2 + 2 + 2 + 4 + 4 + 1 + 1 + 1 + 2 // 51
+	// snapshotMaxRows mirrors the record codec's 67M cap: generous for
+	// any realistic snapshot, small enough to refuse absurd headers
+	// before allocating.
+	snapshotMaxRows = 1 << 26
+)
+
+// snapshotColWidths lists the column element widths in wire order.
+var snapshotColWidths = [...]int{8, 8, 8, 8, 2, 2, 2, 4, 4, 1, 1, 1, 2}
+
+// snapshotColOffset returns the file offset of column col's first byte
+// for an n-row snapshot.
+func snapshotColOffset(col, n int) int64 {
+	off := int64(snapshotHeader)
+	for c := 0; c < col; c++ {
+		off += int64(snapshotColWidths[c]) * int64(n)
+	}
+	return off
+}
+
+// WriteSnapshot streams the store in the columnar snapshot format.
+func (s *Store) WriteSnapshot(w io.Writer) error {
+	h := fnv.New64a()
+	bw := bufio.NewWriter(io.MultiWriter(w, h))
+	var hdr [snapshotHeader]byte
+	copy(hdr[0:4], snapshotMagic[:])
+	binary.LittleEndian.PutUint16(hdr[4:6], snapshotVersion)
+	binary.LittleEndian.PutUint16(hdr[6:8], 0)
+	binary.LittleEndian.PutUint64(hdr[8:16], uint64(s.Len()))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fmt.Errorf("cellnet: writing snapshot header: %w", err)
+	}
+	cols := []func(i int, b []byte) int{
+		func(i int, b []byte) int { binary.LittleEndian.PutUint64(b, math.Float64bits(s.X[i])); return 8 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint64(b, math.Float64bits(s.Y[i])); return 8 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint64(b, math.Float64bits(s.Lon[i])); return 8 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint64(b, math.Float64bits(s.Lat[i])); return 8 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint16(b, s.MCC[i]); return 2 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint16(b, s.MNC[i]); return 2 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint16(b, s.Area[i]); return 2 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint32(b, s.Cell[i]); return 4 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint32(b, uint32(s.Site[i])); return 4 },
+		func(i int, b []byte) int { b[0] = s.Radio[i]; return 1 },
+		func(i int, b []byte) int { b[0] = clampYear(s.Created[i]); return 1 },
+		func(i int, b []byte) int { b[0] = clampYear(s.Updated[i]); return 1 },
+		func(i int, b []byte) int { binary.LittleEndian.PutUint16(b, s.Samples[i]); return 2 },
+	}
+	var buf [8]byte
+	for ci, put := range cols {
+		for i := 0; i < s.Len(); i++ {
+			n := put(i, buf[:])
+			if _, err := bw.Write(buf[:n]); err != nil {
+				return fmt.Errorf("cellnet: writing snapshot column %d: %w", ci, err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		return fmt.Errorf("cellnet: flushing snapshot: %w", err)
+	}
+	var sum [8]byte
+	binary.LittleEndian.PutUint64(sum[:], h.Sum64())
+	if _, err := w.Write(sum[:]); err != nil {
+		return fmt.Errorf("cellnet: writing snapshot checksum: %w", err)
+	}
+	return nil
+}
+
+// parseSnapshotHeader validates the fixed header and returns the row
+// count. Errors wrap ErrBadFormat.
+func parseSnapshotHeader(hdr []byte) (int, error) {
+	var magic [4]byte
+	copy(magic[:], hdr[0:4])
+	if magic != snapshotMagic {
+		return 0, fmt.Errorf("%w: snapshot magic %q", ErrBadFormat, magic[:])
+	}
+	if v := binary.LittleEndian.Uint16(hdr[4:6]); v != snapshotVersion {
+		return 0, fmt.Errorf("%w: snapshot version %d", ErrBadFormat, v)
+	}
+	if f := binary.LittleEndian.Uint16(hdr[6:8]); f != 0 {
+		return 0, fmt.Errorf("%w: snapshot flags %#x", ErrBadFormat, f)
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	if count > snapshotMaxRows {
+		return 0, fmt.Errorf("%w: snapshot declares %d rows, limit %d", ErrBadFormat, count, snapshotMaxRows)
+	}
+	return int(count), nil
+}
+
+// snapshotSize returns the exact file size of an n-row snapshot.
+func snapshotSize(n int) int64 {
+	return int64(snapshotHeader) + int64(n)*snapshotRowBytes + 8
+}
+
+// validateSnapshotRow applies the per-row invariants shared by every
+// decode path: a known radio technology, geographic coordinates in
+// range, and finite projected coordinates.
+func validateSnapshotRow(s *Store, i int) error {
+	if Radio(s.Radio[i]) >= numRadios {
+		return fmt.Errorf("%w: snapshot row %d: radio %d", ErrBadFormat, i, s.Radio[i])
+	}
+	if math.IsNaN(s.Lon[i]) || math.IsNaN(s.Lat[i]) ||
+		s.Lon[i] < -180 || s.Lon[i] > 180 || s.Lat[i] < -90 || s.Lat[i] > 90 {
+		return fmt.Errorf("%w: snapshot row %d: position (%v, %v)", ErrBadFormat, i, s.Lon[i], s.Lat[i])
+	}
+	if math.IsNaN(s.X[i]) || math.IsInf(s.X[i], 0) || math.IsNaN(s.Y[i]) || math.IsInf(s.Y[i], 0) {
+		return fmt.Errorf("%w: snapshot row %d: projected (%v, %v)", ErrBadFormat, i, s.X[i], s.Y[i])
+	}
+	return nil
+}
+
+// decodeSnapshotColumns parses the column payload of an n-row snapshot
+// from raw (which must hold exactly the column bytes) into a Store with
+// the State column zeroed.
+func decodeSnapshotColumns(raw []byte, n int) *Store {
+	s := NewStore(n)
+	off := 0
+	f64 := func(dst []float64) {
+		for i := range dst {
+			dst[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw[off:]))
+			off += 8
+		}
+	}
+	u16 := func(dst []uint16) {
+		for i := range dst {
+			dst[i] = binary.LittleEndian.Uint16(raw[off:])
+			off += 2
+		}
+	}
+	f64(s.X)
+	f64(s.Y)
+	f64(s.Lon)
+	f64(s.Lat)
+	u16(s.MCC)
+	u16(s.MNC)
+	u16(s.Area)
+	for i := range s.Cell {
+		s.Cell[i] = binary.LittleEndian.Uint32(raw[off:])
+		off += 4
+	}
+	for i := range s.Site {
+		s.Site[i] = int32(binary.LittleEndian.Uint32(raw[off:]))
+		off += 4
+	}
+	copy(s.Radio, raw[off:off+n])
+	off += n
+	for i := range s.Created {
+		s.Created[i] = 2000 + uint16(raw[off+i])
+	}
+	off += n
+	for i := range s.Updated {
+		s.Updated[i] = 2000 + uint16(raw[off+i])
+	}
+	off += n
+	u16(s.Samples)
+	return s
+}
+
+// ReadSnapshotStore parses a whole columnar snapshot strictly: header,
+// checksum, per-row validation and trailing-byte detection. The State
+// column of the returned store is unassigned (all zero) — callers
+// resolve it against a world with AssignStates, or use ReadSnapshot.
+// No partially decoded store ever escapes: any error returns nil.
+func ReadSnapshotStore(r io.Reader) (*Store, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var hdr [snapshotHeader]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot header: %v", ErrBadFormat, err)
+	}
+	n, err := parseSnapshotHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	raw := make([]byte, int64(n)*snapshotRowBytes)
+	if _, err := io.ReadFull(br, raw); err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot columns: %v", ErrBadFormat, err)
+	}
+	var sum [8]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot checksum: %v", ErrBadFormat, err)
+	}
+	h := fnv.New64a()
+	h.Write(hdr[:])
+	h.Write(raw)
+	if got := binary.LittleEndian.Uint64(sum[:]); got != h.Sum64() {
+		return nil, fmt.Errorf("%w: snapshot checksum mismatch", ErrBadFormat)
+	}
+	if _, err := br.ReadByte(); err != io.EOF {
+		return nil, fmt.Errorf("%w: trailing data after %d snapshot rows", ErrBadFormat, n)
+	}
+	s := decodeSnapshotColumns(raw, n)
+	for i := 0; i < n; i++ {
+		if err := validateSnapshotRow(s, i); err != nil {
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// ReadSnapshot parses a whole columnar snapshot and resolves it into a
+// Dataset over the world (state assignment recomputed, spatial index
+// rebuilt). Projected positions come from the file bit-for-bit, so a
+// dataset written by the same program version round-trips exactly.
+func ReadSnapshot(r io.Reader, w *conus.World) (*Dataset, error) {
+	s, err := ReadSnapshotStore(r)
+	if err != nil {
+		return nil, err
+	}
+	s.AssignStates(w)
+	return NewDataset(w, s.Transceivers()), nil
+}
+
+// Snapshot is an open columnar snapshot positioned for out-of-core
+// range reads: the header has been validated against the file size, and
+// ReadRange fetches any row window with one ReadAt per column. The
+// trailer checksum is NOT verified by OpenSnapshot (that would read the
+// whole file, defeating the point) — run Verify for an end-to-end
+// integrity pass, or use ReadSnapshot for strict whole-file loads.
+type Snapshot struct {
+	ra io.ReaderAt
+	n  int
+}
+
+// OpenSnapshot validates the header of a columnar snapshot backed by an
+// io.ReaderAt of the given total size and returns a range reader. The
+// size must match the row count exactly; a truncated or padded file is
+// rejected here, before any column read.
+func OpenSnapshot(ra io.ReaderAt, size int64) (*Snapshot, error) {
+	var hdr [snapshotHeader]byte
+	if _, err := ra.ReadAt(hdr[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot header: %v", ErrBadFormat, err)
+	}
+	n, err := parseSnapshotHeader(hdr[:])
+	if err != nil {
+		return nil, err
+	}
+	if want := snapshotSize(n); size != want {
+		return nil, fmt.Errorf("%w: snapshot size %d, want %d for %d rows", ErrBadFormat, size, want, n)
+	}
+	return &Snapshot{ra: ra, n: n}, nil
+}
+
+// Len returns the snapshot's row count.
+func (s *Snapshot) Len() int { return s.n }
+
+// ReadRange decodes rows [lo, hi) into a Store (State unassigned),
+// reading only those rows' bytes of each column. Rows are validated;
+// no partially decoded store escapes.
+func (s *Snapshot) ReadRange(lo, hi int) (*Store, error) {
+	if lo < 0 || hi < lo || hi > s.n {
+		return nil, fmt.Errorf("%w: snapshot range [%d, %d) outside %d rows", ErrBadFormat, lo, hi, s.n)
+	}
+	n := hi - lo
+	raw := make([]byte, int64(n)*snapshotRowBytes)
+	off := 0
+	for col, width := range snapshotColWidths {
+		span := n * width
+		at := snapshotColOffset(col, s.n) + int64(lo)*int64(width)
+		if _, err := s.ra.ReadAt(raw[off:off+span], at); err != nil {
+			return nil, fmt.Errorf("%w: reading snapshot column %d rows [%d, %d): %v", ErrBadFormat, col, lo, hi, err)
+		}
+		off += span
+	}
+	st := decodeSnapshotColumns(raw, n)
+	for i := 0; i < n; i++ {
+		if err := validateSnapshotRow(st, i); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}
+
+// Verify re-reads the whole snapshot sequentially and checks the
+// trailer checksum, returning nil on an intact file.
+func (s *Snapshot) Verify() error {
+	_, err := ReadSnapshotStore(io.NewSectionReader(s.ra, 0, snapshotSize(s.n)))
+	return err
+}

@@ -1,0 +1,93 @@
+package cellnet
+
+import (
+	"bytes"
+	"encoding/binary"
+	"reflect"
+	"sync"
+	"testing"
+
+	"fivealarms/internal/conus"
+)
+
+// fuzzWorld builds the shared decode world once per process: the fuzz
+// loop must not pay a world build per input.
+var fuzzWorld = sync.OnceValue(func() *conus.World {
+	return conus.Build(conus.Config{Seed: 1, CellSizeM: 40000})
+})
+
+// FuzzSnapshotDecode hammers the columnar snapshot decoder with
+// arbitrary bytes: it must never panic, must reject malformed input
+// with an error (no partial store escaping), and on accepted input the
+// decoded store must re-encode and re-decode to the same rows.
+func FuzzSnapshotDecode(f *testing.F) {
+	w := fuzzWorld()
+	d := Generate(w, GenConfig{Seed: 11, Total: 400})
+	var buf bytes.Buffer
+	if err := StoreOf(d.T).WriteSnapshot(&buf); err != nil {
+		f.Fatalf("seed corpus: %v", err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:snapshotHeader])
+	f.Add(valid[:len(valid)-1])
+	trunc := append([]byte(nil), valid...)
+	trunc[5] = 0xFF // absurd version
+	f.Add(trunc)
+	huge := append([]byte(nil), valid[:snapshotHeader]...)
+	binary.LittleEndian.PutUint64(huge[8:16], 1<<40) // oversized header count
+	f.Add(huge)
+	flip := append([]byte(nil), valid...)
+	flip[snapshotHeader+9] ^= 0x40
+	f.Add(flip)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Cap input size: a forged header can at most claim
+		// snapshotMaxRows, and the reader bails before allocating for
+		// payloads it cannot have; the cap keeps the fuzz loop fast.
+		if len(data) > 1<<20 {
+			return
+		}
+		st, err := ReadSnapshotStore(bytes.NewReader(data))
+		if err != nil {
+			if st != nil {
+				t.Fatalf("error %v returned a non-nil store", err)
+			}
+			return
+		}
+		// Accepted input: the decode must be self-consistent under a
+		// re-encode/decode round trip.
+		var out bytes.Buffer
+		if err := st.WriteSnapshot(&out); err != nil {
+			t.Fatalf("re-encode of accepted input: %v", err)
+		}
+		again, err := ReadSnapshotStore(bytes.NewReader(out.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decode of accepted input: %v", err)
+		}
+		if !reflect.DeepEqual(st, again) {
+			t.Fatalf("round trip of accepted input not stable")
+		}
+		// The range reader must agree with the strict reader row by row.
+		snap, err := OpenSnapshot(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			t.Fatalf("OpenSnapshot rejected input ReadSnapshotStore accepted: %v", err)
+		}
+		if snap.Len() != st.Len() {
+			t.Fatalf("range reader rows = %d, strict reader = %d", snap.Len(), st.Len())
+		}
+		if st.Len() > 0 {
+			lo, hi := st.Len()/3, st.Len()/3+(st.Len()+2)/3
+			part, err := snap.ReadRange(lo, hi)
+			if err != nil {
+				t.Fatalf("ReadRange(%d, %d): %v", lo, hi, err)
+			}
+			for i := 0; i < part.Len(); i++ {
+				if part.Row(i) != st.Row(i+lo) {
+					t.Fatalf("range row %d disagrees with strict row %d", i, i+lo)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package cellnet
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"reflect"
+	"testing"
+
+	"fivealarms/internal/conus"
+)
+
+func snapTestWorld(t testing.TB) *conus.World {
+	t.Helper()
+	return conus.Build(conus.Config{Seed: 1, CellSizeM: 40000})
+}
+
+func snapTestDataset(t testing.TB, w *conus.World, n int) *Dataset {
+	t.Helper()
+	d := Generate(w, GenConfig{Seed: 11, Total: n})
+	if d.Len() < 8 {
+		t.Fatalf("generator produced %d rows for Total=%d; tests need at least 8", d.Len(), n)
+	}
+	return d
+}
+
+// encodeSnapshot is the test helper: dataset -> snapshot bytes.
+func encodeSnapshot(t testing.TB, d *Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := StoreOf(d.T).WriteSnapshot(&buf); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotRoundTripBitIdentical(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 2000)
+	raw := encodeSnapshot(t, d)
+	if want := snapshotSize(d.Len()); int64(len(raw)) != want {
+		t.Fatalf("snapshot size = %d, want %d", len(raw), want)
+	}
+	got, err := ReadSnapshot(bytes.NewReader(raw), w)
+	if err != nil {
+		t.Fatalf("ReadSnapshot: %v", err)
+	}
+	if got.Len() != d.Len() {
+		t.Fatalf("round-trip length = %d, want %d", got.Len(), d.Len())
+	}
+	// Bit-identical round trip, including the projected position: the
+	// snapshot serializes x/y rather than reprojecting on load.
+	if !reflect.DeepEqual(got.T, d.T) {
+		for i := range d.T {
+			if got.T[i] != d.T[i] {
+				t.Fatalf("row %d differs:\n got %+v\nwant %+v", i, got.T[i], d.T[i])
+			}
+		}
+		t.Fatalf("datasets differ")
+	}
+}
+
+func TestSnapshotStoreRoundTrip(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 500)
+	st := StoreOf(d.T)
+	raw := encodeSnapshot(t, d)
+	got, err := ReadSnapshotStore(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadSnapshotStore: %v", err)
+	}
+	// State is unassigned until AssignStates.
+	for i, s := range got.State {
+		if s != 0 {
+			t.Fatalf("row %d state pre-assignment = %d, want 0", i, s)
+		}
+	}
+	got.AssignStates(w)
+	if !reflect.DeepEqual(got, st) {
+		t.Fatalf("store round trip differs")
+	}
+	if got.Bytes() != st.Bytes() || got.Bytes() <= 0 {
+		t.Fatalf("bytes accounting: got %d want %d", got.Bytes(), st.Bytes())
+	}
+}
+
+func TestSnapshotRejectsCorruption(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 64)
+	raw := encodeSnapshot(t, d)
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"nonzero flags", func(b []byte) []byte { b[6] = 1; return b }},
+		{"oversized count", func(b []byte) []byte {
+			b[8], b[9], b[10], b[11] = 0xff, 0xff, 0xff, 0xff
+			return b
+		}},
+		{"declared count beyond payload", func(b []byte) []byte { b[8]++; return b }},
+		{"truncated header", func(b []byte) []byte { return b[:10] }},
+		{"truncated columns", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"truncated checksum", func(b []byte) []byte { return b[:len(b)-3] }},
+		{"flipped column bit", func(b []byte) []byte { b[snapshotHeader+17] ^= 0x10; return b }},
+		{"flipped checksum", func(b []byte) []byte { b[len(b)-1] ^= 1; return b }},
+		{"trailing garbage", func(b []byte) []byte { return append(b, 0xEE) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mut := tc.mutate(append([]byte(nil), raw...))
+			if _, err := ReadSnapshot(bytes.NewReader(mut), w); !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("ReadSnapshot(%s) err = %v, want ErrBadFormat", tc.name, err)
+			}
+		})
+	}
+}
+
+func TestSnapshotRejectsBadRows(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 400)
+	// Corrupt semantic fields pre-encode so header and checksum stay
+	// valid: decode must still reject the rows.
+	for name, mut := range map[string]func(*Store){
+		"bad radio":     func(s *Store) { s.Radio[3] = 200 },
+		"nan lon":       func(s *Store) { s.Lon[1] = math.NaN() },
+		"lat range":     func(s *Store) { s.Lat[2] = 91 },
+		"inf projected": func(s *Store) { s.X[4] = math.Inf(1) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			st := StoreOf(d.T)
+			mut(st)
+			var buf bytes.Buffer
+			if err := st.WriteSnapshot(&buf); err != nil {
+				t.Fatalf("WriteSnapshot: %v", err)
+			}
+			if _, err := ReadSnapshotStore(bytes.NewReader(buf.Bytes())); !errors.Is(err, ErrBadFormat) {
+				t.Fatalf("err = %v, want ErrBadFormat", err)
+			}
+		})
+	}
+}
+
+func TestOpenSnapshotRangeReads(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 999)
+	raw := encodeSnapshot(t, d)
+	snap, err := OpenSnapshot(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	n := d.Len()
+	if snap.Len() != n {
+		t.Fatalf("Len = %d, want %d", snap.Len(), n)
+	}
+	if err := snap.Verify(); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	full := StoreOf(d.T)
+	for _, r := range [][2]int{{0, n}, {0, 0}, {n, n}, {0, 1}, {n - 1, n}, {n / 7, n / 2}} {
+		st, err := snap.ReadRange(r[0], r[1])
+		if err != nil {
+			t.Fatalf("ReadRange(%d, %d): %v", r[0], r[1], err)
+		}
+		if st.Len() != r[1]-r[0] {
+			t.Fatalf("ReadRange(%d, %d) rows = %d", r[0], r[1], st.Len())
+		}
+		st.AssignStates(w)
+		for i := 0; i < st.Len(); i++ {
+			if got, want := st.Row(i), full.Row(r[0]+i); got != want {
+				t.Fatalf("range [%d,%d) row %d differs:\n got %+v\nwant %+v", r[0], r[1], i, got, want)
+			}
+		}
+	}
+	for _, r := range [][2]int{{-1, 5}, {5, 4}, {0, n + 1}} {
+		if _, err := snap.ReadRange(r[0], r[1]); !errors.Is(err, ErrBadFormat) {
+			t.Fatalf("ReadRange(%d, %d) err = %v, want ErrBadFormat", r[0], r[1], err)
+		}
+	}
+}
+
+func TestOpenSnapshotRejectsSizeMismatch(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 32)
+	raw := encodeSnapshot(t, d)
+	if _, err := OpenSnapshot(bytes.NewReader(raw), int64(len(raw))-1); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("short size err = %v, want ErrBadFormat", err)
+	}
+	if _, err := OpenSnapshot(bytes.NewReader(raw), int64(len(raw))+8); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("padded size err = %v, want ErrBadFormat", err)
+	}
+	if _, err := OpenSnapshot(bytes.NewReader(raw[:4]), 4); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("tiny file err = %v, want ErrBadFormat", err)
+	}
+}
+
+func TestStoreSelectAndRows(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 100)
+	st := StoreOf(d.T)
+	if st.Len() != d.Len() {
+		t.Fatalf("Len = %d, want %d", st.Len(), d.Len())
+	}
+	all := st.Transceivers()
+	if !reflect.DeepEqual(all, d.T) {
+		t.Fatalf("Transceivers() differs from source")
+	}
+	idx := []int{st.Len() - 1, 0, st.Len() / 2, st.Len() / 2}
+	rows := st.AppendRows(nil, idx)
+	if len(rows) != len(idx) {
+		t.Fatalf("AppendRows len = %d", len(rows))
+	}
+	for i, want := range idx {
+		if rows[i] != d.T[want] {
+			t.Fatalf("AppendRows[%d] = %+v, want row %d", i, rows[i], want)
+		}
+	}
+}
+
+// TestSnapshotReadFailurePropagates covers the ReaderAt error path.
+func TestSnapshotReadFailurePropagates(t *testing.T) {
+	w := snapTestWorld(t)
+	d := snapTestDataset(t, w, 200)
+	raw := encodeSnapshot(t, d)
+	snap, err := OpenSnapshot(bytes.NewReader(raw), int64(len(raw)))
+	if err != nil {
+		t.Fatalf("OpenSnapshot: %v", err)
+	}
+	// Swap in a reader that fails beyond the header.
+	snap.ra = io.NewSectionReader(bytes.NewReader(raw), 0, snapshotHeader)
+	if _, err := snap.ReadRange(0, d.Len()); !errors.Is(err, ErrBadFormat) {
+		t.Fatalf("err = %v, want ErrBadFormat", err)
+	}
+}

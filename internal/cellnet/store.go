@@ -1,0 +1,124 @@
+package cellnet
+
+import (
+	"fivealarms/internal/conus"
+	"fivealarms/internal/geom"
+)
+
+// Store is the compact columnar (SoA) transceiver layout: one slice per
+// field, all of equal length. It exists for the full-paper-scale paths —
+// the snapshot codec streams it column by column, and the spatial
+// sharder partitions it into per-shard row sets without touching the
+// wide AoS Transceiver struct. A Store is plain data: copy-free views
+// into its columns are allowed as long as the columns are treated as
+// read-only.
+type Store struct {
+	X, Y     []float64 // projected (CONUS Albers) position
+	Lon, Lat []float64 // geographic position
+	MCC, MNC []uint16
+	Area     []uint16
+	Cell     []uint32
+	Site     []int32
+	State    []int16 // index into geodata.States, -1 off-CONUS
+	Radio    []uint8
+	Created  []uint16 // record-creation year
+	Updated  []uint16 // last-update year
+	Samples  []uint16
+}
+
+// NewStore returns a Store with every column allocated at length n.
+func NewStore(n int) *Store {
+	return &Store{
+		X: make([]float64, n), Y: make([]float64, n),
+		Lon: make([]float64, n), Lat: make([]float64, n),
+		MCC: make([]uint16, n), MNC: make([]uint16, n),
+		Area: make([]uint16, n), Cell: make([]uint32, n),
+		Site: make([]int32, n), State: make([]int16, n),
+		Radio: make([]uint8, n), Created: make([]uint16, n),
+		Updated: make([]uint16, n), Samples: make([]uint16, n),
+	}
+}
+
+// StoreOf transposes an AoS transceiver slice into the columnar layout.
+func StoreOf(ts []Transceiver) *Store {
+	s := NewStore(len(ts))
+	for i := range ts {
+		s.SetRow(i, &ts[i])
+	}
+	return s
+}
+
+// Len returns the number of rows.
+func (s *Store) Len() int { return len(s.X) }
+
+// SetRow writes one transceiver into row i. i must be in range (slice
+// indexing reports the violation).
+func (s *Store) SetRow(i int, t *Transceiver) {
+	s.X[i], s.Y[i] = t.XY.X, t.XY.Y
+	s.Lon[i], s.Lat[i] = t.Lon, t.Lat
+	s.MCC[i], s.MNC[i] = t.MCC, t.MNC
+	s.Area[i], s.Cell[i] = t.Area, t.Cell
+	s.Site[i], s.State[i] = t.SiteID, t.StateIdx
+	s.Radio[i] = uint8(t.Radio)
+	s.Created[i], s.Updated[i] = t.Created, t.Updated
+	s.Samples[i] = t.Samples
+}
+
+// Row reassembles row i as an AoS Transceiver.
+func (s *Store) Row(i int) Transceiver {
+	return Transceiver{
+		XY:       geom.Point{X: s.X[i], Y: s.Y[i]},
+		Lon:      s.Lon[i],
+		Lat:      s.Lat[i],
+		MCC:      s.MCC[i],
+		MNC:      s.MNC[i],
+		Area:     s.Area[i],
+		Cell:     s.Cell[i],
+		SiteID:   s.Site[i],
+		StateIdx: s.State[i],
+		Radio:    Radio(s.Radio[i]),
+		Created:  s.Created[i],
+		Updated:  s.Updated[i],
+		Samples:  s.Samples[i],
+	}
+}
+
+// Transceivers materializes the whole store as an AoS slice.
+func (s *Store) Transceivers() []Transceiver {
+	return s.AppendRows(make([]Transceiver, 0, s.Len()), nil)
+}
+
+// AppendRows appends the selected rows (all rows when idx is nil) to
+// dst in index order and returns the extended slice. This is the shard
+// materialization primitive: a shard's index set becomes the AoS rows
+// its analyzer joins over, while the wide columns stay shared.
+func (s *Store) AppendRows(dst []Transceiver, idx []int) []Transceiver {
+	if idx == nil {
+		for i := 0; i < s.Len(); i++ {
+			dst = append(dst, s.Row(i))
+		}
+		return dst
+	}
+	for _, i := range idx {
+		dst = append(dst, s.Row(i))
+	}
+	return dst
+}
+
+// AssignStates recomputes the State column from the world's state
+// raster (the same recompute-on-load rule the record codec uses, so
+// snapshot files stay world-independent).
+func (s *Store) AssignStates(w *conus.World) {
+	for i := range s.State {
+		s.State[i] = int16(w.StateAt(geom.Point{X: s.X[i], Y: s.Y[i]}))
+	}
+}
+
+// Bytes returns the column payload size in bytes — the store's memory
+// accounting unit, used by the sharded build to report bounded
+// per-shard footprints.
+func (s *Store) Bytes() int64 {
+	n := int64(s.Len())
+	const perRow = 8 + 8 + 8 + 8 + 2 + 2 + 2 + 4 + 4 + 2 + 1 + 2 + 2 + 2
+	return n * perRow
+}

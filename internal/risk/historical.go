@@ -142,10 +142,11 @@ func (a *Analyzer) TransceiversInFire(f *wildfire.Fire) []int {
 	return out
 }
 
-// seasonPerimeters flattens every mapped fire's perimeter polygons
+// SeasonPerimeters flattens every mapped fire's perimeter polygons
 // across the seasons into one slice, so the whole study period
-// rasterizes as a single fused sweep.
-func seasonPerimeters(seasons []*wildfire.Season) []geom.Polygon {
+// rasterizes as a single fused sweep (and the sharded build fills its
+// row bands from one polygon list).
+func SeasonPerimeters(seasons []*wildfire.Season) []geom.Polygon {
 	n := 0
 	for _, s := range seasons {
 		for fi := range s.Mapped {
@@ -174,7 +175,7 @@ func (a *Analyzer) FireUnionMask(seasons []*wildfire.Season) *raster.BitGrid {
 // setting).
 func (a *Analyzer) FireUnionMaskWorkers(seasons []*wildfire.Season, workers int) *raster.BitGrid {
 	union := raster.NewBitGrid(a.World.Grid)
-	raster.FillPolygonsInto(union, seasonPerimeters(seasons), workers)
+	raster.FillPolygonsInto(union, SeasonPerimeters(seasons), workers)
 	return union
 }
 
@@ -186,7 +187,7 @@ func (a *Analyzer) FireUnionMaskWorkers(seasons []*wildfire.Season, workers int)
 // returning, so only the distance grid is allocated.
 func (a *Analyzer) FireDistance(seasons []*wildfire.Season, workers int) *raster.FloatGrid {
 	mask := raster.AcquireBitGrid(a.World.Grid)
-	raster.FillPolygonsInto(mask, seasonPerimeters(seasons), workers)
+	raster.FillPolygonsInto(mask, SeasonPerimeters(seasons), workers)
 	dist := raster.NewFloatGrid(a.World.Grid)
 	// The error is impossible: dist was just built on the mask's geometry.
 	_ = raster.DistanceTransformInto(dist, mask, workers)

@@ -1,0 +1,198 @@
+package risk
+
+// Merge-function tests: the shard merges must reproduce monolithic
+// rows exactly on real (small) data, and must refuse shape or
+// season-fact mismatches instead of merging garbage.
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"fivealarms/internal/cellnet"
+	"fivealarms/internal/census"
+	"fivealarms/internal/conus"
+	"fivealarms/internal/whp"
+	"fivealarms/internal/wildfire"
+)
+
+// shardMergeFixture builds a small monolithic analyzer plus per-shard
+// analyzers over a contiguous split of the same fleet.
+type shardMergeFixture struct {
+	mono    *Analyzer
+	shards  []*Analyzer
+	history []*wildfire.Season
+	s2019   *wildfire.Season
+}
+
+func newShardMergeFixture(t *testing.T, cuts []int) *shardMergeFixture {
+	t.Helper()
+	w := conus.Build(conus.Config{Seed: 5, CellSizeM: 40000})
+	m := whp.Build(w, w.Grid, whp.Config{})
+	d := cellnet.Generate(w, cellnet.GenConfig{Seed: 5, Total: 4000})
+	c := census.Synthesize(w, 5)
+	sim := wildfire.NewSimulator(w, m)
+	f := &shardMergeFixture{
+		mono:    New(w, m, d, c),
+		history: wildfire.SimulateHistory(sim, 5, 3),
+		s2019:   wildfire.Simulate2019(sim, 5, 3),
+	}
+	lo := 0
+	for _, hi := range append(cuts, d.Len()) {
+		part := cellnet.NewDataset(w, append([]cellnet.Transceiver(nil), d.T[lo:hi]...))
+		f.shards = append(f.shards, New(w, m, part, c))
+		lo = hi
+	}
+	return f
+}
+
+// TestMergeShardOverlaysMatchesMonolithic: partial products from a
+// contiguous fleet split — including one empty shard — merge to exactly
+// the monolithic analyzer's rows, floats included.
+func TestMergeShardOverlaysMatchesMonolithic(t *testing.T) {
+	f := newShardMergeFixture(t, []int{0, 900, 2201}) // first shard empty
+	parts := make([]*ShardOverlay, len(f.shards))
+	for i, a := range f.shards {
+		parts[i] = a.ShardOverlay(f.history, f.s2019, 1)
+	}
+	t1, t2, t3, v, err := MergeShardOverlays(parts)
+	if err != nil {
+		t.Fatalf("MergeShardOverlays: %v", err)
+	}
+	if want := f.mono.HistoricalOverlayWorkers(f.history, 1); !reflect.DeepEqual(t1, want) {
+		t.Errorf("merged Table 1 differs from monolithic:\n got %+v\nwant %+v", t1, want)
+	}
+	if want := f.mono.ProviderRisk(); !reflect.DeepEqual(t2, want) {
+		t.Errorf("merged Table 2 differs from monolithic:\n got %+v\nwant %+v", t2, want)
+	}
+	if want := f.mono.RadioTypeRisk(); !reflect.DeepEqual(t3, want) {
+		t.Errorf("merged Table 3 differs from monolithic:\n got %+v\nwant %+v", t3, want)
+	}
+	if want := f.mono.Validate(f.s2019); !reflect.DeepEqual(v, want) {
+		t.Errorf("merged validation differs from monolithic:\n got %+v\nwant %+v", v, want)
+	}
+	rows := 0
+	for _, p := range parts {
+		rows += p.Rows
+	}
+	if rows != f.mono.Data.Len() {
+		t.Errorf("shard rows sum to %d, fleet is %d", rows, f.mono.Data.Len())
+	}
+}
+
+// TestMergeSingleShardIsIdentity: a one-shard merge returns the shard's
+// own rows with ratios recomputed — identical to monolithic when the
+// shard is the whole fleet.
+func TestMergeSingleShardIsIdentity(t *testing.T) {
+	f := newShardMergeFixture(t, nil)
+	p := f.shards[0].ShardOverlay(f.history, f.s2019, 1)
+	t1, t2, t3, v, err := MergeShardOverlays([]*ShardOverlay{p})
+	if err != nil {
+		t.Fatalf("MergeShardOverlays: %v", err)
+	}
+	if want := f.mono.HistoricalOverlayWorkers(f.history, 1); !reflect.DeepEqual(t1, want) {
+		t.Errorf("single-shard Table 1 differs from monolithic")
+	}
+	if !reflect.DeepEqual(t2, f.mono.ProviderRisk()) || !reflect.DeepEqual(t3, f.mono.RadioTypeRisk()) {
+		t.Errorf("single-shard Table 2/3 differ from monolithic")
+	}
+	if !reflect.DeepEqual(v, f.mono.Validate(f.s2019)) {
+		t.Errorf("single-shard validation differs from monolithic")
+	}
+}
+
+// TestMergeErrorPaths: empty inputs, nil parts, shape mismatches and
+// season-fact disagreements are all rejected with descriptive errors.
+func TestMergeErrorPaths(t *testing.T) {
+	if _, _, _, _, err := MergeShardOverlays(nil); err == nil {
+		t.Error("zero-shard merge succeeded")
+	}
+	if _, _, _, _, err := MergeShardOverlays([]*ShardOverlay{nil}); err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("nil shard overlay: err = %v", err)
+	}
+	if _, err := MergeYearOverlays(nil); err == nil {
+		t.Error("zero-shard Table 1 merge succeeded")
+	}
+	if _, err := MergeProviderRows(nil); err == nil {
+		t.Error("zero-shard Table 2 merge succeeded")
+	}
+	if _, err := MergeRadioRows(nil); err == nil {
+		t.Error("zero-shard Table 3 merge succeeded")
+	}
+	if _, err := MergeValidations(nil); err == nil {
+		t.Error("zero-shard validation merge succeeded")
+	}
+
+	a := []YearOverlay{{Year: 2000, Fires: 3, AcresBurned: 10, TransceiversIn: 1}}
+	if _, err := MergeYearOverlays([][]YearOverlay{a, {}}); err == nil {
+		t.Error("season-count mismatch merged")
+	}
+	b := []YearOverlay{{Year: 2001, Fires: 3, AcresBurned: 10}}
+	if _, err := MergeYearOverlays([][]YearOverlay{a, b}); err == nil || !strings.Contains(err.Error(), "season facts") {
+		t.Errorf("year mismatch: err = %v", err)
+	}
+	c := []YearOverlay{{Year: 2000, Fires: 3, AcresBurned: 11}}
+	if _, err := MergeYearOverlays([][]YearOverlay{a, c}); err == nil {
+		t.Error("acres mismatch merged")
+	}
+
+	p := []ProviderRow{{Provider: "AT&T"}}
+	q := []ProviderRow{{Provider: "Verizon"}}
+	if _, err := MergeProviderRows([][]ProviderRow{p, q}); err == nil {
+		t.Error("provider-order mismatch merged")
+	}
+	if _, err := MergeProviderRows([][]ProviderRow{p, {}}); err == nil {
+		t.Error("provider-shape mismatch merged")
+	}
+
+	r := []RadioRow{{Radio: cellnet.LTE}}
+	s := []RadioRow{{Radio: cellnet.GSM}}
+	if _, err := MergeRadioRows([][]RadioRow{r, s}); err == nil {
+		t.Error("radio-order mismatch merged")
+	}
+	if _, err := MergeRadioRows([][]RadioRow{r, {}}); err == nil {
+		t.Error("radio-shape mismatch merged")
+	}
+}
+
+// TestMergeRecomputesRatios: merged ratio fields come from the merged
+// counts, not from summing or averaging the shard-local ratio garbage.
+func TestMergeRecomputesRatios(t *testing.T) {
+	a := []YearOverlay{{Year: 2000, Fires: 1, AcresBurned: 2e6, TransceiversIn: 3, PerMillionAcres: 999}}
+	b := []YearOverlay{{Year: 2000, Fires: 1, AcresBurned: 2e6, TransceiversIn: 5, PerMillionAcres: -999}}
+	got, err := MergeYearOverlays([][]YearOverlay{a, b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0].TransceiversIn != 8 || got[0].PerMillionAcres != 4 {
+		t.Errorf("merged row = %+v, want 8 transceivers at 4 per million acres", got[0])
+	}
+
+	p := [][]ProviderRow{
+		{{Provider: "X", Fleet: 10, Moderate: 1, High: 2, VHigh: 3, PctM: 77}},
+		{{Provider: "X", Fleet: 30, Moderate: 3, High: 2, VHigh: 1, PctM: -77}},
+	}
+	pr, err := MergeProviderRows(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr[0].Fleet != 40 || pr[0].PctM != 10 || pr[0].PctH != 10 || pr[0].PctVH != 10 {
+		t.Errorf("merged provider row = %+v", pr[0])
+	}
+	// An all-empty provider group divides by nothing.
+	zero, err := MergeProviderRows([][]ProviderRow{{{Provider: "Y"}}, {{Provider: "Y"}}})
+	if err != nil || zero[0].PctM != 0 {
+		t.Errorf("empty-fleet merge = %+v, err %v", zero, err)
+	}
+
+	rr, err := MergeRadioRows([][]RadioRow{
+		{{Radio: cellnet.LTE, VHigh: 1, High: 2, Moderate: 3, Total: 999}},
+		{{Radio: cellnet.LTE, VHigh: 4, High: 5, Moderate: 6}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr[0].Total != 21 {
+		t.Errorf("merged radio total = %d, want 21", rr[0].Total)
+	}
+}

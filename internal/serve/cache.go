@@ -27,8 +27,9 @@ type studyKey struct {
 // participates.
 func keyOf(cfg fivealarms.Config) studyKey {
 	h := fnv.New64a()
-	fmt.Fprintf(h, "%g|%d|%d|%t|%d",
-		cfg.CellSizeM, cfg.Transceivers, cfg.MappedFiresPerSeason, cfg.PipelineSerial, cfg.RasterWorkers)
+	fmt.Fprintf(h, "%g|%d|%d|%t|%d|%d|%q",
+		cfg.CellSizeM, cfg.Transceivers, cfg.MappedFiresPerSeason, cfg.PipelineSerial, cfg.RasterWorkers,
+		cfg.Shards, cfg.SnapshotPath)
 	return studyKey{seed: cfg.Seed, hash: h.Sum64()}
 }
 

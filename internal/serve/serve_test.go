@@ -636,3 +636,22 @@ func TestGracefulShutdownDrains(t *testing.T) {
 		t.Errorf("Shutdown: %v", err)
 	}
 }
+
+// TestStudyKeyCoversShardingFields: the cache key must distinguish
+// configurations that differ only in the sharded-execution fields, so
+// a sharded or snapshot-loaded study can never be served from a
+// monolithic entry (the results are identical, but the operator asked
+// for a specific execution shape and ShardStats must reflect it).
+func TestStudyKeyCoversShardingFields(t *testing.T) {
+	base := keyOf(testCfg)
+	sharded := testCfg
+	sharded.Shards = 4
+	if keyOf(sharded) == base {
+		t.Error("Shards does not participate in the study key")
+	}
+	snap := testCfg
+	snap.SnapshotPath = "/tmp/fleet.fa5c"
+	if keyOf(snap) == base {
+		t.Error("SnapshotPath does not participate in the study key")
+	}
+}

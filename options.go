@@ -84,6 +84,26 @@ func WithSerialPipeline() Option {
 	return func(c *Config) { c.PipelineSerial = true }
 }
 
+// WithShards selects the sharded execution path (Config.Shards): the
+// transceiver-axis analyses — Tables 1-3, the hold-out validation, the
+// perimeter union masks — compute over n CONUS row bands with a bounded
+// per-shard transient footprint and stream-merge in band order. Results
+// are bit-identical to the monolithic build at any shard count (see
+// DESIGN.md §10); Study.ShardStats reports the shape. n <= 0 builds
+// monolithically.
+func WithShards(n int) Option {
+	return func(c *Config) { c.Shards = n }
+}
+
+// WithSnapshot warm-loads the transceiver layer from the columnar
+// snapshot file at path (Config.SnapshotPath) instead of generating it.
+// Write one with Study.WriteSnapshot or `fivealarms -save-snapshot`. A
+// study warm-loaded from a snapshot written by the same configuration is
+// bit-identical to the cold build it replaces.
+func WithSnapshot(path string) Option {
+	return func(c *Config) { c.SnapshotPath = path }
+}
+
 // NewStudyWithOptions validates the assembled configuration and builds
 // all layers through the parallel pipeline (see Config.PipelineSerial
 // for the serial escape hatch). Unlike NewStudy, it rejects malformed

@@ -1,0 +1,224 @@
+package fivealarms
+
+// Sharded-execution and snapshot warm-load tests: the out-of-core path
+// must be observationally identical to the monolithic build — same
+// tables, same validation, same masks, same downstream analyses — at
+// any shard count, with any mix of snapshot loading, and its ShardStats
+// must account the shape honestly. The cross-shard-count conformance
+// sweep lives in shard_conformance_test.go (external package, driving
+// refimpl/diffcheck).
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shardedTwin builds the stress config with n shards (plus any extra
+// options) and fails the test on error.
+func shardedTwin(t *testing.T, n int, extra ...Option) *Study {
+	t.Helper()
+	opts := append([]Option{WithConfig(stressCfg), WithShards(n)}, extra...)
+	s, err := NewStudyWithOptions(opts...)
+	if err != nil {
+		t.Fatalf("sharded build (n=%d): %v", n, err)
+	}
+	return s
+}
+
+// TestShardedStudyMatchesMonolithic: every analysis fingerprint — the
+// sharded products and the monolithic analyses downstream of them —
+// is byte-identical between the monolithic build and sharded twins.
+func TestShardedStudyMatchesMonolithic(t *testing.T) {
+	want := analysisFingerprints(NewStudy(stressCfg))
+	for _, n := range []int{1, 3, 5} {
+		got := analysisFingerprints(shardedTwin(t, n))
+		for name, w := range want {
+			if got[name] != w {
+				t.Errorf("n=%d: %s differs from monolithic:\nmonolithic:\n%s\nsharded:\n%s", n, name, w, got[name])
+			}
+		}
+	}
+}
+
+// TestShardedSeasonAccessors: on a sharded study the memoized History
+// and Season2019 accessors serve the graph-built seasons — identical
+// to the monolithic simulations.
+func TestShardedSeasonAccessors(t *testing.T) {
+	mono := NewStudy(stressCfg)
+	sh := shardedTwin(t, 2)
+	if got, want := len(sh.History()), len(mono.History()); got != want {
+		t.Fatalf("sharded History has %d seasons, monolithic %d", got, want)
+	}
+	for i, season := range sh.History() {
+		if season.Year != mono.History()[i].Year || len(season.Mapped) != len(mono.History()[i].Mapped) {
+			t.Errorf("season %d differs between sharded and monolithic history", i)
+		}
+	}
+	if sh.Season2019().Year != mono.Season2019().Year {
+		t.Errorf("sharded 2019 season year %d", sh.Season2019().Year)
+	}
+}
+
+// TestNewStudyPanicsOnSnapshotError: NewStudy keeps its infallible
+// signature by panicking on the configurations whose failure surface is
+// real (snapshot I/O) — NewStudyWithOptions is the error-returning path.
+func TestNewStudyPanicsOnSnapshotError(t *testing.T) {
+	cfg := stressCfg
+	cfg.SnapshotPath = filepath.Join(t.TempDir(), "absent.fa5c")
+	defer func() {
+		if recover() == nil {
+			t.Error("NewStudy with a missing snapshot did not panic")
+		}
+	}()
+	NewStudy(cfg)
+}
+
+// TestShardedMasksBitIdentical: the merged union masks match the
+// monolithic fills word for word (fingerprint, not just count).
+func TestShardedMasksBitIdentical(t *testing.T) {
+	mono := NewStudy(stressCfg)
+	sh := shardedTwin(t, 4)
+	if got, want := sh.HistoryUnionMask().Fingerprint(), mono.HistoryUnionMask().Fingerprint(); got != want {
+		t.Errorf("history union fingerprint %#x != monolithic %#x", got, want)
+	}
+	if got, want := sh.Season2019UnionMask().Fingerprint(), mono.Season2019UnionMask().Fingerprint(); got != want {
+		t.Errorf("2019 union fingerprint %#x != monolithic %#x", got, want)
+	}
+}
+
+// TestShardedManyEmptyShards: more shards than grid rows leaves many
+// bands empty (zero rows, zero transceivers). Empty shards must build,
+// merge as no-ops, and leave the results untouched.
+func TestShardedManyEmptyShards(t *testing.T) {
+	mono := NewStudy(stressCfg)
+	sh := shardedTwin(t, 300)
+	rows, peak := sh.ShardStats()
+	if len(rows) != 300 {
+		t.Fatalf("ShardStats reported %d shards, want 300", len(rows))
+	}
+	total, empty := 0, 0
+	for _, r := range rows {
+		total += r
+		if r == 0 {
+			empty++
+		}
+	}
+	if total != mono.Data.Len() {
+		t.Errorf("shard rows sum to %d, fleet is %d", total, mono.Data.Len())
+	}
+	if empty == 0 {
+		t.Errorf("expected empty shards at 300 bands over a %d-row grid", sh.World.Grid.NY)
+	}
+	if peak <= 0 {
+		t.Errorf("peak footprint %d, want > 0", peak)
+	}
+	want := analysisFingerprints(mono)
+	got := analysisFingerprints(sh)
+	for name, w := range want {
+		if got[name] != w {
+			t.Errorf("%s differs from monolithic with empty shards present", name)
+		}
+	}
+}
+
+// TestShardStats: a monolithic study reports (nil, 0); a sharded one
+// reports band-ordered row counts whose peak accounting is monotone in
+// the largest band, and the returned slice is a private copy.
+func TestShardStats(t *testing.T) {
+	mono := NewStudy(stressCfg)
+	if rows, peak := mono.ShardStats(); rows != nil || peak != 0 {
+		t.Fatalf("monolithic ShardStats = (%v, %d), want (nil, 0)", rows, peak)
+	}
+	sh := shardedTwin(t, 4)
+	rows, peak := sh.ShardStats()
+	if len(rows) != 4 || peak <= 0 {
+		t.Fatalf("sharded ShardStats = (%v, %d)", rows, peak)
+	}
+	rows[0] = -1
+	again, _ := sh.ShardStats()
+	if again[0] == -1 {
+		t.Fatal("ShardStats returned an aliased slice")
+	}
+}
+
+// TestSnapshotWarmLoadBitIdentical: a study warm-loaded from a snapshot
+// written by its own twin is indistinguishable from the cold build —
+// including under sharded execution on top of the warm load.
+func TestSnapshotWarmLoadBitIdentical(t *testing.T) {
+	cold := NewStudy(stressCfg)
+	path := filepath.Join(t.TempDir(), "fleet.fa5c")
+	if err := cold.WriteSnapshot(path); err != nil {
+		t.Fatalf("WriteSnapshot: %v", err)
+	}
+	want := analysisFingerprints(cold)
+	for _, shards := range []int{0, 4} {
+		opts := []Option{WithConfig(stressCfg), WithSnapshot(path)}
+		if shards > 0 {
+			opts = append(opts, WithShards(shards))
+		}
+		warm, err := NewStudyWithOptions(opts...)
+		if err != nil {
+			t.Fatalf("warm build (shards=%d): %v", shards, err)
+		}
+		if warm.Data.Len() != cold.Data.Len() {
+			t.Fatalf("shards=%d: warm fleet %d rows, cold %d", shards, warm.Data.Len(), cold.Data.Len())
+		}
+		got := analysisFingerprints(warm)
+		for name, w := range want {
+			if got[name] != w {
+				t.Errorf("shards=%d: %s differs between cold build and snapshot warm load", shards, name)
+			}
+		}
+	}
+}
+
+// TestSnapshotLoadErrorsSurface: a missing or corrupt snapshot fails
+// the build with an error naming the path — no partial Study escapes.
+func TestSnapshotLoadErrorsSurface(t *testing.T) {
+	s, err := NewStudyWithOptions(WithConfig(stressCfg), WithSnapshot(filepath.Join(t.TempDir(), "absent.fa5c")))
+	if err == nil || s != nil {
+		t.Fatalf("missing snapshot: study=%v err=%v", s, err)
+	}
+
+	bad := filepath.Join(t.TempDir(), "corrupt.fa5c")
+	if err := os.WriteFile(bad, []byte("FA5Cnot really a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = NewStudyWithOptions(WithConfig(stressCfg), WithSnapshot(bad))
+	if err == nil || s != nil {
+		t.Fatalf("corrupt snapshot: study=%v err=%v", s, err)
+	}
+	if !strings.Contains(err.Error(), bad) {
+		t.Errorf("corrupt-snapshot error %q does not name the path", err)
+	}
+}
+
+// TestWriteSnapshotErrors: an unwritable destination is reported and no
+// partial file is left behind.
+func TestWriteSnapshotErrors(t *testing.T) {
+	s := NewStudy(stressCfg)
+	path := filepath.Join(t.TempDir(), "no-such-dir", "fleet.fa5c")
+	if err := s.WriteSnapshot(path); err == nil {
+		t.Fatal("WriteSnapshot into a missing directory succeeded")
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("partial snapshot left behind: stat err = %v", err)
+	}
+}
+
+// TestValidateRejectsBadShards: out-of-range shard counts are
+// configuration errors, reported by field.
+func TestValidateRejectsBadShards(t *testing.T) {
+	for _, n := range []int{-1, maxShards + 1} {
+		cfg := stressCfg
+		cfg.Shards = n
+		if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "Shards") {
+			t.Errorf("Shards=%d: Validate() = %v, want a Shards error", n, err)
+		}
+		if _, err := NewStudyWithOptions(WithConfig(cfg)); err == nil {
+			t.Errorf("Shards=%d: NewStudyWithOptions accepted it", n)
+		}
+	}
+}
