@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet lint race chaos chaos-serve load-smoke diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve bench-shard shard-smoke serve-smoke fuzz experiments maps clean
+.PHONY: all build test vet lint lint-sarif lint-debt apilock race chaos chaos-serve load-smoke diffcheck cover bench bench-pipeline bench-geom bench-raster bench-serve bench-shard shard-smoke serve-smoke fuzz experiments maps clean
 
 all: vet lint test build
 
@@ -19,10 +19,28 @@ vet:
 
 # Run the fivealarms static-analysis suite (internal/lint): the
 # determinism, failure-model, float-equality, context-flow,
-# copy-safety, and test-only-import contracts. Nonzero exit on any
+# copy-safety, test-only-import, map-order, wire-freeze,
+# goroutine-leak, and error-flow contracts. Nonzero exit on any
 # unsuppressed finding; see DESIGN.md §6 for the annotation grammar.
 lint:
 	$(GO) run ./cmd/fivealarmsvet ./...
+
+# Same findings as `make lint`, rendered as a SARIF 2.1.0 document
+# (fivealarmsvet.sarif) for GitHub code scanning; the CI Lint job
+# uploads it as an artifact.
+lint-sarif:
+	$(GO) run ./cmd/fivealarmsvet -sarif ./... > fivealarmsvet.sarif || [ $$? -eq 1 ]
+
+# Audit live //fivealarms:allow suppressions: position, rule, age
+# (git blame), and the mandatory reason, plus a per-rule tally.
+lint-debt:
+	$(GO) run ./cmd/fivealarmsvet -debt
+
+# Regenerate the v1 wire-contract lockfile after an additive DTO
+# change; the resulting internal/serve/api/api.lock diff is part of
+# the change (CI fails on silent drift).
+apilock:
+	$(GO) run ./cmd/fivealarmsvet -write-apilock
 
 race:
 	$(GO) test -race -shuffle=on ./...

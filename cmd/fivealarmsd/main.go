@@ -101,7 +101,7 @@ func run(addr string, opts serve.Options, grace time.Duration, warm bool) error 
 	hs := serve.NewHTTPServer(srv.Handler())
 
 	errc := make(chan error, 1)
-	go func() { errc <- hs.Serve(ln) }()
+	go func() { errc <- hs.Serve(ln) }() //fivealarms:allow(goroleak) Serve returns when Shutdown below closes the listener, so the goroutine's lifetime is bounded by this function
 	fmt.Printf("listening on http://%s\n", ln.Addr())
 
 	select {

@@ -43,6 +43,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"fivealarms"
@@ -194,7 +195,9 @@ func run(rc runConfig) error {
 		return err
 	}
 	body = append(body, '\n')
-	os.Stdout.Write(body)
+	if _, err := os.Stdout.Write(body); err != nil {
+		return err
+	}
 	if rc.out != "" {
 		if err := os.WriteFile(rc.out, body, 0o644); err != nil {
 			return err
@@ -262,12 +265,14 @@ func measure(client *http.Client, base string, workers int, dur time.Duration, l
 		err    error
 	}
 	results := make([][]sample, workers)
-	done := make(chan struct{}, workers)
+	var wg sync.WaitGroup
 	start := now()
 	deadline := start.Add(dur)
 	for w := 0; w < workers; w++ {
 		w := w
+		wg.Add(1)
 		go func() {
+			defer wg.Done()
 			src := rng.NewStream(loadseed, uint64(w))
 			var buf []sample
 			for now().Before(deadline) {
@@ -281,12 +286,9 @@ func measure(client *http.Client, base string, workers int, dur time.Duration, l
 				})
 			}
 			results[w] = buf
-			done <- struct{}{}
 		}()
 	}
-	for w := 0; w < workers; w++ {
-		<-done
-	}
+	wg.Wait()
 	elapsed := time.Since(start)
 
 	var lats []float64

@@ -1,26 +1,36 @@
 // Command fivealarmsvet runs the fivealarms static-analysis suite
 // (internal/lint) over the module: the determinism, failure-model,
-// float-equality, context-flow, copy-safety, and test-only-import
-// contracts the reproduction's numbers depend on.
+// float-equality, context-flow, copy-safety, test-only-import,
+// map-order, wire-freeze, goroutine-leak, and error-flow contracts the
+// reproduction's numbers depend on.
 //
 // Usage:
 //
-//	fivealarmsvet [-json] [-rules] [packages]
+//	fivealarmsvet [-json|-sarif] [-rules] [-debt] [-write-apilock] [packages]
 //
 // With no arguments (or "./...") the whole module is checked. Explicit
 // package directories ("./internal/geom") restrict the run. The exit
 // code is 0 when clean, 1 when findings are reported, and 2 when a
 // package fails to load. Findings are suppressed only by annotated
 // //fivealarms:allow(<rule>) <reason> comments; see DESIGN.md §6.
+//
+// -sarif emits findings as a SARIF 2.1.0 document for GitHub code
+// scanning. -debt audits the live suppressions instead of checking:
+// every allow annotation with its rule, age (via git blame) and
+// reason. -write-apilock regenerates internal/serve/api/api.lock from
+// the package's current DTO shape — the deliberate act that records an
+// additive wire-contract change.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"fivealarms/internal/lint"
 )
@@ -29,50 +39,72 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// fprintf writes best-effort terminal output: a failed diagnostic
+// write has no better channel to report to.
+func fprintf(w io.Writer, format string, args ...any) {
+	_, _ = fmt.Fprintf(w, format, args...) //fivealarms:allow(errflow) terminal diagnostics are best-effort; there is no channel left to report a write failure to
+}
+
+func fprintln(w io.Writer, args ...any) {
+	_, _ = fmt.Fprintln(w, args...) //fivealarms:allow(errflow) terminal diagnostics are best-effort; there is no channel left to report a write failure to
+}
+
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("fivealarmsvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	sarifOut := fs.Bool("sarif", false, "emit findings as a SARIF 2.1.0 document")
 	listRules := fs.Bool("rules", false, "print the rule inventory and exit")
+	debt := fs.Bool("debt", false, "report live //fivealarms:allow suppressions with rule, age, and reason")
+	writeLock := fs.Bool("write-apilock", false, "regenerate internal/serve/api/api.lock from the current DTO shape")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if *listRules {
 		for _, r := range lint.Rules() {
-			fmt.Fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
+			fprintf(stdout, "%-16s %s\n", r.Name, r.Doc)
 		}
 		return 0
 	}
 
 	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		fprintln(stderr, "fivealarmsvet:", err)
 		return 2
 	}
 	root, err := lint.FindModuleRoot(cwd)
 	if err != nil {
-		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		fprintln(stderr, "fivealarmsvet:", err)
 		return 2
 	}
 	_, all, err := lint.DiscoverModule(root)
 	if err != nil {
-		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		fprintln(stderr, "fivealarmsvet:", err)
 		return 2
 	}
+
+	if *writeLock {
+		return runWriteAPILock(all, stdout, stderr)
+	}
+
 	targets, err := selectTargets(all, fs.Args(), root, cwd)
 	if err != nil {
-		fmt.Fprintln(stderr, "fivealarmsvet:", err)
+		fprintln(stderr, "fivealarmsvet:", err)
 		return 2
 	}
 
 	loader := lint.NewLoader()
+	if *debt {
+		return runDebt(loader, targets, root, cwd, stdout, stderr)
+	}
+
 	rules := lint.Rules()
 	var diags []lint.Diagnostic
 	loadFailed := false
 	for _, t := range targets {
 		pkg, err := loader.Load(t[0], t[1])
 		if err != nil {
-			fmt.Fprintln(stderr, "fivealarmsvet:", err)
+			fprintln(stderr, "fivealarmsvet:", err)
 			loadFailed = true
 			continue
 		}
@@ -80,25 +112,39 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	// Render file names relative to the working directory so findings
-	// are clickable from the invocation site.
+	// are clickable from the invocation site, then re-normalize: the
+	// per-package sort does not survive concatenation, and SortDiagnostics
+	// also drops duplicates if overlapping rules reported the same fact.
 	for i := range diags {
 		if rel, err := filepath.Rel(cwd, diags[i].Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 			diags[i].Pos.Filename = rel
 		}
 	}
-	if *jsonOut {
+	diags = lint.SortDiagnostics(diags)
+	switch {
+	case *sarifOut:
+		doc, err := lint.SARIFReport(diags, rules, cwd)
+		if err != nil {
+			fprintln(stderr, "fivealarmsvet:", err)
+			return 2
+		}
+		if _, err := stdout.Write(append(doc, '\n')); err != nil {
+			fprintln(stderr, "fivealarmsvet:", err)
+			return 2
+		}
+	case *jsonOut:
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []lint.Diagnostic{}
 		}
 		if err := enc.Encode(diags); err != nil {
-			fmt.Fprintln(stderr, "fivealarmsvet:", err)
+			fprintln(stderr, "fivealarmsvet:", err)
 			return 2
 		}
-	} else {
+	default:
 		for _, d := range diags {
-			fmt.Fprintln(stdout, d)
+			fprintln(stdout, d)
 		}
 	}
 	switch {
@@ -106,6 +152,61 @@ func run(args []string, stdout, stderr *os.File) int {
 		return 2
 	case len(diags) > 0:
 		return 1
+	}
+	return 0
+}
+
+// runWriteAPILock regenerates the wire-contract lockfile next to the
+// serve/api sources.
+func runWriteAPILock(all [][2]string, stdout, stderr *os.File) int {
+	for _, t := range all {
+		if t[1] != "fivealarms/internal/serve/api" {
+			continue
+		}
+		pkg, err := lint.NewLoader().Load(t[0], t[1])
+		if err != nil {
+			fprintln(stderr, "fivealarmsvet:", err)
+			return 2
+		}
+		if err := lint.WriteAPILock(pkg); err != nil {
+			fprintln(stderr, "fivealarmsvet:", err)
+			return 2
+		}
+		fprintf(stdout, "wrote %s\n", filepath.Join(t[0], lint.APILockFile))
+		return 0
+	}
+	fprintln(stderr, "fivealarmsvet: module has no fivealarms/internal/serve/api package")
+	return 2
+}
+
+// runDebt prints the suppression-debt audit for the selected targets.
+// Always exits 0 on success: live, reasoned suppressions are legal —
+// this mode makes them auditable, not forbidden.
+func runDebt(loader *lint.Loader, targets [][2]string, root, cwd string, stdout, stderr *os.File) int {
+	var entries []lint.DebtEntry
+	loadFailed := false
+	for _, t := range targets {
+		pkg, err := loader.Load(t[0], t[1])
+		if err != nil {
+			fprintln(stderr, "fivealarmsvet:", err)
+			loadFailed = true
+			continue
+		}
+		for _, a := range lint.CollectAllows(pkg) {
+			committed, _ := lint.AllowAge(root, a)
+			if rel, err := filepath.Rel(cwd, a.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				a.Pos.Filename = rel
+			}
+			entries = append(entries, lint.DebtEntry{Allow: a, Committed: committed})
+		}
+	}
+	if loadFailed {
+		return 2
+	}
+	now := time.Now() //fivealarms:allow(seededrand) suppression ages are wall-clock by definition; -debt is a reporting mode and never feeds results
+	if _, err := io.WriteString(stdout, lint.DebtReport(entries, now)); err != nil {
+		fprintln(stderr, "fivealarmsvet:", err)
+		return 2
 	}
 	return 0
 }

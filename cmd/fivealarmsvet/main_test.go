@@ -77,6 +77,72 @@ func TestUnknownPatternFails(t *testing.T) {
 	}
 }
 
+func TestSARIFOutputOnCleanPackage(t *testing.T) {
+	var code int
+	stdout, stderr := capture(t, func(so, se *os.File) {
+		code = run([]string{"-sarif", "../../internal/rng"}, so, se)
+	})
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	var doc struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Results []json.RawMessage `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, stdout)
+	}
+	if doc.Version != "2.1.0" || len(doc.Runs) != 1 {
+		t.Errorf("version %q with %d runs, want 2.1.0 and one run", doc.Version, len(doc.Runs))
+	}
+	if len(doc.Runs) == 1 && doc.Runs[0].Results == nil {
+		t.Errorf("clean run must carry an empty results array, not null")
+	}
+}
+
+func TestDebtReportsLiveSuppressions(t *testing.T) {
+	var code int
+	stdout, stderr := capture(t, func(so, se *os.File) {
+		code = run([]string{"-debt", "../../internal/wildfire"}, so, se)
+	})
+	if code != 0 {
+		t.Fatalf("-debt exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "[errflow]") || !strings.Contains(stdout, "live suppressions") {
+		t.Errorf("-debt output missing the wildfire errflow waiver:\n%s", stdout)
+	}
+}
+
+// TestWriteAPILockIsStable runs the regeneration path against the
+// committed lockfile: on an unchanged wire contract it must be a
+// byte-level no-op, which is exactly what CI's drift check relies on.
+func TestWriteAPILockIsStable(t *testing.T) {
+	lockPath := "../../internal/serve/api/api.lock"
+	before, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatalf("the lockfile must be committed: %v", err)
+	}
+	var code int
+	stdout, stderr := capture(t, func(so, se *os.File) {
+		code = run([]string{"-write-apilock"}, so, se)
+	})
+	if code != 0 {
+		t.Fatalf("-write-apilock exit = %d, want 0 (stderr: %s)", code, stderr)
+	}
+	if !strings.Contains(stdout, "wrote") {
+		t.Errorf("-write-apilock should confirm the write: %s", stdout)
+	}
+	after, err := os.ReadFile(lockPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Errorf("regeneration on an unchanged contract rewrote the lockfile")
+	}
+}
+
 func TestSubtreePattern(t *testing.T) {
 	var code int
 	stdout, stderr := capture(t, func(so, se *os.File) {

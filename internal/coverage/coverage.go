@@ -160,10 +160,9 @@ func (m *Model) Evaluate(surviving, failing []geom.Point) Impact {
 
 	allMask := failMask.Clone()
 	// Same geometry by construction.
-	_ = allMask.Or(surviveMask)
-
+	_ = allMask.Or(surviveMask) //fivealarms:allow(errflow) Clone guarantees identical geometry, the only error Or can report
 	stranded := failMask.Clone()
-	_ = stranded.AndNot(surviveMask)
+	_ = stranded.AndNot(surviveMask) //fivealarms:allow(errflow) Clone guarantees identical geometry, the only error AndNot can report
 
 	return Impact{
 		ServedPopulation:   m.Population(allMask),

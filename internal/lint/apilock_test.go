@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// loadServeAPI type-checks the real wire-contract package.
+func loadServeAPI(t *testing.T) *Package {
+	t.Helper()
+	pkg, err := NewLoader().Load(filepath.Join("..", "serve", "api"), apiLockScope)
+	if err != nil {
+		t.Fatalf("loading serve/api: %v", err)
+	}
+	return pkg
+}
+
+// TestAPILockAcceptance is the wire-freeze acceptance criterion: the
+// committed lockfile matches the live DTO shape byte for byte, a
+// simulated breaking change (a locked field the code no longer has,
+// or a retype) fails the check, and a simulated additive change (a
+// field the lockfile predates) is flagged until — and only until —
+// the lockfile is regenerated.
+func TestAPILockAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking serve/api is slow; run without -short")
+	}
+	pkg := loadServeAPI(t)
+	locked, err := os.ReadFile(filepath.Join(pkg.Dir, APILockFile))
+	if err != nil {
+		t.Fatalf("the wire-contract lockfile must be committed: %v", err)
+	}
+
+	// Committed lockfile is current, and regeneration is byte-stable.
+	if drifts := CompareAPILock(string(locked), pkg); len(drifts) != 0 {
+		t.Fatalf("committed api.lock drifted from the package: %v", drifts)
+	}
+	if shape := APIShape(pkg); shape != string(locked) {
+		t.Fatalf("APIShape does not reproduce the committed lockfile byte for byte:\n%s", shape)
+	}
+
+	// Breaking: the lockfile records a field the package lacks — the
+	// shape a removed or renamed DTO field produces.
+	broken := string(locked) + "  field Phantom json=phantom type=string\n"
+	drifts := CompareAPILock(broken, pkg)
+	if len(drifts) != 1 || !drifts[0].Breaking {
+		t.Fatalf("removed locked field: drifts = %v, want one breaking drift", drifts)
+	}
+	if !strings.Contains(drifts[0].Detail, "Phantom") {
+		t.Errorf("breaking drift should name the lost field: %s", drifts[0].Detail)
+	}
+
+	// Breaking: a retype — same field key, different canonical line.
+	var fieldLine string
+	for _, line := range strings.Split(string(locked), "\n") {
+		if strings.HasPrefix(strings.TrimSpace(line), "field ") {
+			fieldLine = line
+			break
+		}
+	}
+	if fieldLine == "" {
+		t.Fatal("committed lockfile has no field lines")
+	}
+	retyped := strings.Replace(string(locked), fieldLine,
+		strings.Split(fieldLine, " json=")[0]+" json=zz type=zz", 1)
+	drifts = CompareAPILock(retyped, pkg)
+	if len(drifts) != 1 || !drifts[0].Breaking {
+		t.Fatalf("retyped locked field: drifts = %v, want one breaking drift", drifts)
+	}
+
+	// Additive: drop one field line from the lockfile — the shape a
+	// newly added DTO field produces against a stale lock.
+	stale := strings.Replace(string(locked), fieldLine+"\n", "", 1)
+	drifts = CompareAPILock(stale, pkg)
+	if len(drifts) != 1 || drifts[0].Breaking {
+		t.Fatalf("stale lockfile: drifts = %v, want one additive drift", drifts)
+	}
+
+	// Regeneration — the -write-apilock act — clears the additive
+	// drift: the fresh shape compares clean against the package.
+	if drifts := CompareAPILock(APIShape(pkg), pkg); len(drifts) != 0 {
+		t.Fatalf("regenerated lockfile still drifts: %v", drifts)
+	}
+}
+
+// TestWriteAPILock proves the writer emits exactly the canonical shape
+// into the package directory.
+func TestWriteAPILock(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking serve/api is slow; run without -short")
+	}
+	pkg := loadServeAPI(t)
+	tmp := *pkg
+	tmp.Dir = t.TempDir()
+	if err := WriteAPILock(&tmp); err != nil {
+		t.Fatalf("WriteAPILock: %v", err)
+	}
+	got, err := os.ReadFile(filepath.Join(tmp.Dir, APILockFile))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != APIShape(pkg) {
+		t.Errorf("written lockfile differs from APIShape")
+	}
+}
+
+// TestWriteAPILockReportsWriteFailure: a vanished target directory
+// surfaces as an error, not a silent no-op.
+func TestWriteAPILockReportsWriteFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checking serve/api is slow; run without -short")
+	}
+	tmp := *loadServeAPI(t)
+	tmp.Dir = filepath.Join(t.TempDir(), "no", "such", "dir")
+	if err := WriteAPILock(&tmp); err == nil {
+		t.Errorf("WriteAPILock into a missing directory must fail")
+	}
+}
+
+func TestFirstFilePosEmpty(t *testing.T) {
+	if pos := firstFilePos(nil); pos.IsValid() {
+		t.Errorf("firstFilePos(nil) = %v, want NoPos", pos)
+	}
+}
+
+// TestParseShapeToleratesNoise: hand-mangled lockfiles must not panic
+// the checker — unknown lines are ignored, and field lines before any
+// type block are dropped.
+func TestParseShapeToleratesNoise(t *testing.T) {
+	s := parseShape("# comment\nfield Orphan json=o type=int\n\ntype T\n  field A json=a type=int\n  garbage line\n")
+	if len(s.types) != 1 || len(s.types["T"]) != 1 {
+		t.Fatalf("parseShape = %+v, want exactly T.A", s.types)
+	}
+	if s.types["T"]["field A"].Line != "field A json=a type=int" {
+		t.Errorf("field line = %q", s.types["T"]["field A"].Line)
+	}
+}

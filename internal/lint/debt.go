@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// DebtEntry is one Allow annotated with its age: when the annotation's
+// line was last committed, per `git blame`. Zero Committed means the
+// age is unknown (no git, shallow history, or an uncommitted line).
+type DebtEntry struct {
+	Allow
+	Committed time.Time
+}
+
+// AllowAge resolves the commit time of the annotation's line via
+// `git blame`. It degrades gracefully: any failure (git missing, file
+// untracked, line uncommitted) returns the zero time and false rather
+// than an error — debt ages are advisory, never load-bearing.
+func AllowAge(root string, a Allow) (time.Time, bool) {
+	rel, err := filepath.Rel(root, a.Pos.Filename)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		rel = a.Pos.Filename
+	}
+	lineRange := fmt.Sprintf("%d,%d", a.Pos.Line, a.Pos.Line)
+	out, err := exec.Command("git", "-C", root, "blame", "--porcelain",
+		"-L", lineRange, "--", rel).Output()
+	if err != nil {
+		return time.Time{}, false
+	}
+	for _, line := range strings.Split(string(out), "\n") {
+		if rest, ok := strings.CutPrefix(line, "committer-time "); ok {
+			sec, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return time.Time{}, false
+			}
+			t := time.Unix(sec, 0).UTC()
+			if t.IsZero() || sec == 0 {
+				return time.Time{}, false
+			}
+			return t, true
+		}
+	}
+	return time.Time{}, false
+}
+
+// DebtReport renders the suppression-debt audit: one line per live
+// allow (position, rule, age, reason) followed by a per-rule tally.
+// now supplies the reference time for ages so the report itself stays
+// a pure function of its inputs.
+func DebtReport(entries []DebtEntry, now time.Time) string {
+	var b strings.Builder
+	perRule := map[string]int{}
+	for _, e := range entries {
+		age := "age unknown"
+		if !e.Committed.IsZero() {
+			days := int(now.Sub(e.Committed).Hours() / 24)
+			if days < 0 {
+				days = 0
+			}
+			age = fmt.Sprintf("%dd (%s)", days, e.Committed.Format("2006-01-02"))
+		}
+		fmt.Fprintf(&b, "%s:%d: [%s] %s — %s\n", e.Pos.Filename, e.Pos.Line, e.Rule, age, e.Reason)
+		perRule[e.Rule]++
+	}
+	if len(entries) == 0 {
+		return "no live suppressions\n"
+	}
+	rules := make([]string, 0, len(perRule))
+	for r := range perRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	fmt.Fprintf(&b, "\n%d live suppressions:", len(entries))
+	for _, r := range rules {
+		fmt.Fprintf(&b, " %s=%d", r, perRule[r])
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,93 @@
+package lint
+
+import (
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestCollectAllowsFindsFixtureAnnotations(t *testing.T) {
+	pkg, err := NewLoader().Load(filepath.Join("testdata", "src", "errflow"), "fivealarms/lintfixture/errflow")
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	allows := CollectAllows(pkg)
+	if len(allows) != 1 {
+		t.Fatalf("allows = %v, want exactly the suppressed.go annotation", allows)
+	}
+	a := allows[0]
+	if a.Rule != "errflow" {
+		t.Errorf("rule = %q, want errflow", a.Rule)
+	}
+	if filepath.Base(a.Pos.Filename) != "suppressed.go" || a.Pos.Line != 9 {
+		t.Errorf("pos = %s:%d, want suppressed.go:9", a.Pos.Filename, a.Pos.Line)
+	}
+	if !strings.Contains(a.Reason, "best-effort") {
+		t.Errorf("reason not captured: %q", a.Reason)
+	}
+}
+
+func TestDebtReportFormatting(t *testing.T) {
+	now := time.Date(2026, 3, 1, 0, 0, 0, 0, time.UTC)
+	entries := []DebtEntry{
+		{
+			Allow:     Allow{Pos: token.Position{Filename: "a.go", Line: 4}, Rule: "errflow", Reason: "best-effort"},
+			Committed: time.Date(2026, 2, 19, 0, 0, 0, 0, time.UTC),
+		},
+		{
+			Allow: Allow{Pos: token.Position{Filename: "b.go", Line: 9}, Rule: "errflow", Reason: "unreachable"},
+		},
+		{
+			// Committed "after" now (clock skew between machines):
+			// the age clamps to zero instead of going negative.
+			Allow:     Allow{Pos: token.Position{Filename: "c.go", Line: 2}, Rule: "goroleak", Reason: "bounded"},
+			Committed: time.Date(2026, 3, 2, 0, 0, 0, 0, time.UTC),
+		},
+	}
+	got := DebtReport(entries, now)
+	want := "a.go:4: [errflow] 10d (2026-02-19) — best-effort\n" +
+		"b.go:9: [errflow] age unknown — unreachable\n" +
+		"c.go:2: [goroleak] 0d (2026-03-02) — bounded\n" +
+		"\n3 live suppressions: errflow=2 goroleak=1\n"
+	if got != want {
+		t.Errorf("DebtReport:\ngot  %q\nwant %q", got, want)
+	}
+}
+
+func TestDebtReportEmpty(t *testing.T) {
+	if got := DebtReport(nil, time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)); got != "no live suppressions\n" {
+		t.Errorf("empty report = %q", got)
+	}
+}
+
+// TestAllowAge exercises both sides of the graceful-degradation
+// contract: a committed line in this repository resolves to a real
+// commit time, and a path outside any git history reports unknown
+// without erroring.
+func TestAllowAge(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := Allow{Pos: token.Position{Filename: filepath.Join(root, "go.mod"), Line: 1}}
+	if committed, ok := AllowAge(root, a); ok {
+		if committed.IsZero() || committed.After(time.Now()) {
+			t.Errorf("AllowAge returned an implausible commit time %v", committed)
+		}
+	} // !ok is legal: git may be absent or the checkout shallow
+
+	tmp := t.TempDir()
+	bad := Allow{Pos: token.Position{Filename: filepath.Join(tmp, "x.go"), Line: 1}}
+	if _, ok := AllowAge(tmp, bad); ok {
+		t.Errorf("AllowAge outside git must report unknown")
+	}
+
+	// A file outside the blame root falls back to its absolute path —
+	// and still degrades to unknown rather than erroring.
+	outside := Allow{Pos: token.Position{Filename: filepath.Join(tmp, "elsewhere.go"), Line: 1}}
+	if _, ok := AllowAge(root, outside); ok {
+		t.Errorf("AllowAge on a file outside the repository must report unknown")
+	}
+}

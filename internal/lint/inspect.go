@@ -1,0 +1,101 @@
+package lint
+
+import (
+	"go/ast"
+	"reflect"
+)
+
+// Inspector is the shared type-indexed AST walk for one package. Check
+// builds it once per package and every rule filters the same preorder
+// event list, so adding a rule no longer adds a full AST traversal —
+// the engine walks each file exactly once regardless of how many rules
+// are registered.
+//
+// The design mirrors golang.org/x/tools/go/ast/inspector without the
+// dependency: a flat preorder slice with parent links, filtered by
+// concrete node type. Parent links make enclosing-declaration lookups
+// (nakedpanic's doc contracts, ctxflow's closure scopes, maporder's
+// same-function sort search) O(depth) per match instead of a fresh
+// recursive walk per rule.
+type Inspector struct {
+	events []inspectEvent
+}
+
+type inspectEvent struct {
+	node   ast.Node
+	parent int // index of the parent event; -1 for roots
+}
+
+// newInspector walks every file once, recording each node in preorder
+// with a link to its parent.
+func newInspector(files []*ast.File) *Inspector {
+	in := &Inspector{}
+	for _, f := range files {
+		in.push(f, -1)
+	}
+	return in
+}
+
+func (in *Inspector) push(n ast.Node, parent int) {
+	idx := len(in.events)
+	in.events = append(in.events, inspectEvent{node: n, parent: parent})
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return true
+		}
+		in.push(c, idx)
+		return false // push recurses; Inspect only hands us direct children
+	})
+}
+
+// typeFilter matches nodes against the example-node filter convention
+// used by x/tools: Preorder([]ast.Node{(*ast.CallExpr)(nil)}, fn).
+type typeFilter map[reflect.Type]bool
+
+func newTypeFilter(examples []ast.Node) typeFilter {
+	if len(examples) == 0 {
+		return nil // nil filter matches every node
+	}
+	f := make(typeFilter, len(examples))
+	for _, ex := range examples {
+		f[reflect.TypeOf(ex)] = true
+	}
+	return f
+}
+
+func (f typeFilter) matches(n ast.Node) bool {
+	return f == nil || f[reflect.TypeOf(n)]
+}
+
+// Preorder calls fn for every node whose concrete type matches one of
+// the example nodes (all nodes when types is empty), in depth-first
+// source order.
+func (in *Inspector) Preorder(types []ast.Node, fn func(ast.Node)) {
+	f := newTypeFilter(types)
+	for _, ev := range in.events {
+		if f.matches(ev.node) {
+			fn(ev.node)
+		}
+	}
+}
+
+// WithStack is Preorder plus the enclosing-node chain: stack[0] is the
+// *ast.File and stack[len(stack)-1] is the matched node itself.
+// The stack slice is reused across calls; callers must not retain it.
+func (in *Inspector) WithStack(types []ast.Node, fn func(n ast.Node, stack []ast.Node)) {
+	f := newTypeFilter(types)
+	var stack []ast.Node
+	for i, ev := range in.events {
+		if !f.matches(ev.node) {
+			continue
+		}
+		stack = stack[:0]
+		for j := i; j >= 0; j = in.events[j].parent {
+			stack = append(stack, in.events[j].node)
+		}
+		for l, r := 0, len(stack)-1; l < r; l, r = l+1, r-1 {
+			stack[l], stack[r] = stack[r], stack[l]
+		}
+		fn(ev.node, stack)
+	}
+}

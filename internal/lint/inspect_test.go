@@ -1,0 +1,129 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+const inspectSrc = `package p
+
+func a() {
+	b(1)
+	func() {
+		b(2)
+	}()
+}
+
+func b(n int) int { return n }
+`
+
+func parseInspector(t *testing.T) (*token.FileSet, *Inspector) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", inspectSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, newInspector([]*ast.File{f})
+}
+
+func TestInspectorPreorderFiltersInSourceOrder(t *testing.T) {
+	fset, in := parseInspector(t)
+	var lines []int
+	in.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		lines = append(lines, fset.Position(n.Pos()).Line)
+	})
+	// b(1), the immediately-invoked literal (starting at its func
+	// keyword), and b(2) — depth-first source order.
+	want := []int{4, 5, 6}
+	if len(lines) != len(want) {
+		t.Fatalf("call lines = %v, want %v", lines, want)
+	}
+	for i := range want {
+		if lines[i] != want[i] {
+			t.Fatalf("call lines = %v, want %v", lines, want)
+		}
+	}
+}
+
+func TestInspectorPreorderEmptyFilterVisitsEverything(t *testing.T) {
+	_, in := parseInspector(t)
+	total := 0
+	in.Preorder(nil, func(ast.Node) { total++ })
+	funcs := 0
+	in.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(ast.Node) { funcs++ })
+	if funcs != 2 {
+		t.Errorf("FuncDecl count = %d, want 2", funcs)
+	}
+	if total <= funcs {
+		t.Errorf("unfiltered walk saw %d nodes; must dominate the %d filtered ones", total, funcs)
+	}
+}
+
+func TestInspectorWithStackRootsAtFile(t *testing.T) {
+	fset, in := parseInspector(t)
+	checked := 0
+	in.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, stack []ast.Node) {
+		if _, ok := stack[0].(*ast.File); !ok {
+			t.Errorf("stack[0] = %T, want *ast.File", stack[0])
+		}
+		if stack[len(stack)-1] != n {
+			t.Errorf("stack tail is not the matched node")
+		}
+		// The inner call b(2) must see the enclosing FuncLit on its
+		// stack; the outer b(1) must not.
+		inLit := false
+		for _, s := range stack {
+			if _, ok := s.(*ast.FuncLit); ok {
+				inLit = true
+			}
+		}
+		line := fset.Position(n.Pos()).Line
+		if line == 6 && !inLit {
+			t.Errorf("call on line 6 is missing its enclosing FuncLit")
+		}
+		if line == 4 && inLit {
+			t.Errorf("call on line 4 wrongly reports an enclosing FuncLit")
+		}
+		checked++
+	})
+	if checked == 0 {
+		t.Fatal("WithStack matched nothing")
+	}
+}
+
+func TestSortDiagnosticsOrdersAndDedupes(t *testing.T) {
+	mk := func(file string, line, col int, rule string) Diagnostic {
+		return Diagnostic{
+			Pos:     token.Position{Filename: file, Line: line, Column: col},
+			Rule:    rule,
+			Message: "m",
+		}
+	}
+	in := []Diagnostic{
+		mk("b.go", 2, 1, "floateq"),
+		mk("a.go", 9, 3, "errflow"),
+		mk("b.go", 2, 1, "floateq"), // exact duplicate — dropped
+		mk("a.go", 9, 3, "ctxflow"), // same position, earlier rule name
+		mk("a.go", 1, 1, "errflow"),
+	}
+	got := SortDiagnostics(in)
+	want := []string{
+		"a.go:1:1 errflow",
+		"a.go:9:3 ctxflow",
+		"a.go:9:3 errflow",
+		"b.go:2:1 floateq",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d diagnostics, want %d: %v", len(got), len(want), got)
+	}
+	for i, d := range got {
+		key := fmt.Sprintf("%s:%d:%d %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule)
+		if key != want[i] {
+			t.Errorf("diagnostic %d = %q, want %q", i, key, want[i])
+		}
+	}
+}

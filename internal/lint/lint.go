@@ -53,13 +53,17 @@ type Rule struct {
 
 // Pass hands a rule one type-checked package. Files holds only
 // non-test sources (the loader skips _test.go; test files are exempt
-// from every rule by construction).
+// from every rule by construction). In carries the package's shared
+// preorder inspector: rules filter its single walk instead of
+// re-traversing the AST independently.
 type Pass struct {
 	Fset  *token.FileSet
 	Path  string // import path the package was loaded as
+	Dir   string // package directory (for sibling artifacts like api.lock)
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	In    *Inspector
 
 	diags []Diagnostic
 }
@@ -82,6 +86,10 @@ func Rules() []Rule {
 		ruleCtxFlow(),
 		ruleNoCopyLock(),
 		ruleTestOnlyImport(),
+		ruleMapOrder(),
+		ruleAPILock(),
+		ruleGoroLeak(),
+		ruleErrFlow(),
 	}
 }
 
@@ -98,14 +106,18 @@ func RuleNames() map[string]bool {
 // Check runs the given rules over one loaded package and returns the
 // surviving diagnostics: findings without a matching allow annotation,
 // plus any malformed-suppression findings (rule "suppression", never
-// suppressible). Results are sorted by position.
+// suppressible). Results are sorted by (file, line, col, rule) and
+// deduplicated, so overlapping rules reporting the same fact at the
+// same position surface it once and the order is byte-deterministic.
 func Check(pkg *Package, rules []Rule) []Diagnostic {
 	pass := &Pass{
 		Fset:  pkg.Fset,
 		Path:  pkg.Path,
+		Dir:   pkg.Dir,
 		Files: pkg.Files,
 		Pkg:   pkg.Pkg,
 		Info:  pkg.Info,
+		In:    newInspector(pkg.Files),
 	}
 	for _, r := range rules {
 		r.Run(pass)
@@ -118,8 +130,17 @@ func Check(pkg *Package, rules []Rule) []Diagnostic {
 		}
 	}
 	out = append(out, bad...)
-	sort.Slice(out, func(i, j int) bool {
-		a, b := out[i].Pos, out[j].Pos
+	return SortDiagnostics(out)
+}
+
+// SortDiagnostics orders diagnostics by (file, line, col, rule,
+// message) and drops exact duplicates, in place. Both the per-package
+// results of Check and the cross-package aggregate the CLI prints go
+// through it, so `-json` (and SARIF) output is byte-deterministic
+// regardless of load order or rule overlap.
+func SortDiagnostics(diags []Diagnostic) []Diagnostic {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
 		if a.Filename != b.Filename {
 			return a.Filename < b.Filename
 		}
@@ -129,7 +150,17 @@ func Check(pkg *Package, rules []Rule) []Diagnostic {
 		if a.Column != b.Column {
 			return a.Column < b.Column
 		}
-		return out[i].Rule < out[j].Rule
+		if diags[i].Rule != diags[j].Rule {
+			return diags[i].Rule < diags[j].Rule
+		}
+		return diags[i].Message < diags[j].Message
 	})
+	out := diags[:0]
+	for i, d := range diags {
+		if i > 0 && d == diags[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
 	return out
 }

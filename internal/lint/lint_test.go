@@ -102,6 +102,80 @@ var fixtureTests = []struct {
 		path: "fivealarms/internal/refimpl/diffcheck",
 		want: nil, // the test-only family may import itself
 	},
+	{
+		rule: "maporder",
+		dir:  "maporder",
+		path: "fivealarms/internal/report",
+		want: []string{
+			"positive.go:15:2 maporder",
+			"positive.go:23:2 maporder",
+			"positive.go:32:2 maporder",
+			"positive.go:40:2 maporder",
+			"positive.go:47:2 maporder",
+		},
+	},
+	{
+		rule: "maporder",
+		dir:  "maporder_outside",
+		path: "fivealarms/lintfixture/maporder",
+		want: nil, // map-order only gates the deterministic packages
+	},
+	{
+		rule: "goroleak",
+		dir:  "goroleak",
+		path: "fivealarms/lintfixture/goroleak",
+		want: []string{
+			"positive.go:7:2 goroleak",
+			"positive.go:8:2 goroleak",
+		},
+	},
+	{
+		rule: "errflow",
+		dir:  "errflow",
+		path: "fivealarms/lintfixture/errflow",
+		want: []string{
+			"positive.go:11:2 errflow",
+			"positive.go:12:2 errflow",
+			"positive.go:13:2 errflow",
+		},
+	},
+	{
+		rule: "apilock",
+		dir:  "apilock_clean",
+		path: "fivealarms/internal/serve/api",
+		want: nil, // shape matches the committed lockfile exactly
+	},
+	{
+		rule: "apilock",
+		dir:  "apilock_breaking",
+		path: "fivealarms/internal/serve/api",
+		want: []string{
+			"dto.go:5:6 apilock", // removed field anchors at the type
+			"dto.go:6:2 apilock", // retyped field anchors at the field
+		},
+	},
+	{
+		rule: "apilock",
+		dir:  "apilock_additive",
+		path: "fivealarms/internal/serve/api",
+		want: []string{
+			"dto.go:7:2 apilock",
+		},
+	},
+	{
+		rule: "apilock",
+		dir:  "apilock_suppressed",
+		path: "fivealarms/internal/serve/api",
+		want: nil, // additive drift under an annotated waiver
+	},
+	{
+		rule: "apilock",
+		dir:  "apilock_missing",
+		path: "fivealarms/internal/serve/api",
+		want: []string{
+			"dto.go:1:1 apilock",
+		},
+	},
 }
 
 // ruleByName fails the test when the registry loses a rule — the
@@ -176,7 +250,8 @@ func TestRuleNamesUniqueAndDocumented(t *testing.T) {
 		seen[r.Name] = true
 	}
 	if !seen["seededrand"] || !seen["floateq"] || !seen["nakedpanic"] ||
-		!seen["ctxflow"] || !seen["nocopylock"] || !seen["testonlyimport"] {
+		!seen["ctxflow"] || !seen["nocopylock"] || !seen["testonlyimport"] ||
+		!seen["maporder"] || !seen["apilock"] || !seen["goroleak"] || !seen["errflow"] {
 		t.Errorf("registry lost a contract rule: %v", seen)
 	}
 }

@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -60,12 +61,10 @@ func (l *Loader) Load(dir, path string) (*Package, error) {
 	}
 	var names []string
 	for _, e := range entries {
-		name := e.Name()
-		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
-			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+		if e.IsDir() || !includeFile(dir, e.Name()) {
 			continue
 		}
-		names = append(names, name)
+		names = append(names, e.Name())
 	}
 	sort.Strings(names)
 	if len(names) == 0 {
@@ -104,6 +103,12 @@ func DiscoverModule(root string) (modPath string, pkgs [][2]string, err error) {
 	if err != nil {
 		return "", nil, err
 	}
+	// seen keys on the directory, not the walk's last entry: WalkDir
+	// interleaves a directory's files with its subdirectories in
+	// lexical order, so the module root's own files straddle every
+	// subtree detour and a last-entry check would record the root once
+	// per straddle — loading it repeatedly and duplicating its findings.
+	seen := map[string]bool{}
 	err = filepath.WalkDir(root, func(p string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -116,14 +121,11 @@ func DiscoverModule(root string) (modPath string, pkgs [][2]string, err error) {
 			}
 			return nil
 		}
-		if !strings.HasSuffix(d.Name(), ".go") || strings.HasSuffix(d.Name(), "_test.go") ||
-			strings.HasPrefix(d.Name(), ".") {
-			return nil
-		}
 		dir := filepath.Dir(p)
-		if len(pkgs) > 0 && pkgs[len(pkgs)-1][0] == dir {
+		if seen[dir] || !includeFile(dir, d.Name()) {
 			return nil
 		}
+		seen[dir] = true
 		rel, err := filepath.Rel(root, dir)
 		if err != nil {
 			return err
@@ -140,6 +142,21 @@ func DiscoverModule(root string) (modPath string, pkgs [][2]string, err error) {
 	}
 	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i][1] < pkgs[j][1] })
 	return modPath, pkgs, nil
+}
+
+// includeFile reports whether dir/name belongs to the analyzed build:
+// a non-test, non-hidden .go file whose build constraints
+// (//go:build lines, GOOS/GOARCH suffixes) match the default context.
+// A constraint-excluded file cannot be type-checked into the package
+// (its declarations may conflict with the included variant), which is
+// exactly why `go build` excludes it too.
+func includeFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+		return false
+	}
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
 }
 
 // modulePath extracts the module path from a go.mod file.

@@ -80,6 +80,68 @@ func TestLoadRejectsEmptyAndBrokenDirs(t *testing.T) {
 	}
 }
 
+// TestLoaderEdgeCases builds a synthetic module exercising every
+// exclusion the loader promises: test-only packages, build-tag-excluded
+// files, vendored trees, hidden/underscore files, and the root package
+// straddling its subdirectories in walk order.
+func TestLoaderEdgeCases(t *testing.T) {
+	root := t.TempDir()
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(root, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module example.com/m\n\ngo 1.22\n")
+	// Root files named to straddle the subdirectory in WalkDir's
+	// lexical order (a.go < mid < z.go): the discovery regression this
+	// pins is the root package being recorded once per straddle.
+	write("a.go", "package m\n\nfunc A() int { return 1 }\n")
+	write("z.go", "package m\n\nfunc Z() int { return 2 }\n")
+	// Build-tag-excluded variant declares a conflicting A: loading
+	// succeeds only if the constraint actually excludes the file.
+	write("excluded.go", "//go:build neverbuilt\n\npackage m\n\nfunc A() string { return \"conflict\" }\n")
+	write("_skipped.go", "package wrong\n")
+	write(".hidden.go", "package wrong\n")
+	// Test-only package: no non-test sources, so not a lintable package.
+	write("mid/only_test.go", "package mid\n")
+	// Vendored dependencies are never analyzed.
+	write("vendor/dep/dep.go", "package dep\n")
+
+	_, pkgs, err := DiscoverModule(root)
+	if err != nil {
+		t.Fatalf("DiscoverModule: %v", err)
+	}
+	var got []string
+	seen := map[string]int{}
+	for _, p := range pkgs {
+		got = append(got, p[1])
+		seen[p[0]]++
+		if seen[p[0]] > 1 {
+			t.Errorf("directory %s discovered %d times", p[0], seen[p[0]])
+		}
+	}
+	if len(got) != 1 || got[0] != "example.com/m" {
+		t.Fatalf("discovered %v, want only the root package", got)
+	}
+
+	loader := NewLoader()
+	pkg, err := loader.Load(root, "example.com/m")
+	if err != nil {
+		t.Fatalf("loading the root package: %v", err)
+	}
+	if n := len(pkg.Files); n != 2 {
+		t.Errorf("loaded %d files, want a.go and z.go only", n)
+	}
+	if _, err := loader.Load(filepath.Join(root, "mid"), "example.com/m/mid"); err == nil {
+		t.Errorf("a test-only package must fail to load as a lint target")
+	}
+}
+
 // TestRepositoryIsLintClean runs the entire rule suite over the whole
 // module — the same check `make lint` and the CI Lint job gate on.
 // Every finding in the tree must be fixed or carry an annotated allow,

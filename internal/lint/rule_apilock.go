@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+)
+
+// apiLockScope is the wire-contract package whose DTO shape is frozen
+// by a committed api.lock (DESIGN.md §7: fields are additive-only
+// within v1, breaking changes go to /v2).
+const apiLockScope = "fivealarms/internal/serve/api"
+
+func ruleAPILock() Rule {
+	return Rule{
+		Name: "apilock",
+		Doc:  "the serve/api DTO shape must match the committed api.lock: removals/renames/retypes are breaking, additions require fivealarmsvet -write-apilock",
+		Run:  runAPILock,
+	}
+}
+
+// runAPILock makes the "frozen, additive-only" wire policy machine
+// checked. It extracts the JSON shape of every exported DTO struct via
+// go/types and diffs it against the committed lockfile: a breaking
+// drift (removed/renamed/retyped field, removed type) is a contract
+// violation that only a new /v2 contract may make, while an additive
+// drift means the lockfile is stale and must be regenerated with
+// `fivealarmsvet -write-apilock` — a deliberate, reviewable act that
+// shows up as a lockfile diff.
+func runAPILock(p *Pass) {
+	if p.Path != apiLockScope {
+		return
+	}
+	locked, err := os.ReadFile(filepath.Join(p.Dir, APILockFile))
+	if err != nil {
+		p.Reportf(firstFilePos(p.Files), "apilock",
+			"wire-contract package has no readable %s; generate it with `fivealarmsvet -write-apilock` and commit it", APILockFile)
+		return
+	}
+	for _, d := range CompareAPILock(string(locked), &Package{
+		Path: p.Path, Dir: p.Dir, Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+	}) {
+		pos := d.Pos
+		if !pos.IsValid() {
+			pos = firstFilePos(p.Files)
+		}
+		if d.Breaking {
+			p.Reportf(pos, "apilock",
+				"breaking wire-contract change: %s — v1 fields are frozen (DESIGN.md §7); restore the field or introduce /v2", d.Detail)
+		} else {
+			p.Reportf(pos, "apilock",
+				"additive wire-contract change: %s — regenerate the lockfile with `fivealarmsvet -write-apilock` and commit it", d.Detail)
+		}
+	}
+}

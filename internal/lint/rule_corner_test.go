@@ -1,0 +1,73 @@
+package lint
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// checkSrc type-checks one synthetic file as importPath and runs the
+// named rule over it, returning "line:col" keys of the findings.
+func checkSrc(t *testing.T, importPath, src string, rule string) []string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "src.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().Load(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading synthetic package: %v", err)
+	}
+	var got []string
+	for _, d := range Check(pkg, []Rule{ruleByName(t, rule)}) {
+		got = append(got, d.Pos.String()[len(d.Pos.Filename)+1:])
+	}
+	return got
+}
+
+// TestNoCopyLockByValueFields pins the receiver/parameter half of the
+// rule: a lock-bearing value in a field list is a copy at every call.
+func TestNoCopyLockByValueFields(t *testing.T) {
+	src := `package p
+
+import "sync"
+
+type Guarded struct{ mu sync.Mutex }
+
+func ByValueParam(g Guarded) {}
+
+func (g Guarded) ByValueRecv() {}
+`
+	got := checkSrc(t, "example.com/p", src, "nocopylock")
+	want := []string{"7:19", "9:7"}
+	if len(got) != len(want) {
+		t.Fatalf("findings = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %s, want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestErrFlowSingleResultAndStdout covers the non-tuple error shape
+// (a bare errors.New) and the os.Stdout best-effort exemption.
+func TestErrFlowSingleResultAndStdout(t *testing.T) {
+	src := `package p
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+func F() {
+	errors.New("constructed and dropped")
+	fmt.Fprintln(os.Stdout, "best-effort terminal output")
+}
+`
+	got := checkSrc(t, "example.com/p", src, "errflow")
+	if len(got) != 1 || got[0] != "10:2" {
+		t.Fatalf("findings = %v, want exactly the dropped errors.New at 10:2", got)
+	}
+}

@@ -25,42 +25,38 @@ func ruleCtxFlow() Rule {
 }
 
 func runCtxFlow(p *Pass) {
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			if fd, ok := decl.(*ast.FuncDecl); ok {
-				checkExportedCtxFirst(p, fd)
-				if fd.Body != nil {
-					walkCtx(p, fd.Body, hasCtxParam(p, fd.Type))
-				}
+	p.In.Preorder([]ast.Node{(*ast.FuncDecl)(nil)}, func(n ast.Node) {
+		checkExportedCtxFirst(p, n.(*ast.FuncDecl))
+	})
+	// A context.Background/TODO call is a finding when any enclosing
+	// function in the lexical chain — declaration or closure — already
+	// receives a context.Context: minting a fresh root there severs the
+	// cancel chain the caller paid to thread. HTTP handlers count as
+	// ctx receivers: an *http.Request parameter carries the client's
+	// cancellation as r.Context(), and a handler that builds from a
+	// fresh root keeps computing for clients that hung up.
+	p.In.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, stack []ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isCtxMint(p, call) {
+			return
+		}
+		for _, s := range stack {
+			var ft *ast.FuncType
+			switch fn := s.(type) {
+			case *ast.FuncDecl:
+				ft = fn.Type
+			case *ast.FuncLit:
+				ft = fn.Type
+			default:
 				continue
 			}
-			// Function literals in var initializers start outside any
-			// ctx scope; walkCtx's FuncLit case handles scope entry.
-			walkCtx(p, decl, false)
-		}
-	}
-}
-
-// walkCtx reports context.Background/TODO calls lexically inside a
-// function that already receives a context.Context — minting a fresh
-// root there severs the cancel chain the caller paid to thread. HTTP
-// handlers count as ctx receivers: an *http.Request parameter carries
-// the client's cancellation as r.Context(), and a handler that builds
-// from a fresh root keeps computing for clients that hung up.
-func walkCtx(p *Pass, n ast.Node, inCtx bool) {
-	ast.Inspect(n, func(m ast.Node) bool {
-		switch m := m.(type) {
-		case *ast.FuncLit:
-			walkCtx(p, m.Body, inCtx || hasCtxParam(p, m.Type))
-			return false
-		case *ast.CallExpr:
-			if inCtx && isCtxMint(p, m) {
-				p.Reportf(m.Pos(), "ctxflow",
+			if hasCtxParam(p, ft) {
+				p.Reportf(call.Pos(), "ctxflow",
 					"context.%s inside a function that already receives a ctx severs the caller's cancel chain; thread the parameter instead",
-					calleeFunc(p, m).Name())
+					calleeFunc(p, call).Name())
+				return
 			}
 		}
-		return true
 	})
 }
 

@@ -1,0 +1,164 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func ruleErrFlow() Rule {
+	return Rule{
+		Name: "errflow",
+		Doc:  "error results must not be discarded (`_ =` or a bare call) outside the documented infallible-writer set",
+		Run:  runErrFlow,
+	}
+}
+
+// runErrFlow enforces the failure model's other half: library code
+// returns errors, so callers must look at them. Two discard shapes are
+// flagged: a call used as a bare expression statement whose type
+// includes an error, and an assignment that lands an error result in
+// the blank identifier. Deferred calls are exempt — deferred cleanup
+// is best-effort by convention here, and write paths that must observe
+// Close errors call Close explicitly (snapshot.go is the template).
+// Also exempt is the documented infallible-writer set: fmt printing to
+// os.Stdout/os.Stderr (best-effort terminal diagnostics) and writes to
+// strings.Builder, bytes.Buffer, or a hash.Hash, whose Write methods
+// are documented never to return a non-nil error.
+func runErrFlow(p *Pass) {
+	p.In.Preorder([]ast.Node{(*ast.ExprStmt)(nil)}, func(n ast.Node) {
+		call, ok := n.(*ast.ExprStmt).X.(*ast.CallExpr)
+		if !ok || errFlowExempt(p, call) {
+			return
+		}
+		if pos := errResultIndex(p, call); pos >= 0 {
+			p.Reportf(call.Pos(), "errflow",
+				"call discards its error result; handle it, or annotate why ignoring it is sound")
+		}
+	})
+	p.In.Preorder([]ast.Node{(*ast.AssignStmt)(nil)}, func(n ast.Node) {
+		as := n.(*ast.AssignStmt)
+		if len(as.Rhs) != 1 {
+			return
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || errFlowExempt(p, call) {
+			return
+		}
+		idx := errResultIndex(p, call)
+		if idx < 0 || idx >= len(as.Lhs) {
+			return
+		}
+		if id, ok := as.Lhs[idx].(*ast.Ident); ok && id.Name == "_" {
+			p.Reportf(as.Pos(), "errflow",
+				"error result assigned to _; handle it, or annotate why ignoring it is sound")
+		}
+	})
+}
+
+// errResultIndex returns the position of the first error-typed result
+// of call, or -1. A single-result call returns 0 when that result is
+// an error.
+func errResultIndex(p *Pass, call *ast.CallExpr) int {
+	t := p.Info.TypeOf(call)
+	if t == nil {
+		return -1
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tup.Len(); i++ {
+			if isErrorType(tup.At(i).Type()) {
+				return i
+			}
+		}
+		return -1
+	}
+	if isErrorType(t) {
+		return 0
+	}
+	return -1
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Pkg() == nil && named.Obj().Name() == "error"
+}
+
+// errFlowExempt reports whether call is in the built-in infallible or
+// best-effort set the rule's doc lists.
+func errFlowExempt(p *Pass, call *ast.CallExpr) bool {
+	fn := calleeFunc(p, call)
+	if fn == nil {
+		return false
+	}
+	if isBuilderWrite(fn) {
+		return true
+	}
+	// Methods on a hash value (h.Write, h.Sum...): hash.Hash documents
+	// Write as never returning an error. The method object itself lives
+	// in io (hash.Hash embeds io.Writer), so classify by the receiver
+	// expression's static type.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isHashType(p.Info.TypeOf(sel.X)) {
+		return true
+	}
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	switch {
+	case pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Print"):
+		return true // stdout diagnostics
+	case pkg.Path() == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"),
+		pkg.Path() == "io" && fn.Name() == "WriteString":
+		return len(call.Args) > 0 && infallibleWriterArg(p, call.Args[0])
+	}
+	return false
+}
+
+// isHashType reports whether t (or its pointee) is a type declared in
+// hash or a hash/* package, e.g. the hash.Hash64 an fnv value is held
+// as.
+func isHashType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "hash" || strings.HasPrefix(path, "hash/")
+}
+
+// infallibleWriterArg reports whether the writer expression is
+// os.Stdout/os.Stderr (best-effort terminal output), a hash, or a
+// strings.Builder/bytes.Buffer (documented never to fail).
+func infallibleWriterArg(p *Pass, e ast.Expr) bool {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		if v, ok := p.Info.Uses[sel.Sel].(*types.Var); ok && v.Pkg() != nil &&
+			v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr") {
+			return true
+		}
+	}
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if isHashType(t) {
+		return true
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}

@@ -40,19 +40,16 @@ func runFloatEq(p *Pass) {
 	if !inScope {
 		return
 	}
-	for _, f := range p.Files {
-		ast.Inspect(f, func(n ast.Node) bool {
-			be, ok := n.(*ast.BinaryExpr)
-			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
-				return true
-			}
-			if isFloat(p, be.X) || isFloat(p, be.Y) {
-				p.Reportf(be.OpPos, "floateq",
-					"%s on float operands; exact float equality diverges from diffcheck's ulp contract — use an epsilon, restructure, or annotate why exactness is intended", be.Op)
-			}
-			return true
-		})
-	}
+	p.In.Preorder([]ast.Node{(*ast.BinaryExpr)(nil)}, func(n ast.Node) {
+		be := n.(*ast.BinaryExpr)
+		if be.Op != token.EQL && be.Op != token.NEQ {
+			return
+		}
+		if isFloat(p, be.X) || isFloat(p, be.Y) {
+			p.Reportf(be.OpPos, "floateq",
+				"%s on float operands; exact float equality diverges from diffcheck's ulp contract — use an epsilon, restructure, or annotate why exactness is intended", be.Op)
+		}
+	})
 }
 
 // isFloat reports whether the expression's type is (an alias of) a

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// mapOrderScope lists the packages whose outputs feed the paper's
+// deterministic artifacts — Table 1-3 rows, union masks, rendered
+// reports, the frozen v1 wire bodies, shard merges, and the columnar
+// snapshot — where Go's randomized map iteration order must never
+// reach an ordered sink. Reading a map in any order is fine (sums,
+// lookups); appending, writing, hashing, or sending while ranging is
+// not, unless a sort step in the same function restores a total order.
+var mapOrderScope = map[string]bool{
+	"fivealarms/internal/risk":      true,
+	"fivealarms/internal/raster":    true,
+	"fivealarms/internal/report":    true,
+	"fivealarms/internal/serve/api": true,
+	"fivealarms/internal/shard":     true,
+	"fivealarms/internal/cellnet":   true,
+}
+
+func ruleMapOrder() Rule {
+	return Rule{
+		Name: "maporder",
+		Doc:  "range over a map feeding an ordered sink (append, writer, hash, channel) in the deterministic packages needs a sort step in the same function",
+		Run:  runMapOrder,
+	}
+}
+
+func runMapOrder(p *Pass) {
+	if !mapOrderScope[p.Path] {
+		return
+	}
+	p.In.WithStack([]ast.Node{(*ast.RangeStmt)(nil)}, func(n ast.Node, stack []ast.Node) {
+		rs := n.(*ast.RangeStmt)
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		sink := orderSink(p, rs.Body)
+		if sink == "" {
+			return
+		}
+		// A recognized sort call anywhere in the same enclosing function
+		// is taken as the ordering step (keys collected and sorted, or
+		// the sink sorted after the loop). The lexically innermost
+		// function wins: a sort in an unrelated sibling closure does not
+		// launder a different loop.
+		for i := len(stack) - 1; i >= 0; i-- {
+			var body *ast.BlockStmt
+			switch fn := stack[i].(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				continue
+			}
+			if hasSortCall(p, body) {
+				return
+			}
+			break
+		}
+		p.Reportf(rs.Pos(), "maporder",
+			"map iteration order reaches an ordered sink (%s) with no sort step in the enclosing function; collect keys, sort, then emit — or annotate why the order provably cannot leak", sink)
+	})
+}
+
+// orderSink scans a range body for a statement whose output depends on
+// iteration order, returning a short description of the first one (in
+// source order) or "".
+func orderSink(p *Pass, body *ast.BlockStmt) string {
+	sink := ""
+	found := func(s string) { sink = s }
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			found("channel send")
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					found("append to a slice")
+					return false
+				}
+			}
+			// Write methods reached through the hash.Hash interface
+			// carry io's package on the method object (hash.Hash embeds
+			// io.Writer), so classify by the receiver's static type.
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok &&
+				strings.HasPrefix(sel.Sel.Name, "Write") && isHashType(p.Info.TypeOf(sel.X)) {
+				found("hash write")
+				return false
+			}
+			if fn := calleeFunc(p, n); fn != nil && fn.Pkg() != nil {
+				path := fn.Pkg().Path()
+				switch {
+				case isBuilderWrite(fn):
+					found("string-builder/buffer write")
+				case path == "hash" || strings.HasPrefix(path, "hash/") ||
+					strings.HasPrefix(path, "crypto/"):
+					found("hash write")
+				case path == "fmt" && strings.HasPrefix(fn.Name(), "Fprint"):
+					found("writer output via fmt." + fn.Name())
+				case path == "io" && fn.Name() == "WriteString":
+					found("writer output via io.WriteString")
+				}
+			}
+		}
+		return sink == ""
+	})
+	return sink
+}
+
+// isBuilderWrite reports whether fn is a method of strings.Builder or
+// bytes.Buffer — the accumulating sinks the report renderers use.
+func isBuilderWrite(fn *types.Func) bool {
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	switch named.Obj().Pkg().Path() + "." + named.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// hasSortCall reports whether body contains a call into sort or slices
+// whose name starts with Sort (sort.Strings, sort.Slice, slices.Sort,
+// slices.SortFunc, ...), or sort.Sort itself.
+func hasSortCall(p *Pass, body *ast.BlockStmt) bool {
+	foundSort := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if foundSort {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(p, call); fn != nil && fn.Pkg() != nil {
+			switch fn.Pkg().Path() {
+			case "sort":
+				foundSort = true
+			case "slices":
+				if strings.HasPrefix(fn.Name(), "Sort") {
+					foundSort = true
+				}
+			}
+		}
+		return !foundSort
+	})
+	return foundSort
+}

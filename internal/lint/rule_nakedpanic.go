@@ -25,28 +25,28 @@ func ruleNakedPanic() Rule {
 // Go has no nested named functions, so the enclosing FuncDecl is the
 // documented API boundary.
 func runNakedPanic(p *Pass) {
-	for _, f := range p.Files {
-		for _, decl := range f.Decls {
-			fd, isFunc := decl.(*ast.FuncDecl)
-			documented := isFunc && docMentionsPanic(fd)
-			ast.Inspect(decl, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok || !isBuiltinPanic(p, call) {
-					return true
-				}
-				switch {
-				case documented:
-				case isFunc:
-					p.Reportf(call.Pos(), "nakedpanic",
-						"panic in %s, whose doc comment does not state a panic contract; return an error, or document why the panic is a programming-error report", fd.Name.Name)
-				default:
-					p.Reportf(call.Pos(), "nakedpanic",
-						"panic outside any declared function; return an error instead")
-				}
-				return true
-			})
+	p.In.WithStack([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node, stack []ast.Node) {
+		call := n.(*ast.CallExpr)
+		if !isBuiltinPanic(p, call) {
+			return
 		}
-	}
+		var fd *ast.FuncDecl
+		for _, s := range stack {
+			if d, ok := s.(*ast.FuncDecl); ok {
+				fd = d
+				break
+			}
+		}
+		switch {
+		case fd != nil && docMentionsPanic(fd):
+		case fd != nil:
+			p.Reportf(call.Pos(), "nakedpanic",
+				"panic in %s, whose doc comment does not state a panic contract; return an error, or document why the panic is a programming-error report", fd.Name.Name)
+		default:
+			p.Reportf(call.Pos(), "nakedpanic",
+				"panic outside any declared function; return an error instead")
+		}
+	})
 }
 
 // isBuiltinPanic reports whether call invokes the predeclared panic

@@ -41,19 +41,15 @@ func runSeededRand(p *Pass) {
 					"import of %s outside internal/rng breaks the seed-determinism contract; draw randomness through internal/rng", path)
 			}
 		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if fn := calleeFunc(p, call); fn != nil &&
-				fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
-				p.Reportf(call.Pos(), "seededrand",
-					"time.Now makes results depend on the wall clock; thread an explicit timestamp or seed instead")
-			}
-			return true
-		})
 	}
+	p.In.Preorder([]ast.Node{(*ast.CallExpr)(nil)}, func(n ast.Node) {
+		call := n.(*ast.CallExpr)
+		if fn := calleeFunc(p, call); fn != nil &&
+			fn.Pkg() != nil && fn.Pkg().Path() == "time" && fn.Name() == "Now" {
+			p.Reportf(call.Pos(), "seededrand",
+				"time.Now makes results depend on the wall clock; thread an explicit timestamp or seed instead")
+		}
+	})
 }
 
 // calleeFunc resolves the called function object, following selector

@@ -1,0 +1,112 @@
+package lint
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+)
+
+// SARIF rendering for GitHub code scanning. The emitted document is
+// the minimal static-analysis interchange shape (SARIF 2.1.0): one
+// run, the full rule inventory under tool.driver, one result per
+// diagnostic with a physical location. Output is byte-deterministic:
+// structs marshal in declaration order and the caller hands in
+// diagnostics already normalized by SortDiagnostics.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name  string      `json:"name"`
+	Rules []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// SARIFReport renders diags as an indented SARIF 2.1.0 document.
+// File names are made root-relative with forward slashes (the URI
+// convention code-scanning expects); diagnostics outside root keep
+// their absolute path. The rule inventory always includes the virtual
+// "suppression" rule, since malformed annotations report under it.
+func SARIFReport(diags []Diagnostic, rules []Rule, root string) ([]byte, error) {
+	driver := sarifDriver{Name: "fivealarmsvet"}
+	for _, r := range rules {
+		driver.Rules = append(driver.Rules, sarifRule{
+			ID:               r.Name,
+			ShortDescription: sarifMessage{Text: r.Doc},
+		})
+	}
+	driver.Rules = append(driver.Rules, sarifRule{
+		ID:               "suppression",
+		ShortDescription: sarifMessage{Text: "malformed or unjustified fivealarms:allow annotation"},
+	})
+
+	results := []sarifResult{} // non-nil: an empty run still carries "results": []
+	for _, d := range diags {
+		uri := d.Pos.Filename
+		if rel, err := filepath.Rel(root, uri); err == nil && !strings.HasPrefix(rel, "..") {
+			uri = filepath.ToSlash(rel)
+		}
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifMessage{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	doc := sarifLog{
+		Schema:  "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json",
+		Version: "2.1.0",
+		Runs:    []sarifRun{{Tool: sarifTool{Driver: driver}, Results: results}},
+	}
+	return json.MarshalIndent(doc, "", "  ")
+}

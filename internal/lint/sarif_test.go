@@ -1,0 +1,121 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// sarifFixtureDiags is a fixed input spanning the cases the renderer
+// must handle: a file under the root (relativized to a slash URI) and
+// one outside it (kept absolute).
+func sarifFixtureDiags() []Diagnostic {
+	return []Diagnostic{
+		{
+			Pos:     token.Position{Filename: filepath.Join(string(filepath.Separator)+"repo", "internal", "geom", "a.go"), Line: 10, Column: 3},
+			Rule:    "floateq",
+			Message: "exact float comparison",
+		},
+		{
+			Pos:     token.Position{Filename: filepath.Join(string(filepath.Separator)+"elsewhere", "b.go"), Line: 1, Column: 1},
+			Rule:    "errflow",
+			Message: "call discards its error result",
+		},
+	}
+}
+
+// TestSARIFGolden pins the document bytes: the SARIF shape is an
+// interface other tooling parses, so any drift must be a deliberate
+// golden update (UPDATE_GOLDEN=1 go test ./internal/lint -run SARIF).
+func TestSARIFGolden(t *testing.T) {
+	rules := []Rule{
+		{Name: "floateq", Doc: "no exact float equality in the GIS kernel"},
+		{Name: "errflow", Doc: "error results must not be discarded"},
+	}
+	got, err := SARIFReport(sarifFixtureDiags(), rules, string(filepath.Separator)+"repo")
+	if err != nil {
+		t.Fatalf("SARIFReport: %v", err)
+	}
+	golden := filepath.Join("testdata", "golden.sarif")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, append(got, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal(append(got, '\n'), want) {
+		t.Errorf("SARIF output drifted from %s:\n%s", golden, got)
+	}
+}
+
+// TestSARIFShape checks the semantic invariants independent of the
+// golden bytes: version, driver name, the virtual suppression rule,
+// root-relative URIs, and a non-null results array on a clean run.
+func TestSARIFShape(t *testing.T) {
+	doc, err := SARIFReport(sarifFixtureDiags(), Rules(), string(filepath.Separator)+"repo")
+	if err != nil {
+		t.Fatalf("SARIFReport: %v", err)
+	}
+	var parsed struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string `json:"name"`
+					Rules []struct {
+						ID string `json:"id"`
+					} `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []struct {
+				RuleID    string `json:"ruleId"`
+				Locations []struct {
+					PhysicalLocation struct {
+						ArtifactLocation struct {
+							URI string `json:"uri"`
+						} `json:"artifactLocation"`
+					} `json:"physicalLocation"`
+				} `json:"locations"`
+			} `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal(doc, &parsed); err != nil {
+		t.Fatalf("SARIF output is not JSON: %v", err)
+	}
+	if parsed.Version != "2.1.0" || len(parsed.Runs) != 1 {
+		t.Fatalf("version %q runs %d, want 2.1.0 and one run", parsed.Version, len(parsed.Runs))
+	}
+	run := parsed.Runs[0]
+	if run.Tool.Driver.Name != "fivealarmsvet" {
+		t.Errorf("driver name = %q", run.Tool.Driver.Name)
+	}
+	ids := map[string]bool{}
+	for _, r := range run.Tool.Driver.Rules {
+		ids[r.ID] = true
+	}
+	for _, want := range []string{"seededrand", "maporder", "apilock", "goroleak", "errflow", "suppression"} {
+		if !ids[want] {
+			t.Errorf("driver rules missing %q", want)
+		}
+	}
+	if len(run.Results) != 2 {
+		t.Fatalf("results = %d, want 2", len(run.Results))
+	}
+	if uri := run.Results[0].Locations[0].PhysicalLocation.ArtifactLocation.URI; uri != "internal/geom/a.go" {
+		t.Errorf("in-root URI = %q, want internal/geom/a.go", uri)
+	}
+
+	empty, err := SARIFReport(nil, Rules(), string(filepath.Separator)+"repo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(empty, []byte(`"results": null`)) {
+		t.Errorf("clean run must emit an empty results array, not null")
+	}
+}

@@ -151,6 +151,47 @@ func parseAllowComment(fset *token.FileSet, c *ast.Comment, known map[string]boo
 	return rule, nil
 }
 
+// Allow is one live, well-formed suppression annotation — the unit of
+// suppression debt the -debt report audits.
+type Allow struct {
+	Pos    token.Position `json:"pos"`
+	Rule   string         `json:"rule"`
+	Reason string         `json:"reason"`
+}
+
+// CollectAllows returns every well-formed allow annotation in the
+// package in position order. Malformed annotations are omitted; Check
+// already reports those as findings.
+func CollectAllows(pkg *Package) []Allow {
+	known := RuleNames()
+	var out []Allow
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rule, diag := parseAllowComment(pkg.Fset, c, known)
+				if diag != nil || rule == "" {
+					continue
+				}
+				rest := strings.TrimPrefix(strings.TrimPrefix(c.Text, allowPrefix), "allow(")
+				_, reason, _ := strings.Cut(rest, ")")
+				out = append(out, Allow{
+					Pos:    pkg.Fset.Position(c.Pos()),
+					Rule:   rule,
+					Reason: strings.TrimSpace(reason),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return out
+}
+
 // codeLines returns the set of lines in f that contain code: the start
 // or end line of any non-comment AST node. Interior lines of spanning
 // constructs are claimed by their own child nodes, so a comment alone

@@ -4,6 +4,8 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -168,6 +170,69 @@ var x = 1 // plain trailing comment
 	}
 	if set.covers(diag("floateq", 4)) {
 		t.Errorf("non-directive comments must not suppress")
+	}
+}
+
+// TestCollectAllowsSkipsMalformed: the debt audit reports only
+// well-formed annotations; malformed ones are Check findings, not
+// debt entries.
+func TestCollectAllowsSkipsMalformed(t *testing.T) {
+	dir := t.TempDir()
+	src := `package p
+
+func F() int {
+	return 1 //fivealarms:allow(seededrand) fixture: a well-formed waiver
+}
+
+func G() int {
+	return 2 //fivealarms:allow(seededrand)
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A second file with two annotations proves the position sort:
+	// a.go orders before p.go, and within a file lines order.
+	src2 := `package p
+
+func H() int {
+	return 3 //fivealarms:allow(floateq) fixture: second-file waiver
+}
+
+func I() int {
+	return 4 //fivealarms:allow(nakedpanic) fixture: later-line waiver
+}
+`
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := NewLoader().Load(dir, "example.com/p")
+	if err != nil {
+		t.Fatal(err)
+	}
+	allows := CollectAllows(pkg)
+	if len(allows) != 3 {
+		t.Fatalf("allows = %v, want the three reasoned annotations", allows)
+	}
+	order := []string{"floateq", "nakedpanic", "seededrand"}
+	for i, want := range order {
+		if allows[i].Rule != want {
+			t.Fatalf("allow order = %v, want a.go before p.go, lines ascending", allows)
+		}
+	}
+	if allows[2].Pos.Line != 4 || allows[2].Reason != "fixture: a well-formed waiver" {
+		t.Errorf("allow = %+v", allows[2])
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:     token.Position{Filename: "x.go", Line: 3, Column: 7},
+		Rule:    "errflow",
+		Message: "m",
+	}
+	if got := d.String(); got != "x.go:3:7: [errflow] m" {
+		t.Errorf("String() = %q", got)
 	}
 }
 

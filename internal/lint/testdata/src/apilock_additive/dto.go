@@ -1,0 +1,8 @@
+package api
+
+// Meta gained a field the lockfile has not recorded yet — legal
+// within v1, but the lockfile must be regenerated to record it.
+type Meta struct {
+	Version int    `json:"version"`
+	Units   string `json:"units,omitempty"`
+}

@@ -1,0 +1,7 @@
+package api
+
+// Meta shrank and retyped relative to its lockfile: Legacy was
+// removed and Version changed int -> string, both breaking.
+type Meta struct {
+	Version string `json:"version"`
+}

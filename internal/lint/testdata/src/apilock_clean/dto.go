@@ -1,0 +1,17 @@
+package api
+
+// Meta is the frozen response envelope.
+type Meta struct {
+	Version int    `json:"version"`
+	Units   string `json:"units,omitempty"`
+	hidden  int
+}
+
+// CellRisk is one row of the frozen v1 body. Note stays server-side
+// (json:"-") and the flattened Meta is locked under its own block.
+type CellRisk struct {
+	Meta
+	ID    string  `json:"id"`
+	Score float64 `json:"score"`
+	Note  string  `json:"-"`
+}

@@ -1,0 +1,6 @@
+package api
+
+// Meta is a wire DTO in a package that never committed its lockfile.
+type Meta struct {
+	Version int `json:"version"`
+}

@@ -1,0 +1,8 @@
+package api
+
+// Meta carries one unrecorded field under an explicit waiver while a
+// cross-repo lockfile regeneration lands.
+type Meta struct {
+	Version int    `json:"version"`
+	Units   string `json:"units,omitempty"` //fivealarms:allow(apilock) fixture: lockfile regeneration lands in the same change series
+}

@@ -1,0 +1,22 @@
+package fixture
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func may() error { return errors.New("x") }
+
+// Handle checks the error, logs best-effort to stderr, and builds
+// through the documented infallible writers.
+func Handle() string {
+	if err := may(); err != nil {
+		fmt.Fprintln(os.Stderr, "may:", err)
+	}
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(&b, " %d", 1)
+	return b.String()
+}

@@ -1,0 +1,15 @@
+package fixture
+
+import "errors"
+
+func fail() error { return errors.New("boom") }
+
+func both() (int, error) { return 0, errors.New("boom") }
+
+// Drop discards errors every way the rule flags.
+func Drop() int {
+	fail()
+	_ = fail()
+	v, _ := both()
+	return v
+}

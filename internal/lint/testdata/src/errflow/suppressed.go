@@ -1,0 +1,10 @@
+package fixture
+
+import "errors"
+
+func poke() error { return errors.New("x") }
+
+// Poke fires a best-effort warmup.
+func Poke() {
+	_ = poke() //fivealarms:allow(errflow) fixture: warmup is best-effort, a failure just means a cold start
+}

@@ -1,0 +1,26 @@
+package fixture
+
+import (
+	"context"
+	"sync"
+)
+
+func step(ctx context.Context) { <-ctx.Done() }
+
+// Fan ties each worker to the WaitGroup the caller drains.
+func Fan(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			work()
+		}()
+	}
+	wg.Wait()
+}
+
+// Watch ties the goroutine's lifetime to the context it hands over.
+func Watch(ctx context.Context) {
+	go step(ctx)
+}

@@ -1,0 +1,11 @@
+package fixture
+
+func work() {}
+
+// Detach spawns goroutines no owner can wait for or stop.
+func Detach() {
+	go work()
+	go func() {
+		work()
+	}()
+}

@@ -1,0 +1,8 @@
+package fixture
+
+func fire() {}
+
+// Flare is a one-shot spawn that provably terminates.
+func Flare() {
+	go fire() //fivealarms:allow(goroleak) fixture: fire returns immediately and owns no resources
+}

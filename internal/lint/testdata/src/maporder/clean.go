@@ -1,0 +1,41 @@
+package fixture
+
+import (
+	"slices"
+	"sort"
+	"strings"
+)
+
+// Total folds the map in any order — a sum is order-free and the loop
+// body has no ordered sink.
+func Total(cells map[string]int) int {
+	n := 0
+	for _, v := range cells {
+		n += v
+	}
+	return n
+}
+
+// Sorted collects keys then sorts before emitting: the canonical
+// pattern the rule recognizes via the sort step in the same function.
+func Sorted(cells map[string]int) []string {
+	keys := make([]string, 0, len(cells))
+	for k := range cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Joined accumulates into a builder but sorts via slices.Sort in the
+// same function — the other recognized ordering step.
+func Joined(cells map[string]int) string {
+	keys := make([]string, 0, len(cells))
+	var b strings.Builder
+	for k := range cells {
+		b.WriteString(k)
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return strings.Join(keys, ",")
+}

@@ -1,0 +1,50 @@
+package fixture
+
+import (
+	"bytes"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"strings"
+)
+
+// Render emits one line per cell in map order — the order reaches the
+// output slice directly, so two runs render two different artifacts.
+func Render(cells map[string]int) []string {
+	var out []string
+	for name, n := range cells {
+		out = append(out, name, string(rune(n)))
+	}
+	return out
+}
+
+// Stream sends map entries down a channel in iteration order.
+func Stream(cells map[string]int, ch chan<- string) {
+	for name := range cells {
+		ch <- name
+	}
+}
+
+// Digest folds map entries into a hash in iteration order, so the
+// fingerprint differs run to run.
+func Digest(cells map[string]int) uint64 {
+	h := fnv.New64a()
+	for name := range cells {
+		h.Write([]byte(name))
+	}
+	return h.Sum64()
+}
+
+// Print renders map entries straight into a builder in iteration order.
+func Print(b *strings.Builder, cells map[string]int) {
+	for name, n := range cells {
+		fmt.Fprintf(b, "%s=%d\n", name, n)
+	}
+}
+
+// Echo writes raw strings to a buffer in iteration order.
+func Echo(buf *bytes.Buffer, cells map[string]int) {
+	for name := range cells {
+		io.WriteString(buf, name)
+	}
+}

@@ -1,0 +1,10 @@
+package fixture
+
+// Keys feeds a dedup set whose consumer sorts downstream.
+func Keys(cells map[string]int) []string {
+	var out []string
+	for k := range cells { //fivealarms:allow(maporder) fixture: the caller sorts before any artifact is rendered
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+package fixture
+
+// Render would be a maporder finding inside the deterministic
+// packages; outside their scope map-order is a local concern.
+func Render(cells map[string]int) []string {
+	var out []string
+	for name := range cells {
+		out = append(out, name)
+	}
+	return out
+}

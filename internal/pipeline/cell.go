@@ -37,7 +37,7 @@ type Cell[T any] struct {
 // Get returns the memoized value, computing it with build on first use.
 // A panicking builder re-arms the cell (see GetErr).
 func (c *Cell[T]) Get(build func() T) T {
-	v, _ := c.GetErr(func() (T, error) { return build(), nil })
+	v, _ := c.GetErr(func() (T, error) { return build(), nil }) //fivealarms:allow(errflow) the wrapped builder returns a nil error by construction
 	return v
 }
 

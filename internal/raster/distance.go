@@ -28,7 +28,7 @@ func DistanceTransform(mask *BitGrid) *FloatGrid {
 func DistanceTransformWorkers(mask *BitGrid, workers int) *FloatGrid {
 	out := NewFloatGrid(mask.Geometry)
 	// The error is impossible: out was just built on mask's geometry.
-	_ = DistanceTransformInto(out, mask, workers)
+	_ = DistanceTransformInto(out, mask, workers) //fivealarms:allow(errflow) out was just built on mask's geometry, the only error the kernel can report
 	return out
 }
 
@@ -230,7 +230,7 @@ func DilateByDistanceWorkers(mask *BitGrid, dist float64, workers int) *BitGrid 
 	g := mask.Geometry
 	dt := AcquireFloatGrid(g)
 	// The error is impossible: dt was just acquired on mask's geometry.
-	_ = DistanceTransformInto(dt, mask, workers)
+	_ = DistanceTransformInto(dt, mask, workers) //fivealarms:allow(errflow) dt was just acquired on mask's geometry, the only error the kernel can report
 	out := NewBitGrid(g)
 	if len(out.bits) > 0 {
 		tt := thresholdPool.Get().(*thresholdTask)

@@ -190,7 +190,7 @@ func (a *Analyzer) FireDistance(seasons []*wildfire.Season, workers int) *raster
 	raster.FillPolygonsInto(mask, SeasonPerimeters(seasons), workers)
 	dist := raster.NewFloatGrid(a.World.Grid)
 	// The error is impossible: dist was just built on the mask's geometry.
-	_ = raster.DistanceTransformInto(dist, mask, workers)
+	_ = raster.DistanceTransformInto(dist, mask, workers) //fivealarms:allow(errflow) dist was just built on the mask's geometry, the only error the kernel can report
 	raster.ReleaseBitGrid(mask)
 	return dist
 }

@@ -161,7 +161,7 @@ func (c *studyCache) entryFor(cfg fivealarms.Config) (*studyEntry, error) {
 		c.entries[key] = e
 		c.touchLocked(key)
 		c.evictLocked(key)
-		go c.run(key, e, cfg, c.inject)
+		go c.run(key, e, cfg, c.inject) //fivealarms:allow(goroleak) builds deliberately outlive the requesting waiter; run closes e.ready on every path and is bounded by the build itself
 	} else {
 		c.touchLocked(key)
 	}

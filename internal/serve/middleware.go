@@ -198,7 +198,7 @@ func writeError(w http.ResponseWriter, status int, err error, retryAfter time.Du
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(body, '\n'))
+	w.Write(append(body, '\n')) //fivealarms:allow(errflow) status and headers are already committed; a failed body write means the client hung up and there is nothing left to tell it
 }
 
 // Hardened http.Server timeouts: a stalled or slow-drip client

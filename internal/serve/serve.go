@@ -299,7 +299,7 @@ func (s *Server) study(r *http.Request) (*studyEntry, degradeInfo, error) {
 			// Keep the rebuild moving (breaker permitting) without
 			// waiting on it; a breaker rejection here is fine — the
 			// stale study still answers this read.
-			s.cache.entryFor(cfg) //nolint:errcheck // poke only
+			s.cache.entryFor(cfg) //fivealarms:allow(errflow) poke only: a breaker rejection is fine, the stale study still answers this read
 			return lg, s.degrade("current study is rebuilding; serving last-known-good"), nil
 		}
 	}

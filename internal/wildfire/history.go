@@ -47,7 +47,7 @@ func SimulateHistory(sim *Simulator, seed uint64, mappedPerSeason int) []*Season
 // regardless of scheduling — only wall-clock time changes.
 func SimulateHistoryParallel(sim *Simulator, seed uint64, mappedPerSeason, workers int) []*Season {
 	// context.Background never cancels, so the error is unreachable.
-	out, _ := SimulateHistoryContext(context.Background(), sim, seed, mappedPerSeason, workers)
+	out, _ := SimulateHistoryContext(context.Background(), sim, seed, mappedPerSeason, workers) //fivealarms:allow(errflow) context.Background never cancels, so the error is unreachable
 	return out
 }
 

@@ -37,12 +37,12 @@ func (s *Study) WriteSnapshot(path string) error {
 		return fmt.Errorf("creating transceiver snapshot: %w", err)
 	}
 	if err := cellnet.StoreOf(s.Data.T).WriteSnapshot(f); err != nil {
-		f.Close()
-		os.Remove(path)
+		f.Close()       //fivealarms:allow(errflow) best-effort cleanup; the write error above is the one worth returning
+		os.Remove(path) //fivealarms:allow(errflow) best-effort cleanup; the write error above is the one worth returning
 		return fmt.Errorf("writing transceiver snapshot %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
+		os.Remove(path) //fivealarms:allow(errflow) best-effort cleanup; the close error above is the one worth returning
 		return fmt.Errorf("closing transceiver snapshot %s: %w", path, err)
 	}
 	return nil
